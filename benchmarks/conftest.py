@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`
+exactly once under pytest-benchmark (the interesting numbers are
+*simulated* seconds, attached as extra_info; wall time just shows the
+harness is cheap), prints the paper-vs-measured table, and asserts the
+shape checks.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+
+
+def pytest_configure(config):
+    """Surface each experiment's printed paper-vs-measured table.
+
+    Passed-test stdout is normally swallowed; reporting passed-with-
+    output ("P") makes ``pytest benchmarks/ --benchmark-only`` emit the
+    tables without requiring ``-s``.
+    """
+    config.option.reportchars = (getattr(config.option, "reportchars", "") or "") + "P"
+
+
+def run_experiment(benchmark, runner, seed=0):
+    """Run ``runner`` once under the benchmark fixture; verify + print."""
+    result = benchmark.pedantic(runner, kwargs={"seed": seed}, rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["all_ok"] = result.all_ok
+    failures = result.failures()
+    assert not failures, "shape checks failed: " + "; ".join(
+        f"{row.label}: measured {row.measured} {row.unit} (paper: {row.paper})"
+        for row in failures
+    )
+    return result

@@ -1,0 +1,14 @@
+"""A2 — ablation: update-policy trade-offs argued in §3.4."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_a2
+
+
+def test_a2_policy_tradeoffs(benchmark):
+    result = run_experiment(benchmark, run_a2)
+    for name, data in result.extra.items():
+        benchmark.extra_info[name] = {
+            "cut_latency_s": data["cut_latency_s"],
+            "steady_latency_s": data["steady_latency_s"],
+        }

@@ -1,0 +1,9 @@
+"""A3 — ablation: headline orderings are robust to calibration swings."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_a3
+
+
+def test_a3_calibration_sensitivity(benchmark):
+    run_experiment(benchmark, run_a3)

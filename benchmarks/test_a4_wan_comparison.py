@@ -1,0 +1,10 @@
+"""A4 — ablation: the E7 comparison in the wide-area setting."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_a4
+
+
+def test_a4_wan_comparison(benchmark):
+    result = run_experiment(benchmark, run_a4)
+    benchmark.extra_info.update(result.extra)

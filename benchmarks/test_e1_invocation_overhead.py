@@ -1,0 +1,11 @@
+"""E1 — dynamic function invocation overhead (§4: 10-15 us per call)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e1
+
+
+def test_e1_invocation_overhead(benchmark):
+    result = run_experiment(benchmark, run_e1)
+    benchmark.extra_info["leaf_cost_us"] = result.extra["leaf_cost_s"] * 1e6
+    benchmark.extra_info["direct_cost_us"] = result.extra["direct_cost_s"] * 1e6

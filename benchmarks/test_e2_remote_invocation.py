@@ -1,0 +1,11 @@
+"""E2 — remote invocation round trips are flat in implementation size."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e2
+
+
+def test_e2_remote_invocation(benchmark):
+    result = run_experiment(benchmark, run_e2)
+    benchmark.extra_info["dcdo_rtts_ms"] = result.extra["dcdo_rtts_ms"]
+    benchmark.extra_info["mono_rtts_ms"] = result.extra["mono_rtts_ms"]

@@ -1,0 +1,13 @@
+"""E3 — creating a 500-function object: monolithic vs componentized."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e3
+
+
+def test_e3_object_creation(benchmark):
+    result = run_experiment(benchmark, run_e3)
+    benchmark.extra_info["monolithic_s"] = result.extra["monolithic_s"]
+    benchmark.extra_info["dcdo_s"] = {
+        str(components): elapsed for components, elapsed in result.extra["dcdo_s"].items()
+    }

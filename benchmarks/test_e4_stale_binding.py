@@ -1,0 +1,10 @@
+"""E4 — stale binding discovery takes ~25-35 s."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e4
+
+
+def test_e4_stale_binding(benchmark):
+    result = run_experiment(benchmark, run_e4)
+    benchmark.extra_info["discovery_times_s"] = result.extra["discovery_times_s"]

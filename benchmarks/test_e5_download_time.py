@@ -1,0 +1,10 @@
+"""E5 — implementation download time vs size (550 KB ~4 s, 5.1 MB 15-25 s)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e5
+
+
+def test_e5_download_time(benchmark):
+    result = run_experiment(benchmark, run_e5)
+    benchmark.extra_info["measured_s"] = result.extra["measured_s"]

@@ -1,0 +1,12 @@
+"""E6 — DCDO evolution cost: sub-second, ~200 us per cached component."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e6
+
+
+def test_e6_evolution_cost(benchmark):
+    result = run_experiment(benchmark, run_e6)
+    benchmark.extra_info["dfm_only_s"] = result.extra["dfm_only_s"]
+    benchmark.extra_info["cached_slope_us"] = result.extra["cached_slope_s"] * 1e6
+    benchmark.extra_info["uncached_s"] = result.extra["uncached_s"]

@@ -1,0 +1,13 @@
+"""E7 — evolving a DCDO vs evolving a normal Legion object."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_e7
+
+
+def test_e7_evolution_comparison(benchmark):
+    result = run_experiment(benchmark, run_e7)
+    benchmark.extra_info["baseline_phases"] = result.extra["baseline_phases"]
+    benchmark.extra_info["baseline_disruption_s"] = result.extra["baseline_disruption_s"]
+    benchmark.extra_info["dcdo_cached_s"] = result.extra["dcdo_cached_s"]
+    benchmark.extra_info["dcdo_uncached_s"] = result.extra["dcdo_uncached_s"]

@@ -1,0 +1,182 @@
+"""Hot-patching a live service: DCDO vs monolithic restart.
+
+The paper's motivating scenario (§1): grid applications "required to
+be constantly operational" still need bug fixes.  Here a metric-
+aggregation service ships with a bug — its percentile function sorts
+descending — while clients hammer it continuously.
+
+The same fix is applied two ways:
+
+- **DCDO**: the manager cuts version 1.1 swapping the buggy component;
+  the running object evolves in-place.  Clients never notice.
+- **Monolithic baseline**: the class deactivates the object, downloads
+  a fresh 5.1 MB executable, restarts, restores state, and rebinds —
+  and every client stalls on a stale binding for ~30 seconds.
+
+Run with::
+
+    python examples/hot_patch_service.py
+"""
+
+from repro import build_dcdo_system
+from repro.baseline import (
+    MODERATE_IMPL_BYTES,
+    BaselineEvolution,
+    make_monolithic_implementation,
+)
+from repro.core import ComponentBuilder
+from repro.core.manager import define_dcdo_type
+from repro.core.policies import GeneralEvolutionPolicy
+from repro.workloads import ClosedLoopClient
+
+
+def record_metric(ctx, value):
+    ctx.state.setdefault("values", []).append(value)
+    return len(ctx.state["values"])
+
+
+def p50_buggy(ctx, *_ignored):
+    values = sorted(ctx.state.get("values", []), reverse=True)  # BUG: descending
+    if not values:
+        return None
+    return values[len(values) // 2]
+
+
+def p50_fixed(ctx, *_ignored):
+    values = sorted(ctx.state.get("values", []))
+    if not values:
+        return None
+    return values[len(values) // 2]
+
+
+def build_dcdo_service(runtime):
+    manager = define_dcdo_type(
+        runtime, "Metrics", evolution_policy=GeneralEvolutionPolicy()
+    )
+    base = (
+        ComponentBuilder("metrics-base")
+        .function("record", record_metric)
+        .variant(size_bytes=200_000)
+        .build()
+    )
+    buggy = (
+        ComponentBuilder("percentile-buggy")
+        .function("p50", p50_buggy)
+        .variant(size_bytes=60_000)
+        .build()
+    )
+    fixed = (
+        ComponentBuilder("percentile-fixed")
+        .function("p50", p50_fixed)
+        .variant(size_bytes=60_000)
+        .build()
+    )
+    for component in (base, buggy, fixed):
+        manager.register_component(component)
+    v1 = manager.new_version()
+    manager.incorporate_into(v1, "metrics-base")
+    manager.incorporate_into(v1, "percentile-buggy")
+    descriptor = manager.descriptor_of(v1)
+    descriptor.enable("record", "metrics-base")
+    descriptor.enable("p50", "percentile-buggy")
+    manager.mark_instantiable(v1)
+    manager.set_current_version(v1)
+    return manager
+
+
+def hot_patch(runtime, manager, loid):
+    """Cut v1.1 with the fixed percentile component and evolve."""
+    v11 = manager.derive_version(manager.current_version)
+    manager.incorporate_into(v11, "percentile-fixed")
+    descriptor = manager.descriptor_of(v11)
+    descriptor.enable("p50", "percentile-fixed", replace_current=True)
+    descriptor.remove_component("percentile-buggy")
+    manager.mark_instantiable(v11)
+    start = runtime.sim.now
+    runtime.sim.run_process(manager.evolve_instance(loid, v11))
+    return runtime.sim.now - start
+
+
+def run_dcdo_scenario():
+    runtime = build_dcdo_system(hosts=6, seed=7)
+    manager = build_dcdo_service(runtime)
+    loid = runtime.sim.run_process(manager.create_instance(host_name="host01"))
+    feeder = runtime.make_client("host02")
+    for value in (10, 20, 30, 40, 50, 60):
+        feeder.call_sync(loid, "record", value)
+
+    # Continuous client traffic across the patch window.
+    reader = runtime.make_client("host03")
+    loop = ClosedLoopClient(reader, loid, "p50", calls=None, think_time_s=0.05)
+    runtime.sim.spawn(loop.run())
+    runtime.sim.run(until=runtime.sim.now + 1.0)
+
+    before = reader.call_sync(loid, "p50")
+    patch_seconds = hot_patch(runtime, manager, loid)
+    after = reader.call_sync(loid, "p50")
+
+    runtime.sim.run(until=runtime.sim.now + 1.0)
+    loop.stop()
+    runtime.sim.run()
+    worst_latency = max(loop.latencies)
+    return before, after, patch_seconds, worst_latency, len(loop.errors)
+
+
+def run_baseline_scenario():
+    runtime = build_dcdo_system(hosts=6, seed=7)
+    buggy_impl = make_monolithic_implementation(
+        "metrics-mono-v1",
+        function_count=20,
+        size_bytes=MODERATE_IMPL_BYTES,
+        functions={"record": record_metric, "p50": p50_buggy},
+        version_tag="1",
+    )
+    for host in runtime.hosts.values():
+        host.cache.insert(buggy_impl.impl_id, buggy_impl.size_bytes)
+    klass = runtime.define_class("MetricsMono", implementations=[buggy_impl])
+    loid = runtime.sim.run_process(klass.create_instance(host_name="host01"))
+    feeder = runtime.make_client("host02")
+    for value in (10, 20, 30, 40, 50, 60):
+        feeder.call_sync(loid, "record", value)
+
+    reader = runtime.make_client("host03")
+    before = reader.call_sync(loid, "p50")
+
+    evolution = BaselineEvolution(runtime, klass)
+    fixed_impl = make_monolithic_implementation(
+        "metrics-mono-v2",
+        function_count=20,
+        size_bytes=MODERATE_IMPL_BYTES,
+        functions={"record": record_metric, "p50": p50_fixed},
+        version_tag="2",
+    )
+    evolution.publish_version([fixed_impl])
+    report = runtime.sim.run_process(evolution.evolve_instance(loid))
+    # The reader's next call pays stale-binding discovery.
+    start = runtime.sim.now
+    after = reader.call_sync(loid, "p50")
+    disruption = runtime.sim.now - start
+    return before, after, report, disruption
+
+
+def main():
+    print("=== DCDO hot patch (clients keep running) ===")
+    before, after, patch_seconds, worst_latency, errors = run_dcdo_scenario()
+    print(f"p50 before patch: {before}   (buggy: descending sort)")
+    print(f"p50 after patch:  {after}")
+    print(f"patch applied in: {patch_seconds:.3f} simulated seconds")
+    print(f"worst client latency across the window: {worst_latency * 1e3:.1f} ms")
+    print(f"client errors during patch: {errors}")
+
+    print("\n=== Monolithic baseline (restart + stale bindings) ===")
+    before, after, report, disruption = run_baseline_scenario()
+    print(f"p50 before patch: {before}")
+    print(f"p50 after patch:  {after}")
+    print("object-side pipeline:")
+    for phase, seconds in report.as_rows():
+        print(f"  {phase:<45s} {seconds:8.3f} s")
+    print(f"client stalled on stale binding for: {disruption:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Comparing evolution management strategies on a fleet of DCDOs.
+
+§3.3: "no single evolution policy ... will be appropriate for all
+applications".  This example runs the same version cut against fleets
+managed under different strategy combinations and prints what each
+costs and guarantees:
+
+- single-version + proactive: everyone updates at the cut;
+- single-version + explicit: nothing moves until asked;
+- single-version + lazy (strict / every-3-calls): instances catch up
+  when they are next used;
+- multi-version increasing-version: a diverged instance stays put when
+  the current version is not derived from its own.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro.cluster import build_lan
+from repro.core.manager import define_dcdo_type
+from repro.core.policies import (
+    ExplicitUpdatePolicy,
+    IncreasingVersionPolicy,
+    LazyUpdatePolicy,
+    ProactiveUpdatePolicy,
+    SingleVersionPolicy,
+)
+from repro.legion import LegionRuntime
+from repro.workloads import build_component_version, synthetic_components
+
+FLEET = 4
+
+
+def build_fleet(type_name, evolution_policy, update_policy, seed=5):
+    runtime = LegionRuntime(build_lan(8, seed=seed))
+    manager = define_dcdo_type(
+        runtime,
+        type_name,
+        evolution_policy=evolution_policy,
+        update_policy=update_policy,
+    )
+    components = synthetic_components(2, 5, prefix=f"{type_name.lower()}-")
+    version = build_component_version(manager, components)
+    manager.set_current_version(version)
+    loids = [
+        runtime.sim.run_process(manager.create_instance(host_name=f"host0{index}"))
+        for index in range(FLEET)
+    ]
+    # A function name present in every version, for client traffic.
+    call_name = components[0].function_names()[0]
+    return runtime, manager, loids, call_name
+
+
+def cut_new_version(manager):
+    extra = synthetic_components(1, 3, prefix=f"{manager.type_name.lower()}x-")
+    # Pre-seed caches so the cut measures coordination, not downloads.
+    for record in manager.active_instances():
+        variant = extra[0].variant_for_host(record.host)
+        record.host.cache.insert(variant.blob_id, variant.size_bytes)
+    return build_component_version(manager, extra)
+
+
+def fleet_versions(manager, loids):
+    return [str(manager.instance_version(loid)) for loid in loids]
+
+
+def scenario(title, evolution_policy, update_policy, drive):
+    runtime, manager, loids, call_name = build_fleet(
+        title.replace("-", ""), evolution_policy, update_policy
+    )
+    version = cut_new_version(manager)
+    start = runtime.sim.now
+    manager.set_current_version(version)
+    cut_cost = runtime.sim.now - start
+    print(f"\n== {title} ==")
+    print(f"cut latency: {cut_cost:.3f}s; fleet right after cut: "
+          f"{fleet_versions(manager, loids)}")
+    drive(runtime, manager, loids, call_name)
+    print(f"fleet after driving traffic:      {fleet_versions(manager, loids)}")
+
+
+def drive_nothing(runtime, manager, loids, call_name):
+    runtime.sim.run(until=runtime.sim.now + 10.0)
+
+
+def drive_one_call_each(runtime, manager, loids, call_name):
+    client = runtime.make_client("host07")
+    for loid in loids:
+        client.call_sync(loid, call_name, timeout_schedule=(600.0,))
+
+
+def drive_explicit_updates(runtime, manager, loids, call_name):
+    client = runtime.make_client("host07")
+    for loid in loids[:2]:  # the operator only updates half the fleet
+        client.call_sync(manager.loid, "updateInstance", loid, timeout_schedule=(600.0,))
+
+
+def drive_three_calls_each(runtime, manager, loids, call_name):
+    client = runtime.make_client("host07")
+    for loid in loids:
+        for __ in range(3):
+            client.call_sync(loid, call_name, timeout_schedule=(600.0,))
+
+
+def multi_version_scenario():
+    print("\n== multi-version: increasing-version-number ==")
+    runtime, manager, loids, __ = build_fleet(
+        "MultiVer", IncreasingVersionPolicy(), ExplicitUpdatePolicy()
+    )
+    v1 = manager.current_version
+    # Instance 0 evolves to a child of v1.
+    child = cut_new_version(manager)
+    runtime.sim.run_process(manager.evolve_instance(loids[0], child))
+    # A sibling becomes current: derived from v1, not from child.
+    sibling = cut_new_version(manager)
+    manager.set_current_version(sibling)
+    client = runtime.make_client("host07")
+    for loid in loids:
+        client.call_sync(manager.loid, "syncInstance", loid, timeout_schedule=(600.0,))
+    print(f"versions now: {fleet_versions(manager, loids)}")
+    print("instance 0 stayed on its branch (sibling is not derived from it);")
+    print("the rest followed the current version.")
+
+
+def main():
+    scenario(
+        "single-version + proactive",
+        SingleVersionPolicy(),
+        ProactiveUpdatePolicy(),
+        drive_nothing,
+    )
+    scenario(
+        "single-version + explicit",
+        SingleVersionPolicy(),
+        ExplicitUpdatePolicy(),
+        drive_explicit_updates,
+    )
+    scenario(
+        "single-version + lazy (strict)",
+        SingleVersionPolicy(),
+        LazyUpdatePolicy(),
+        drive_one_call_each,
+    )
+    scenario(
+        "single-version + lazy (every 3 calls)",
+        SingleVersionPolicy(),
+        LazyUpdatePolicy(every_k_calls=3),
+        drive_three_calls_each,
+    )
+    multi_version_scenario()
+
+
+if __name__ == "__main__":
+    main()

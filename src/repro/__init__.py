@@ -1,0 +1,64 @@
+"""Reproduction of "Dynamically Configurable Distributed Objects"
+(Michael J. Lewis, PODC 1999).
+
+The package implements the paper's DCDO model — DCDOs, DCDO Managers,
+and Implementation Component Objects — on top of a simulated
+Legion-like wide-area distributed object system:
+
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+- :mod:`repro.net` — switched-LAN network model with fault injection;
+- :mod:`repro.cluster` — hosts, vaults, caches, calibrated cost model;
+- :mod:`repro.legion` — the Legion substrate (LOIDs, naming, binding,
+  RPC, class objects, implementation downloads);
+- :mod:`repro.core` — the DCDO model itself (the contribution);
+- :mod:`repro.baseline` — normal (monolithic) Legion object evolution,
+  the paper's comparator;
+- :mod:`repro.workloads` — synthetic workload generators;
+- :mod:`repro.bench` — the experiment harness regenerating §4.
+
+Quickstart::
+
+    from repro import build_dcdo_system
+
+    runtime = build_dcdo_system(hosts=4, seed=42)
+    # see examples/quickstart.py for a full tour
+"""
+
+from repro.cluster import Calibration, build_centurion, build_lan
+from repro.core import (
+    DCDO,
+    ComponentBuilder,
+    DCDOManager,
+    Dependency,
+    Marking,
+    RemovePolicy,
+    VersionId,
+)
+from repro.legion import Implementation, LegionRuntime
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Calibration",
+    "ComponentBuilder",
+    "DCDO",
+    "DCDOManager",
+    "Dependency",
+    "Implementation",
+    "LegionRuntime",
+    "Marking",
+    "RemovePolicy",
+    "VersionId",
+    "build_centurion",
+    "build_dcdo_system",
+    "build_lan",
+]
+
+
+def build_dcdo_system(hosts=4, seed=0, calibration=None):
+    """Build a ready-to-use runtime on a fresh simulated LAN.
+
+    Convenience entry point for examples and quick experiments;
+    returns a :class:`~repro.legion.runtime.LegionRuntime`.
+    """
+    return LegionRuntime(build_lan(hosts, seed=seed, calibration=calibration))

@@ -1,0 +1,29 @@
+"""Normal Legion objects: the paper's evolution baseline.
+
+A normal Legion object "is defined by a static monolithic executable"
+(§2); changing its behaviour means replacing that executable, which
+costs (§4): "capturing the state of the object, transferring the state
+to a new machine (if necessary), downloading the new executable that
+represents the next 'version' of the object, creating a new process
+for the object, reading the state information into the new process,
+and getting clients to know of the new physical address for the
+object".
+
+This package implements that pipeline with per-phase accounting so E7
+can put the baseline and the DCDO mechanism side by side.
+"""
+
+from repro.baseline.evolution import BaselineEvolution, EvolutionReport
+from repro.baseline.monolithic import (
+    MODERATE_IMPL_BYTES,
+    SMALL_IMPL_BYTES,
+    make_monolithic_implementation,
+)
+
+__all__ = [
+    "BaselineEvolution",
+    "EvolutionReport",
+    "MODERATE_IMPL_BYTES",
+    "SMALL_IMPL_BYTES",
+    "make_monolithic_implementation",
+]

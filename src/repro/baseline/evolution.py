@@ -1,0 +1,112 @@
+"""The baseline evolution pipeline, with per-phase accounting.
+
+Evolving a normal Legion object to a new implementation version walks
+the full §4 pipeline; :class:`BaselineEvolution` instruments each phase
+so experiment E7 can report the breakdown next to the DCDO numbers.
+The *client-visible* disruption additionally includes stale-binding
+discovery (~25-35 s), measured separately because it is paid by each
+client rather than by the evolving object.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvolutionReport:
+    """Per-phase timings (simulated seconds) for one baseline evolution."""
+
+    capture_s: float = 0.0
+    download_s: float = 0.0
+    restart_s: float = 0.0
+    total_s: float = 0.0
+    downloaded_bytes: int = 0
+    phases: dict = field(default_factory=dict)
+
+    def as_rows(self):
+        """(phase, seconds) rows for table printers."""
+        return [
+            ("state capture", self.capture_s),
+            ("executable download", self.download_s),
+            ("process re-creation + state restore + rebind", self.restart_s),
+            ("total (object-side)", self.total_s),
+        ]
+
+
+class BaselineEvolution:
+    """Drives monolithic-object version replacement.
+
+    Parameters
+    ----------
+    runtime:
+        The Legion runtime.
+    klass:
+        The class object whose instances evolve.
+    """
+
+    def __init__(self, runtime, klass):
+        self._runtime = runtime
+        self._klass = klass
+
+    def publish_version(self, implementations):
+        """Publish a new implementation set and make it the class's
+        current version (new creations and re-activations use it)."""
+        for implementation in implementations:
+            self._runtime.implementation_store.publish(implementation)
+        self._klass.set_implementations(implementations)
+
+    def evolve_instance(self, loid):
+        """Generator: evolve one instance to the class's current
+        implementations; returns an :class:`EvolutionReport`.
+
+        The pipeline: deactivate (capture state to the vault), download
+        the new executable to the instance's host (unless cached),
+        re-create the process, restore state, re-register the binding.
+        Existing clients' bindings go stale — their discovery cost is
+        measured by the caller, per client.
+        """
+        sim = self._runtime.sim
+        record = self._klass.record(loid)
+        host = record.host
+        report = EvolutionReport()
+        started = sim.now
+
+        # Phase 1: deactivate + capture state into the vault.
+        yield from self._klass.deactivate_instance(loid)
+        report.capture_s = sim.now - started
+
+        # Phase 2: download the new executable (explicitly, so the cost
+        # is attributed; activation would otherwise fold it in).
+        implementation = self._klass._implementation_for(host)
+        download_started = sim.now
+        endpoint = self._klass._endpoint
+        yield from self._runtime.implementation_store.ensure_cached(
+            host, implementation.impl_id, endpoint
+        )
+        report.download_s = sim.now - download_started
+        report.downloaded_bytes = (
+            implementation.size_bytes if report.download_s > 0 else 0
+        )
+
+        # Phase 3: new process, method table, state restore, binding.
+        restart_started = sim.now
+        yield from self._klass.activate_instance(loid)
+        report.restart_s = sim.now - restart_started
+
+        report.total_s = sim.now - started
+        report.phases = {
+            "capture": report.capture_s,
+            "download": report.download_s,
+            "restart": report.restart_s,
+        }
+        return report
+
+    def measure_client_disruption(self, loid, client, method="get", args=()):
+        """Generator: time until ``client``'s next call succeeds.
+
+        Assumes the client holds a (now stale) binding; the measured
+        time is dominated by stale-binding discovery (§4: 25-35 s).
+        """
+        sim = self._runtime.sim
+        started = sim.now
+        yield from client.invoke(loid, method, *args)
+        return sim.now - started

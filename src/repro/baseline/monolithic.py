@@ -1,0 +1,47 @@
+"""Builders for monolithic implementations.
+
+The §4 study's "moderately sized Legion object" has a 5.1 MB
+implementation; 550 KB is the small case.  These builders produce
+:class:`~repro.legion.implementation.Implementation` binaries with a
+parameterized function count and size, so experiments can sweep both.
+"""
+
+from repro.legion.implementation import Implementation
+
+#: §4: "a 5.1 Megabyte object implementation (typical for moderately
+#: sized Legion objects)".
+MODERATE_IMPL_BYTES = 5_100_000
+#: §4: "a 550 K implementation takes about 4 seconds to download".
+SMALL_IMPL_BYTES = 550_000
+
+
+def _noop_body(ctx):
+    return None
+
+
+def make_monolithic_implementation(
+    impl_id,
+    function_count=10,
+    size_bytes=SMALL_IMPL_BYTES,
+    version_tag="1",
+    architecture="x86-linux",
+    functions=None,
+):
+    """Build a monolithic binary with ``function_count`` member functions.
+
+    ``functions`` may supply real bodies for some names; the rest are
+    padded with no-ops so method-table size (and hence registration
+    cost) matches the requested count.
+    """
+    if function_count < 0:
+        raise ValueError(f"function_count must be >= 0, got {function_count}")
+    table = dict(functions or {})
+    for index in range(max(0, function_count - len(table))):
+        table[f"fn_{index:04d}"] = _noop_body
+    return Implementation(
+        impl_id=impl_id,
+        size_bytes=size_bytes,
+        architecture=architecture,
+        functions=table,
+        version_tag=version_tag,
+    )

@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating the paper's §4 measurements.
+
+Each experiment module builds its workload, runs it on the simulated
+testbed, and returns an :class:`~repro.bench.harness.ExperimentResult`
+whose rows pair the paper's reported value (or range) with the
+measured one.  The ``benchmarks/`` tree wraps these in pytest-benchmark
+entry points and prints the tables.
+"""
+
+from repro.bench.harness import ExperimentResult, Row, format_table
+
+__all__ = ["ExperimentResult", "Row", "format_table"]

@@ -1,0 +1,114 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run E1 E4          # print paper-vs-measured tables
+    python -m repro.bench run all
+    python -m repro.bench figures --out data # write one CSV per figure
+    python -m repro.bench figures fig-e5     # print a single figure's CSV
+
+Exit status is non-zero if any shape check fails, so the harness can
+gate CI.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench.experiments import (
+    run_a2,
+    run_a3,
+    run_a4,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+)
+from repro.bench.figures import FIGURES, render_csv
+from repro.bench.harness import format_table
+
+EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "A2": run_a2,
+    "A3": run_a3,
+    "A4": run_a4,
+}
+
+
+def cmd_list(args):
+    print("experiments:", " ".join(EXPERIMENTS))
+    print("figures:    ", " ".join(FIGURES))
+    return 0
+
+
+def cmd_run(args):
+    names = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    failed = False
+    for name in names:
+        runner = EXPERIMENTS.get(name.upper())
+        if runner is None:
+            print(f"unknown experiment {name!r}; try: {' '.join(EXPERIMENTS)}")
+            return 2
+        result = runner(seed=args.seed)
+        print(format_table(result))
+        print()
+        failed = failed or not result.all_ok
+    return 1 if failed else 0
+
+
+def cmd_figures(args):
+    names = list(FIGURES) if not args.ids or "all" in args.ids else args.ids
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        generator = FIGURES.get(name.lower())
+        if generator is None:
+            print(f"unknown figure {name!r}; try: {' '.join(FIGURES)}")
+            return 2
+        header, rows = generator(seed=args.seed)
+        csv_text = render_csv(header, rows)
+        if out_dir:
+            path = out_dir / f"{name}.csv"
+            path.write_text(csv_text)
+            print(f"wrote {path} ({len(rows)} rows)")
+        else:
+            print(f"# {name}")
+            print(csv_text)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment and figure ids")
+
+    run_parser = sub.add_parser("run", help="run experiments, print tables")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+
+    figures_parser = sub.add_parser("figures", help="emit figure CSV series")
+    figures_parser.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    figures_parser.add_argument("--out", help="directory to write CSVs into")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "figures": cmd_figures}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""A2 — ablation: update-policy trade-offs (§3.4, argued qualitatively).
+
+The paper describes the trade-offs between proactive, explicit, and
+lazy updates in prose; this ablation quantifies them on a fleet of
+DCDOs:
+
+- *cut latency*: how long designating a new current version takes;
+- *staleness window*: time from the version cut until an instance runs
+  the new behaviour (measured at first post-cut call);
+- *steady-state call overhead*: per-call client latency when no update
+  is pending.
+"""
+
+from repro.bench.harness import ExperimentResult, millis, seconds
+from repro.cluster import build_centurion
+from repro.core.policies import (
+    ExplicitUpdatePolicy,
+    LazyUpdatePolicy,
+    ProactiveUpdatePolicy,
+    SingleVersionPolicy,
+)
+from repro.legion import LegionRuntime
+from repro.workloads import build_component_version, make_noop_manager, synthetic_components
+
+FLEET = 6
+STEADY_CALLS = 20
+
+
+def _measure_policy(policy_name, update_policy, seed):
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    manager, __ = make_noop_manager(
+        runtime,
+        f"A2{policy_name}",
+        component_count=2,
+        functions_per_component=5,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=update_policy,
+    )
+    loids = [
+        runtime.sim.run_process(
+            manager.create_instance(host_name=f"centurion{index % 8:02d}")
+        )
+        for index in range(FLEET)
+    ]
+    clients = {loid: runtime.make_client(f"centurion{8 + i % 8:02d}") for i, loid in enumerate(loids)}
+    for loid, client in clients.items():
+        client.call_sync(loid, "ping", timeout_schedule=(600.0,))
+
+    # Steady-state per-call latency (no pending update).
+    steady_start = runtime.sim.now
+    for __ in range(STEADY_CALLS):
+        clients[loids[0]].call_sync(loids[0], "ping", timeout_schedule=(600.0,))
+    steady_latency = (runtime.sim.now - steady_start) / STEADY_CALLS
+
+    # Cut a new version: one extra (cached) component for everyone.
+    extra = synthetic_components(1, 3, prefix=f"a2x-{policy_name}-")
+    for loid in loids:
+        host = manager.record(loid).host
+        variant = extra[0].variant_for_host(host)
+        host.cache.insert(variant.blob_id, variant.size_bytes)
+    version = build_component_version(manager, extra)
+    cut_start = runtime.sim.now
+    manager.set_current_version(version)
+    cut_latency = runtime.sim.now - cut_start
+
+    # Staleness: first post-cut call per instance; how long until every
+    # instance actually runs the new version.
+    staleness = []
+    for loid, client in clients.items():
+        client.call_sync(loid, "ping", timeout_schedule=(600.0,))
+        if update_policy.name == "explicit":
+            # Explicit: the external operator drives the update itself.
+            client.call_sync(
+                manager.loid, "updateInstance", loid, timeout_schedule=(600.0,)
+            )
+        staleness.append(
+            0.0 if manager.instance_version(loid) == version else float("inf")
+        )
+    converged = all(manager.instance_version(loid) == version for loid in loids)
+    return {
+        "steady_latency_s": steady_latency,
+        "cut_latency_s": cut_latency,
+        "converged": converged,
+    }
+
+
+def run_a2(seed=0):
+    """Run A2; returns an :class:`ExperimentResult`."""
+    policies = [
+        ("proactive-parallel", ProactiveUpdatePolicy(parallel=True)),
+        ("proactive-serial", ProactiveUpdatePolicy(parallel=False)),
+        ("explicit", ExplicitUpdatePolicy()),
+        ("lazy-strict", LazyUpdatePolicy()),
+        ("lazy-k10", LazyUpdatePolicy(every_k_calls=10)),
+    ]
+    measurements = {
+        name: _measure_policy(name, policy, seed) for name, policy in policies
+    }
+
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="Update-policy trade-offs (fleet of 6 DCDOs, cached component cut)",
+    )
+    for name, data in measurements.items():
+        result.add(
+            f"{name}: version-cut latency",
+            "proactive pays at cut",
+            seconds(data["cut_latency_s"]),
+            "s",
+            ok=True,
+        )
+        result.add(
+            f"{name}: steady per-call latency",
+            "lazy-strict pays per call",
+            millis(data["steady_latency_s"]),
+            "ms",
+            ok=data["steady_latency_s"] < 0.2,
+        )
+        result.add(
+            f"{name}: fleet converged after 1 call each",
+            "yes except lazy-k10",
+            "yes" if data["converged"] else "no",
+            "",
+            ok=data["converged"] or name == "lazy-k10",
+        )
+
+    # Shape assertions across policies.
+    proactive_cut = measurements["proactive-parallel"]["cut_latency_s"]
+    serial_cut = measurements["proactive-serial"]["cut_latency_s"]
+    explicit_cut = measurements["explicit"]["cut_latency_s"]
+    lazy_steady = measurements["lazy-strict"]["steady_latency_s"]
+    explicit_steady = measurements["explicit"]["steady_latency_s"]
+    result.add(
+        "proactive-serial cut slower than parallel",
+        "linear vs amortized",
+        f"{serial_cut:.3f} vs {proactive_cut:.3f}",
+        "s",
+        ok=serial_cut > proactive_cut,
+    )
+    result.add(
+        "explicit cut is (near) free",
+        "cut defers all cost",
+        seconds(explicit_cut),
+        "s",
+        ok=explicit_cut < proactive_cut,
+    )
+    result.add(
+        "lazy-strict steady call slower than explicit",
+        "per-call check overhead",
+        f"{lazy_steady * 1e3:.2f} vs {explicit_steady * 1e3:.2f}",
+        "ms",
+        ok=lazy_steady > explicit_steady,
+    )
+    result.extra = {name: data for name, data in measurements.items()}
+    return result

@@ -1,0 +1,135 @@
+"""A3 — ablation: calibration sensitivity.
+
+EXPERIMENTS.md claims that no experiment's *conclusion* depends on the
+fitted calibration constants.  This ablation tests that: the headline
+orderings (DCDO evolution beats the baseline; cached beats uncached;
+stale-binding discovery dwarfs DCDO client disruption) are re-measured
+with each fitted constant halved and doubled.
+
+A conclusion that flips under a 4x parameter swing would be an
+artifact of calibration; none should.
+"""
+
+from dataclasses import replace
+
+from repro.bench.harness import ExperimentResult
+from repro.cluster import Calibration, build_centurion
+from repro.core.policies import GeneralEvolutionPolicy
+from repro.legion import LegionRuntime
+from repro.workloads import build_component_version, make_noop_manager, synthetic_components
+
+# The fitted constants and the swing applied to each.
+PERTURBATIONS = [
+    ("baseline", {}),
+    ("component_link_s / 2", {"component_link_s": 0.045}),
+    ("component_link_s x 2", {"component_link_s": 0.18}),
+    ("download_chunk_process_s / 2", {"download_chunk_process_s": 0.1075}),
+    ("download_chunk_process_s x 2", {"download_chunk_process_s": 0.43}),
+    ("network_bandwidth / 2", {"network_bandwidth_bps": 100e6 / 16}),
+    ("network_bandwidth x 2", {"network_bandwidth_bps": 100e6 / 4}),
+    ("process_spawn_s / 2", {"process_spawn_s": 0.5}),
+    ("process_spawn_s x 2", {"process_spawn_s": 2.0}),
+]
+
+
+def _measure_orderings(calibration, seed):
+    """Measure the three headline orderings under one calibration.
+
+    Returns a dict of named (smaller, larger) pairs that must satisfy
+    smaller < larger for the conclusion to hold.
+    """
+    runtime = LegionRuntime(build_centurion(calibration=calibration, seed=seed))
+    manager, __ = make_noop_manager(
+        runtime,
+        "A3Type",
+        component_count=3,
+        functions_per_component=5,
+        evolution_policy=GeneralEvolutionPolicy(),
+    )
+    loid = runtime.sim.run_process(manager.create_instance(host_name="centurion01"))
+    obj = manager.record(loid).obj
+    client = runtime.make_client("centurion08")
+    client.call_sync(loid, "ping", timeout_schedule=(600.0,))
+
+    # DCDO evolution (cached component).
+    cached = synthetic_components(1, 3, prefix="a3c-")
+    variant = cached[0].variant_for_host(obj.host)
+    obj.host.cache.insert(variant.blob_id, variant.size_bytes)
+    version = build_component_version(manager, cached)
+    start = runtime.sim.now
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    dcdo_cached_s = runtime.sim.now - start
+
+    # DCDO evolution (uncached 1 MB component).
+    uncached = synthetic_components(1, 3, size_bytes=1_000_000, prefix="a3u-")
+    version = build_component_version(manager, uncached)
+    start = runtime.sim.now
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    dcdo_uncached_s = runtime.sim.now - start
+
+    # Baseline evolution (monolithic, 5.1 MB uncached) on a twin type.
+    from repro.baseline import (
+        MODERATE_IMPL_BYTES,
+        BaselineEvolution,
+        make_monolithic_implementation,
+    )
+
+    implementation = make_monolithic_implementation(
+        "a3-mono-v1", function_count=15, size_bytes=MODERATE_IMPL_BYTES
+    )
+    for host in runtime.hosts.values():
+        host.cache.insert(implementation.impl_id, implementation.size_bytes)
+    klass = runtime.define_class("A3Mono", implementations=[implementation])
+    mono_loid = runtime.sim.run_process(klass.create_instance(host_name="centurion02"))
+    mono_client = runtime.make_client("centurion09")
+    mono_client.call_sync(mono_loid, "fn_0000")
+    evolution = BaselineEvolution(runtime, klass)
+    evolution.publish_version(
+        [
+            make_monolithic_implementation(
+                "a3-mono-v2",
+                function_count=15,
+                size_bytes=MODERATE_IMPL_BYTES,
+                version_tag="2",
+            )
+        ]
+    )
+    report = runtime.sim.run_process(evolution.evolve_instance(mono_loid))
+    start = runtime.sim.now
+    mono_client.call_sync(mono_loid, "fn_0000")
+    baseline_disruption_s = runtime.sim.now - start
+
+    # DCDO client disruption across an evolution is just a normal call.
+    start = runtime.sim.now
+    client.call_sync(loid, "ping", timeout_schedule=(600.0,))
+    dcdo_disruption_s = runtime.sim.now - start
+
+    return {
+        "dcdo-cached < dcdo-uncached": (dcdo_cached_s, dcdo_uncached_s),
+        "dcdo-uncached < baseline total": (dcdo_uncached_s, report.total_s),
+        "dcdo client disruption < baseline client disruption": (
+            dcdo_disruption_s,
+            baseline_disruption_s,
+        ),
+    }
+
+
+def run_a3(seed=0):
+    """Run A3; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        experiment_id="A3",
+        title="Calibration sensitivity: headline orderings under 4x swings",
+    )
+    for label, overrides in PERTURBATIONS:
+        calibration = replace(Calibration(), **overrides) if overrides else Calibration()
+        orderings = _measure_orderings(calibration, seed)
+        for name, (smaller, larger) in orderings.items():
+            holds = smaller < larger
+            result.add(
+                f"[{label}] {name}",
+                "ordering holds",
+                f"{smaller:.3f} < {larger:.3f}",
+                "s",
+                ok=holds,
+            )
+    return result

@@ -1,0 +1,126 @@
+"""E1 — dynamic function invocation overhead (§4 Overhead).
+
+Paper: "a dynamic function takes between 10 and 15 microseconds per
+call, for self-calls, intra-component calls, and inter-component calls
+alike", versus a direct compiled call for normal objects.
+
+Workload: one DCDO built from two components; a driver times N
+dispatches of each call pattern through the DFM and the same pattern
+through a monolithic object's direct dispatch.
+"""
+
+from repro.bench.harness import ExperimentResult, micros
+from repro.core import ComponentBuilder
+from repro.core.manager import define_dcdo_type
+from repro.legion import Implementation, LegionRuntime
+from repro.cluster import build_centurion
+
+CALLS = 400
+
+
+def _leaf(ctx):
+    return "leaf"
+
+
+def _self_call(ctx, depth=1):
+    if depth <= 0:
+        return "base"
+    result = yield from ctx.call("self_call", depth - 1)
+    return result
+
+
+def _intra_caller(ctx):
+    result = yield from ctx.call("leaf_same", )
+    return result
+
+
+def _inter_caller(ctx):
+    result = yield from ctx.call("leaf_other")
+    return result
+
+
+def _build_dcdo(runtime):
+    alpha = (
+        ComponentBuilder("alpha")
+        .function("leaf_same", _leaf)
+        .function("self_call", _self_call)
+        .function("intra_caller", _intra_caller)
+        .function("inter_caller", _inter_caller)
+        .variant(size_bytes=64_000)
+        .build()
+    )
+    beta = (
+        ComponentBuilder("beta")
+        .function("leaf_other", _leaf)
+        .variant(size_bytes=64_000)
+        .build()
+    )
+    manager = define_dcdo_type(runtime, "E1Type")
+    for component in (alpha, beta):
+        manager.register_component(component)
+    version = manager.new_version()
+    manager.incorporate_into(version, "alpha")
+    manager.incorporate_into(version, "beta")
+    descriptor = manager.descriptor_of(version)
+    for name in ("leaf_same", "self_call", "intra_caller", "inter_caller"):
+        descriptor.enable(name, "alpha")
+    descriptor.enable("leaf_other", "beta")
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    loid = runtime.sim.run_process(manager.create_instance())
+    return manager.record(loid).obj
+
+
+def _mean_dispatch_cost(obj, name, args=(), inner_calls=1):
+    """Mean per-DFM-call cost of dispatching ``name`` CALLS times."""
+    sim = obj.sim
+    start = sim.now
+    for __ in range(CALLS):
+        sim.run_process(obj._dispatch_local(name, args))
+    return (sim.now - start) / (CALLS * inner_calls)
+
+
+def run_e1(seed=0):
+    """Run E1; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    obj = _build_dcdo(runtime)
+
+    # Leaf dispatch = one DFM call; callers add one nested DFM call.
+    leaf_cost = _mean_dispatch_cost(obj, "leaf_same")
+    self_cost = _mean_dispatch_cost(obj, "self_call", args=(1,), inner_calls=2)
+    intra_cost = _mean_dispatch_cost(obj, "intra_caller", inner_calls=2)
+    inter_cost = _mean_dispatch_cost(obj, "inter_caller", inner_calls=2)
+
+    # Direct-call baseline: a monolithic object's dispatch.
+    implementation = Implementation(
+        impl_id="e1-direct", size_bytes=64_000, functions={"leaf": _leaf}
+    )
+    for host in runtime.hosts.values():
+        host.cache.insert("e1-direct", 64_000)
+    klass = runtime.define_class("E1Direct", implementations=[implementation])
+    direct_loid = runtime.sim.run_process(klass.create_instance())
+    direct_obj = klass.record(direct_loid).obj
+    direct_cost = _mean_dispatch_cost(direct_obj, "leaf")
+
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Dynamic function invocation overhead (per call)",
+    )
+    in_band = lambda cost: 10e-6 <= cost <= 15e-6  # noqa: E731
+    result.add("self-call", "10-15", micros(self_cost), "us", ok=in_band(self_cost))
+    result.add("intra-component call", "10-15", micros(intra_cost), "us", ok=in_band(intra_cost))
+    result.add("inter-component call", "10-15", micros(inter_cost), "us", ok=in_band(inter_cost))
+    result.add("plain DFM dispatch", "10-15", micros(leaf_cost), "us", ok=in_band(leaf_cost))
+    result.add(
+        "direct call (normal object)",
+        "≪ dynamic",
+        micros(direct_cost),
+        "us",
+        ok=direct_cost < leaf_cost / 10,
+    )
+    result.extra = {
+        "calls_per_pattern": CALLS,
+        "leaf_cost_s": leaf_cost,
+        "direct_cost_s": direct_cost,
+    }
+    return result

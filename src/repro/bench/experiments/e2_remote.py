@@ -1,0 +1,106 @@
+"""E2 — remote invocation round trips (§4 Overhead, figure).
+
+Paper: "remote invocations of DCDO dynamic functions take no longer
+than calls made on normal Legion objects (since 10-15 microseconds is
+a small fraction of the overall time needed to complete a remote
+method invocation), and the roundtrip times are independent of the
+number of functions and components in a DCDO implementation."
+
+Workload: a client on one host calls ``ping`` on objects on another
+host, sweeping (functions, components) for the DCDO and functions for
+the monolithic baseline.  The series this regenerates is round-trip
+time vs implementation size — two flat, overlapping lines.
+"""
+
+from repro.bench.harness import ExperimentResult, millis
+from repro.baseline import make_monolithic_implementation
+from repro.cluster import build_centurion
+from repro.legion import LegionRuntime
+from repro.workloads import ClosedLoopClient, make_noop_manager, run_clients
+
+SWEEP = [(10, 1), (100, 10), (500, 50)]
+CALLS = 50
+
+
+def _echo(ctx, *args):
+    return args
+
+
+def _mean_rtt(runtime, loid, calls=CALLS):
+    client = runtime.make_client("centurion08")
+    loop = ClosedLoopClient(client, loid, "ping", args=(1,), calls=calls)
+    run_clients(runtime, [loop])
+    return loop.mean_latency()
+
+
+def run_e2(seed=0):
+    """Run E2; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Remote invocation round-trip vs implementation size",
+    )
+
+    dcdo_rtts = {}
+    for functions, components in SWEEP:
+        manager, __ = make_noop_manager(
+            runtime,
+            f"E2Dcdo{components}",
+            component_count=components,
+            functions_per_component=max(1, functions // components),
+        )
+        loid = runtime.sim.run_process(manager.create_instance(host_name="centurion01"))
+        dcdo_rtts[(functions, components)] = _mean_rtt(runtime, loid)
+
+    mono_rtts = {}
+    for functions, __ in SWEEP:
+        implementation = make_monolithic_implementation(
+            f"e2-mono-{functions}",
+            function_count=functions,
+            functions={"ping": _echo},
+        )
+        for host in runtime.hosts.values():
+            host.cache.insert(implementation.impl_id, implementation.size_bytes)
+        klass = runtime.define_class(
+            f"E2Mono{functions}", implementations=[implementation]
+        )
+        loid = runtime.sim.run_process(klass.create_instance(host_name="centurion01"))
+        mono_rtts[functions] = _mean_rtt(runtime, loid)
+
+    base = dcdo_rtts[SWEEP[0]]
+    for functions, components in SWEEP:
+        dcdo = dcdo_rtts[(functions, components)]
+        mono = mono_rtts[functions]
+        result.add(
+            f"{functions} fns / {components} comps: DCDO rtt",
+            "~ normal object rtt",
+            millis(dcdo),
+            "ms",
+            # "No longer than" normal, up to the DFM's microseconds.
+            ok=dcdo <= mono + 50e-6,
+        )
+        result.add(
+            f"{functions} fns: normal object rtt",
+            "a few ms",
+            millis(mono),
+            "ms",
+            ok=0.5e-3 <= mono <= 20e-3,
+        )
+    spread = max(dcdo_rtts.values()) - min(dcdo_rtts.values())
+    result.add(
+        "DCDO rtt spread across sweep",
+        "independent of size",
+        millis(spread),
+        "ms",
+        ok=spread <= 0.2 * base,
+    )
+    result.extra = {
+        "dcdo_rtts_ms": [
+            (functions, components, value * 1e3)
+            for (functions, components), value in dcdo_rtts.items()
+        ],
+        "mono_rtts_ms": [
+            (functions, value * 1e3) for functions, value in mono_rtts.items()
+        ],
+    }
+    return result

@@ -1,0 +1,79 @@
+"""E3 — object creation cost (§4 Overhead, table + figure).
+
+Paper: "incorporating an object with 500 functions separated into 50
+components takes about 10 seconds, whereas creating an object with the
+same 500 functions that reside in a static monolithic executable takes
+only 2.2 seconds.  For more reasonably configured objects (e.g., with
+fewer components), results are comparable to the static executables."
+
+Workload: fixed 500 functions; sweep the component count for the DCDO
+and create the monolithic twin (binary pre-cached, as in the paper's
+setup where creation — not download — is measured).
+"""
+
+from repro.bench.harness import ExperimentResult, seconds
+from repro.baseline import make_monolithic_implementation
+from repro.cluster import build_centurion
+from repro.legion import LegionRuntime
+from repro.workloads import make_noop_manager
+
+FUNCTIONS = 500
+COMPONENT_SWEEP = (1, 5, 10, 25, 50)
+
+
+def run_e3(seed=0):
+    """Run E3; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    result = ExperimentResult(
+        experiment_id="E3",
+        title=f"Creation time for a {FUNCTIONS}-function object",
+    )
+
+    implementation = make_monolithic_implementation(
+        "e3-mono", function_count=FUNCTIONS
+    )
+    for host in runtime.hosts.values():
+        host.cache.insert(implementation.impl_id, implementation.size_bytes)
+    klass = runtime.define_class("E3Mono", implementations=[implementation])
+    start = runtime.sim.now
+    runtime.sim.run_process(klass.create_instance(host_name="centurion01"))
+    mono_time = runtime.sim.now - start
+    result.add(
+        "monolithic executable",
+        "2.2",
+        seconds(mono_time),
+        "s",
+        ok=1.8 <= mono_time <= 2.7,
+    )
+
+    dcdo_times = {}
+    for components in COMPONENT_SWEEP:
+        manager, __ = make_noop_manager(
+            runtime,
+            f"E3Dcdo{components}",
+            component_count=components,
+            functions_per_component=FUNCTIONS // components,
+        )
+        start = runtime.sim.now
+        runtime.sim.run_process(manager.create_instance(host_name="centurion02"))
+        dcdo_times[components] = runtime.sim.now - start
+
+    for components, elapsed in dcdo_times.items():
+        if components == 50:
+            paper, ok = "~10", 8.0 <= elapsed <= 12.0
+        elif components <= 5:
+            paper, ok = "comparable to static", elapsed <= 2 * mono_time
+        else:
+            paper, ok = "(between)", mono_time <= elapsed <= 12.0
+        result.add(
+            f"DCDO, {components} component(s)",
+            paper,
+            seconds(elapsed),
+            "s",
+            ok=ok,
+        )
+    result.extra = {
+        "monolithic_s": mono_time,
+        "dcdo_s": dict(dcdo_times),
+    }
+    return result

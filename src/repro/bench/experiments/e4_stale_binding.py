@@ -1,0 +1,61 @@
+"""E4 — stale binding discovery (§4 Cost).
+
+Paper: "it takes objects approximately 25 to 35 seconds to realize
+that a local binding contains a physical address that the object is no
+longer using".
+
+Workload: several clients warm their binding caches against an object,
+the object migrates (its old incarnation dies), and each client's next
+call is timed until success — the discovery plus one rebind + retry.
+"""
+
+from repro.bench.harness import ExperimentResult, seconds
+from repro.cluster import build_centurion
+from repro.legion import LegionRuntime
+from repro.workloads import make_noop_manager
+
+CLIENTS = 5
+
+
+def run_e4(seed=0):
+    """Run E4; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    manager, __ = make_noop_manager(
+        runtime, "E4Type", component_count=1, functions_per_component=5
+    )
+    loid = runtime.sim.run_process(manager.create_instance(host_name="centurion01"))
+
+    clients = [runtime.make_client(f"centurion{4 + index:02d}") for index in range(CLIENTS)]
+    for client in clients:
+        client.call_sync(loid, "ping")  # warm the binding cache
+
+    runtime.sim.run_process(manager.migrate_instance(loid, "centurion02"))
+
+    discovery_times = []
+    for client in clients:
+        start = runtime.sim.now
+        client.call_sync(loid, "ping")
+        discovery_times.append(runtime.sim.now - start)
+
+    mean = sum(discovery_times) / len(discovery_times)
+    low, high = min(discovery_times), max(discovery_times)
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Time for a client to discover a stale binding",
+    )
+    result.add("mean discovery time", "25-35", seconds(mean), "s", ok=25.0 <= mean <= 35.0)
+    result.add("min", ">= 25", seconds(low), "s", ok=low >= 24.0)
+    result.add("max", "<= 35", seconds(high), "s", ok=high <= 36.0)
+    fresh = runtime.make_client("centurion09")
+    start = runtime.sim.now
+    fresh.call_sync(loid, "ping")
+    fresh_time = runtime.sim.now - start
+    result.add(
+        "fresh client (no stale binding)",
+        "ms-scale",
+        seconds(fresh_time),
+        "s",
+        ok=fresh_time < 1.0,
+    )
+    result.extra = {"discovery_times_s": discovery_times}
+    return result

@@ -1,0 +1,80 @@
+"""E5 — implementation download times (§4 Cost, table).
+
+Paper: "a 5.1 Megabyte object implementation (typical for moderately
+sized Legion objects) takes 15 to 25 seconds to download and ... a
+550 K implementation takes about 4 seconds".
+
+Workload: publish binaries of swept sizes and pull each through the
+chunked download protocol to a cold host cache.  The intermediate
+sizes trace the size→time curve (fixed setup + linear term).
+"""
+
+from repro.bench.harness import ExperimentResult, seconds
+from repro.baseline import MODERATE_IMPL_BYTES, SMALL_IMPL_BYTES
+from repro.cluster import build_centurion
+from repro.legion import Implementation, LegionRuntime
+
+SWEEP = (
+    SMALL_IMPL_BYTES,  # 550 KB — "about 4 seconds"
+    1_000_000,
+    2_000_000,
+    MODERATE_IMPL_BYTES,  # 5.1 MB — "15 to 25 seconds"
+)
+
+
+def run_e5(seed=0):
+    """Run E5; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    client = runtime.make_client("centurion03")
+    host = runtime.host("centurion03")
+
+    measured = {}
+    for size in SWEEP:
+        impl_id = f"e5-blob-{size}"
+        runtime.implementation_store.publish(
+            Implementation(impl_id=impl_id, size_bytes=size)
+        )
+        start = runtime.sim.now
+        runtime.sim.run_process(
+            runtime.implementation_store.ensure_cached(host, impl_id, client.endpoint)
+        )
+        measured[size] = runtime.sim.now - start
+
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Implementation download time vs size",
+    )
+    result.add(
+        "550 KB",
+        "~4",
+        seconds(measured[SMALL_IMPL_BYTES]),
+        "s",
+        ok=3.0 <= measured[SMALL_IMPL_BYTES] <= 5.0,
+    )
+    result.add(
+        "1 MB", "(curve)", seconds(measured[1_000_000]), "s",
+        ok=measured[SMALL_IMPL_BYTES] < measured[1_000_000] < measured[2_000_000],
+    )
+    result.add(
+        "2 MB", "(curve)", seconds(measured[2_000_000]), "s",
+        ok=measured[1_000_000] < measured[2_000_000] < measured[MODERATE_IMPL_BYTES],
+    )
+    result.add(
+        "5.1 MB",
+        "15-25",
+        seconds(measured[MODERATE_IMPL_BYTES]),
+        "s",
+        ok=15.0 <= measured[MODERATE_IMPL_BYTES] <= 25.0,
+    )
+
+    # Cached re-download is free (the comparison E6/E7 lean on).
+    start = runtime.sim.now
+    runtime.sim.run_process(
+        runtime.implementation_store.ensure_cached(
+            host, f"e5-blob-{SMALL_IMPL_BYTES}", client.endpoint
+        )
+    )
+    cached = runtime.sim.now - start
+    result.add("550 KB, cached", "0", seconds(cached), "s", ok=cached == 0.0)
+    result.extra = {"measured_s": {str(size): value for size, value in measured.items()}}
+    return result

@@ -1,0 +1,150 @@
+"""E6 — DCDO evolution cost (§4 Cost, table + figure).
+
+Paper: "the cost of evolving a DCDO from one implementation to another
+is less than half a second, except for the case when new components
+need to be incorporated.  When new components are incorporated, the
+cost rises to levels roughly equivalent to the time necessary to
+create a new object.  When the components are cached and available to
+the DCDO that is evolving, the cost is approximately 200 microseconds
+per component that needs to be added.  When the components need to be
+downloaded ... the cost of evolution is dominated by the time needed
+to download the component data."
+
+Workload: evolve a DCDO through (a) DFM-only changes, (b) adding k
+cached components, (c) adding uncached components of growing sizes.
+"""
+
+from repro.bench.harness import ExperimentResult, micros, seconds
+from repro.cluster import build_centurion
+from repro.legion import LegionRuntime
+from repro.workloads import build_component_version, make_noop_manager, synthetic_components
+
+CACHED_BATCHES = (1, 5, 10)
+UNCACHED_SIZES = (64_000, 1_000_000, 5_000_000)
+
+
+def _evolve_time(runtime, manager, loid, version):
+    start = runtime.sim.now
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    return runtime.sim.now - start
+
+
+def run_e6(seed=0):
+    """Run E6; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    from repro.core.policies import GeneralEvolutionPolicy
+
+    manager, base_components = make_noop_manager(
+        runtime,
+        "E6Type",
+        component_count=5,
+        functions_per_component=10,
+        evolution_policy=GeneralEvolutionPolicy(),
+    )
+    loid = runtime.sim.run_process(manager.create_instance(host_name="centurion01"))
+    obj = manager.record(loid).obj
+
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Cost of evolving a DCDO",
+    )
+
+    # (a) DFM-only evolution: disable one function, export another off.
+    version = manager.derive_version(manager.instance_version(loid))
+    descriptor = manager.descriptor_of(version)
+    first = base_components[0]
+    names = [name for name in first.functions if name != "ping"]
+    descriptor.disable(names[0], first.component_id)
+    descriptor.set_exported(names[1], first.component_id, False)
+    manager.mark_instantiable(version)
+    dfm_only = _evolve_time(runtime, manager, loid, version)
+    result.add(
+        "enable/disable only (no new components)",
+        "< 0.5",
+        seconds(dfm_only),
+        "s",
+        ok=dfm_only < 0.5,
+    )
+
+    # (b) Adding cached components.  First measure one incorporation in
+    # isolation (the paper's per-component number), then batch
+    # evolutions whose slope gives the same marginal cost.
+    probe = synthetic_components(1, 4, size_bytes=64_000, prefix="e6probe-")[0]
+    ico_loid = manager.register_component(probe)
+    variant = probe.variant_for_host(obj.host)
+    obj.host.cache.insert(variant.blob_id, variant.size_bytes)
+    start = runtime.sim.now
+    runtime.sim.run_process(obj._incorporate(probe, ico_loid))
+    direct_cost = runtime.sim.now - start
+    result.add(
+        "incorporate one cached component (at the object)",
+        "~200",
+        micros(direct_cost, digits=0),
+        "us",
+        ok=150e-6 <= direct_cost <= 450e-6,
+    )
+
+    batch_totals = {}
+    for batch in CACHED_BATCHES:
+        new_components = synthetic_components(
+            batch, 4, size_bytes=64_000, prefix=f"e6c{batch}-"
+        )
+        # Pre-seed the instance host's cache: the "cached and
+        # available" case.
+        for component in new_components:
+            variant = component.variant_for_host(obj.host)
+            obj.host.cache.insert(variant.blob_id, variant.size_bytes)
+        version = build_component_version(manager, new_components)
+        batch_totals[batch] = _evolve_time(runtime, manager, loid, version)
+        result.add(
+            f"evolve adding {batch} cached component(s), total",
+            "< 0.5",
+            seconds(batch_totals[batch]),
+            "s",
+            ok=batch_totals[batch] < 0.5,
+        )
+    slope = (batch_totals[10] - batch_totals[1]) / 9
+    result.add(
+        "marginal cost per cached component (batch slope)",
+        "~200",
+        micros(slope, digits=0),
+        "us",
+        ok=100e-6 <= slope <= 600e-6,
+    )
+    per_component = {1: direct_cost}
+
+    # (c) Uncached components: download-dominated, grows with size.
+    uncached = {}
+    for size in UNCACHED_SIZES:
+        new_components = synthetic_components(1, 4, size_bytes=size, prefix=f"e6u{size}-")
+        version = build_component_version(manager, new_components)
+        uncached[size] = _evolve_time(runtime, manager, loid, version)
+    result.add(
+        "add 1 uncached 64 KB component",
+        "download-dominated",
+        seconds(uncached[64_000]),
+        "s",
+        ok=uncached[64_000] > 10 * per_component[1],
+    )
+    result.add(
+        "add 1 uncached 1 MB component",
+        "grows with size",
+        seconds(uncached[1_000_000]),
+        "s",
+        ok=uncached[1_000_000] > uncached[64_000],
+    )
+    result.add(
+        "add 1 uncached 5 MB component",
+        "grows with size",
+        seconds(uncached[5_000_000]),
+        "s",
+        ok=uncached[5_000_000] > uncached[1_000_000] > 0.5,
+    )
+    result.extra = {
+        "dfm_only_s": dfm_only,
+        "cached_direct_s": direct_cost,
+        "cached_batch_totals_s": {str(k): v for k, v in batch_totals.items()},
+        "cached_slope_s": slope,
+        "uncached_s": {str(k): v for k, v in uncached.items()},
+    }
+    return result

@@ -1,0 +1,209 @@
+"""E7 — evolving a DCDO vs evolving a normal Legion object (§4, table).
+
+The paper's bottom line: "Even in these extreme cases, the performance
+advantage of evolving objects on the fly and avoiding the stale
+binding problem and the need for a full executable download, not to
+mention state capture and recovery, are dramatic."
+
+Workload: the same logical upgrade — replace one function's
+implementation — applied to (a) a monolithic Legion object, paying the
+full §4 pipeline plus per-client stale-binding discovery, and (b) a
+DCDO, paying one management RPC plus a (cached / uncached) component
+incorporation, with clients entirely undisturbed.
+"""
+
+from repro.bench.harness import ExperimentResult, seconds
+from repro.baseline import (
+    MODERATE_IMPL_BYTES,
+    BaselineEvolution,
+    make_monolithic_implementation,
+)
+from repro.cluster import build_centurion
+from repro.core.policies import GeneralEvolutionPolicy
+from repro.legion import LegionRuntime
+from repro.workloads import build_component_version, make_noop_manager
+
+STATE_BYTES = 1_000_000
+
+
+def _v1_body(ctx):
+    return "v1"
+
+
+def _v2_body(ctx):
+    return "v2"
+
+
+def _run_baseline(runtime):
+    """Evolve a monolithic object; returns (report, client_disruption)."""
+    implementation = make_monolithic_implementation(
+        "e7-mono-v1",
+        function_count=50,
+        size_bytes=MODERATE_IMPL_BYTES,
+        functions={"behave": _v1_body},
+        version_tag="1",
+    )
+    for host in runtime.hosts.values():
+        host.cache.insert(implementation.impl_id, implementation.size_bytes)
+    klass = runtime.define_class("E7Mono", implementations=[implementation])
+    loid = runtime.sim.run_process(
+        klass.create_instance(host_name="centurion01", state_bytes=STATE_BYTES)
+    )
+    client = runtime.make_client("centurion08")
+    assert client.call_sync(loid, "behave") == "v1"
+
+    evolution = BaselineEvolution(runtime, klass)
+    new_implementation = make_monolithic_implementation(
+        "e7-mono-v2",
+        function_count=50,
+        size_bytes=MODERATE_IMPL_BYTES,
+        functions={"behave": _v2_body},
+        version_tag="2",
+    )
+    evolution.publish_version([new_implementation])
+    report = runtime.sim.run_process(evolution.evolve_instance(loid))
+    disruption = runtime.sim.run_process(
+        evolution.measure_client_disruption(loid, client, method="behave")
+    )
+    assert client.call_sync(loid, "behave") == "v2"
+    return report, disruption
+
+
+def _run_dcdo(runtime, cached):
+    """Evolve a DCDO's function implementation; returns
+    (object_side_seconds, client_disruption_seconds)."""
+    suffix = "C" if cached else "U"
+    manager, components = make_noop_manager(
+        runtime,
+        f"E7Dcdo{suffix}",
+        component_count=5,
+        functions_per_component=10,
+        evolution_policy=GeneralEvolutionPolicy(),
+    )
+    from repro.core import ComponentBuilder
+
+    behave_v1 = (
+        ComponentBuilder(f"e7-behave-v1-{suffix}")
+        .function("behave", _v1_body)
+        .variant(size_bytes=MODERATE_IMPL_BYTES // 50)  # one component's share
+        .build()
+    )
+    behave_v2 = (
+        ComponentBuilder(f"e7-behave-v2-{suffix}")
+        .function("behave", _v2_body)
+        .variant(size_bytes=MODERATE_IMPL_BYTES // 50)
+        .build()
+    )
+    v1 = build_component_version(manager, [behave_v1])
+    manager.descriptor_of  # (documentation hook: v1 already instantiable)
+    manager.set_current_version(v1)
+    loid = runtime.sim.run_process(manager.create_instance(host_name="centurion02"))
+    obj = manager.record(loid).obj
+    client = runtime.make_client("centurion09")
+    assert client.call_sync(loid, "behave") == "v1"
+
+    manager.register_component(behave_v2)
+    v2 = manager.derive_version(manager.instance_version(loid))
+    manager.incorporate_into(v2, behave_v2.component_id)
+    descriptor = manager.descriptor_of(v2)
+    descriptor.enable("behave", behave_v2.component_id, replace_current=True)
+    descriptor.remove_component(behave_v1.component_id)
+    manager.mark_instantiable(v2)
+
+    if cached:
+        variant = behave_v2.variant_for_host(obj.host)
+        obj.host.cache.insert(variant.blob_id, variant.size_bytes)
+
+    start = runtime.sim.now
+    runtime.sim.run_process(manager.evolve_instance(loid, v2))
+    object_side = runtime.sim.now - start
+
+    start = runtime.sim.now
+    assert client.call_sync(loid, "behave") == "v2"
+    disruption = runtime.sim.now - start
+    return object_side, disruption
+
+
+def run_e7(seed=0):
+    """Run E7; returns an :class:`ExperimentResult`."""
+    runtime = LegionRuntime(build_centurion(seed=seed))
+    baseline_report, baseline_disruption = _run_baseline(runtime)
+    dcdo_cached, dcdo_cached_disruption = _run_dcdo(runtime, cached=True)
+    dcdo_uncached, dcdo_uncached_disruption = _run_dcdo(runtime, cached=False)
+
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Evolving a normal Legion object vs a DCDO (same upgrade)",
+    )
+    result.add(
+        "baseline: state capture",
+        "state-size dependent",
+        seconds(baseline_report.capture_s),
+        "s",
+        ok=baseline_report.capture_s > 0,
+    )
+    result.add(
+        "baseline: executable download (5.1 MB)",
+        "15-25",
+        seconds(baseline_report.download_s),
+        "s",
+        ok=15.0 <= baseline_report.download_s <= 25.0,
+    )
+    result.add(
+        "baseline: restart + restore + rebind",
+        "seconds",
+        seconds(baseline_report.restart_s),
+        "s",
+        ok=baseline_report.restart_s > 1.0,
+    )
+    result.add(
+        "baseline: object-side total",
+        "tens of seconds",
+        seconds(baseline_report.total_s),
+        "s",
+        ok=baseline_report.total_s > 15.0,
+    )
+    result.add(
+        "baseline: client disruption (stale binding)",
+        "25-35",
+        seconds(baseline_disruption),
+        "s",
+        ok=25.0 <= baseline_disruption <= 36.0,
+    )
+    result.add(
+        "DCDO: evolve (component cached)",
+        "< 0.5",
+        seconds(dcdo_cached),
+        "s",
+        ok=dcdo_cached < 0.5,
+    )
+    result.add(
+        "DCDO: evolve (component downloaded)",
+        "download-dominated, << baseline",
+        seconds(dcdo_uncached),
+        "s",
+        ok=dcdo_uncached < baseline_report.total_s,
+    )
+    worst_dcdo_disruption = max(dcdo_cached_disruption, dcdo_uncached_disruption)
+    result.add(
+        "DCDO: client disruption",
+        "none (binding unchanged)",
+        seconds(worst_dcdo_disruption),
+        "s",
+        ok=worst_dcdo_disruption < 1.0,
+    )
+    advantage = (baseline_report.total_s + baseline_disruption) / max(dcdo_cached, 1e-9)
+    result.add(
+        "end-to-end advantage (cached DCDO)",
+        "dramatic",
+        f"{advantage:.0f}x",
+        "",
+        ok=advantage > 50,
+    )
+    result.extra = {
+        "baseline_phases": baseline_report.phases,
+        "baseline_disruption_s": baseline_disruption,
+        "dcdo_cached_s": dcdo_cached,
+        "dcdo_uncached_s": dcdo_uncached,
+    }
+    return result

@@ -1,0 +1,86 @@
+"""Figure-series generation: CSV data behind each figure-style result.
+
+The paper's §4 summary reports point values; the underlying study's
+figures are curves (creation time vs component count, download time vs
+size, ...).  Each function here runs the corresponding experiment and
+returns the series as (header, rows); :func:`render_csv` turns that
+into CSV text for plotting.
+"""
+
+from repro.bench.experiments import run_a2, run_e2, run_e3, run_e5, run_e6
+
+
+def render_csv(header, rows):
+    """Render a (header, rows) series as CSV text."""
+
+    def cell(value):
+        text = f"{value:.9g}" if isinstance(value, float) else str(value)
+        return f'"{text}"' if "," in text else text
+
+    lines = [",".join(header)]
+    lines.extend(",".join(cell(value) for value in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def figure_e2_rtt_vs_size(seed=0):
+    """Round-trip time vs implementation size: two flat series."""
+    result = run_e2(seed=seed)
+    rows = []
+    for functions, components, rtt_ms in result.extra["dcdo_rtts_ms"]:
+        rows.append((functions, components, "dcdo", rtt_ms))
+    for functions, rtt_ms in result.extra["mono_rtts_ms"]:
+        rows.append((functions, 1, "monolithic", rtt_ms))
+    rows.sort(key=lambda row: (row[2], row[0]))
+    return ("functions", "components", "kind", "rtt_ms"), rows
+
+
+def figure_e3_creation_vs_components(seed=0):
+    """Creation time vs component count, with the monolithic floor."""
+    result = run_e3(seed=seed)
+    rows = [(0, "monolithic", result.extra["monolithic_s"])]
+    for components, elapsed in sorted(result.extra["dcdo_s"].items()):
+        rows.append((components, "dcdo", elapsed))
+    return ("components", "kind", "creation_s"), rows
+
+
+def figure_e5_download_vs_size(seed=0):
+    """Download time vs implementation size."""
+    result = run_e5(seed=seed)
+    rows = sorted(
+        (int(size), elapsed) for size, elapsed in result.extra["measured_s"].items()
+    )
+    return ("size_bytes", "download_s"), rows
+
+
+def figure_e6_evolution_curves(seed=0):
+    """Two curves: cached batch totals and uncached size sweep."""
+    result = run_e6(seed=seed)
+    rows = []
+    for batch, total in sorted(
+        (int(k), v) for k, v in result.extra["cached_batch_totals_s"].items()
+    ):
+        rows.append(("cached-batch", batch, total))
+    for size, total in sorted(
+        (int(k), v) for k, v in result.extra["uncached_s"].items()
+    ):
+        rows.append(("uncached-size", size, total))
+    return ("series", "x", "evolution_s"), rows
+
+
+def figure_a2_policy_costs(seed=0):
+    """Per-policy cut latency and steady-state call latency."""
+    result = run_a2(seed=seed)
+    rows = []
+    for name, data in sorted(result.extra.items()):
+        rows.append((name, data["cut_latency_s"], data["steady_latency_s"]))
+    return ("policy", "cut_latency_s", "steady_call_latency_s"), rows
+
+
+#: Figure id -> generator, for the CLI.
+FIGURES = {
+    "fig-e2": figure_e2_rtt_vs_size,
+    "fig-e3": figure_e3_creation_vs_components,
+    "fig-e5": figure_e5_download_vs_size,
+    "fig-e6": figure_e6_evolution_curves,
+    "fig-a2": figure_a2_policy_costs,
+}

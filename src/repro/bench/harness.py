@@ -1,0 +1,83 @@
+"""Result containers and table formatting for experiments."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Row:
+    """One table row: a metric with its paper and measured values.
+
+    ``paper`` is the value (or range string) the paper reports;
+    ``measured`` is this reproduction's number.  ``ok`` records whether
+    the measured value satisfies the row's acceptance predicate — the
+    *shape* check, not an absolute-value match.
+    """
+
+    label: str
+    paper: str
+    measured: str
+    unit: str = ""
+    ok: bool = True
+
+    def as_tuple(self):
+        """(label, paper, measured, unit, ok) for programmatic use."""
+        return (self.label, self.paper, self.measured, self.unit, self.ok)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    rows: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def add(self, label, paper, measured, unit="", ok=True):
+        """Append a row; returns it for chaining."""
+        row = Row(label=label, paper=paper, measured=measured, unit=unit, ok=ok)
+        self.rows.append(row)
+        return row
+
+    @property
+    def all_ok(self):
+        """True when every row's shape check passed."""
+        return all(row.ok for row in self.rows)
+
+    def failures(self):
+        """Rows whose shape check failed."""
+        return [row for row in self.rows if not row.ok]
+
+
+def format_table(result):
+    """Render an :class:`ExperimentResult` as a fixed-width text table."""
+    headers = ("metric", "paper", "measured", "unit", "ok")
+    cells = [headers] + [
+        (row.label, row.paper, row.measured, row.unit, "yes" if row.ok else "NO")
+        for row in result.rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(len(headers))]
+
+    def render(line):
+        return "  ".join(text.ljust(width) for text, width in zip(line, widths)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [f"{result.experiment_id}: {result.title}", separator, render(headers), separator]
+    out.extend(render(line) for line in cells[1:])
+    out.append(separator)
+    return "\n".join(out)
+
+
+def seconds(value, digits=3):
+    """Format a seconds value compactly."""
+    return f"{value:.{digits}f}"
+
+
+def micros(value_s, digits=1):
+    """Format a seconds value in microseconds."""
+    return f"{value_s * 1e6:.{digits}f}"
+
+
+def millis(value_s, digits=2):
+    """Format a seconds value in milliseconds."""
+    return f"{value_s * 1e3:.{digits}f}"

@@ -1,0 +1,126 @@
+"""Hosts: the machines Legion objects run on.
+
+A :class:`Host` models one testbed node: it has an architecture tag
+(used by implementation types), a CPU-speed factor, a network port, a
+local file cache, and a table of running :class:`HostProcess` entries —
+one per active Legion object hosted there.
+
+Process creation is where object-activation cost lives: spawning a
+process charges the calibrated ``process_spawn_s``.
+"""
+
+import itertools
+
+from repro.cluster.filecache import FileCache
+
+_process_counter = itertools.count(1)
+
+
+class HostProcess:
+    """One OS process on a host, backing one active Legion object."""
+
+    def __init__(self, host, owner_loid):
+        self.pid = next(_process_counter)
+        self.host = host
+        self.owner_loid = owner_loid
+        self.alive = True
+
+    def kill(self):
+        """Terminate the process (its object becomes unreachable)."""
+        self.alive = False
+        self.host._reap(self)
+
+    def __repr__(self):
+        state = "alive" if self.alive else "dead"
+        return f"<HostProcess pid={self.pid} on {self.host.name} {state}>"
+
+
+class Host:
+    """A simulated machine.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Unique host name; also its base network address.
+    calibration:
+        The cost model in effect.
+    architecture:
+        Architecture tag matched against implementation types.
+    cpu_factor:
+        Relative CPU speed; simulated CPU work divides by this.
+    rng:
+        Deterministic RNG used for cost jitter.
+    """
+
+    def __init__(self, sim, name, calibration, architecture="x86-linux", cpu_factor=1.0, rng=None):
+        if cpu_factor <= 0:
+            raise ValueError(f"cpu_factor must be positive, got {cpu_factor}")
+        self._sim = sim
+        self._name = name
+        self._calibration = calibration
+        self._architecture = architecture
+        self._cpu_factor = cpu_factor
+        self._rng = rng
+        self._processes = {}
+        self.cache = FileCache(name=f"{name}.cache")
+        self.processes_spawned = 0
+
+    @property
+    def sim(self):
+        """The owning simulator."""
+        return self._sim
+
+    @property
+    def name(self):
+        """Unique host name."""
+        return self._name
+
+    @property
+    def calibration(self):
+        """The cost model in effect on this host."""
+        return self._calibration
+
+    @property
+    def architecture(self):
+        """Architecture tag for implementation-type matching."""
+        return self._architecture
+
+    @property
+    def processes(self):
+        """Mapping of pid -> live :class:`HostProcess`."""
+        return dict(self._processes)
+
+    def _jitter(self, value):
+        if self._rng is None:
+            return value
+        return self._rng.jitter(f"host:{self._name}", value, self._calibration.coarse_jitter)
+
+    def cpu_work(self, seconds):
+        """Return a timeout event charging ``seconds`` of CPU time.
+
+        The charge scales inversely with the host's CPU factor, so the
+        same work is faster on a faster machine.
+        """
+        if seconds < 0:
+            raise ValueError(f"cpu work must be >= 0, got {seconds}")
+        return self._sim.timeout(seconds / self._cpu_factor)
+
+    def spawn_process(self, owner_loid):
+        """Process body: create an OS process for a Legion object.
+
+        Charges the calibrated process-creation cost and returns the
+        new :class:`HostProcess`.  Drive with ``yield from``.
+        """
+        yield self.cpu_work(self._jitter(self._calibration.process_spawn_s))
+        process = HostProcess(self, owner_loid)
+        self._processes[process.pid] = process
+        self.processes_spawned += 1
+        return process
+
+    def _reap(self, process):
+        self._processes.pop(process.pid, None)
+
+    def __repr__(self):
+        return f"<Host {self._name} arch={self._architecture} procs={len(self._processes)}>"

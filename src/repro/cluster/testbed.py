@@ -1,0 +1,141 @@
+"""Testbed builders.
+
+A :class:`Testbed` bundles the simulator, network fabric, hosts,
+vaults, and calibration into one handle the Legion runtime builds on.
+:func:`build_centurion` reproduces the paper's testbed subset (§4):
+"16 Dual Processor 400 MHz Pentium II's ... connected with a 100 Mbps
+Switched Ethernet".
+"""
+
+from repro.cluster.calibration import Calibration
+from repro.cluster.host import Host
+from repro.cluster.vault import Vault
+from repro.net import Network
+from repro.sim import DeterministicRNG, Simulator
+
+
+class Testbed:
+    """A simulated cluster ready to run a Legion system.
+
+    Attributes
+    ----------
+    sim:
+        The discrete-event simulator.
+    network:
+        The switched-LAN fabric.
+    hosts:
+        Host name -> :class:`Host`.
+    vaults:
+        Host name -> :class:`Vault` (one vault per host).
+    calibration:
+        The cost model all components share.
+    rng:
+        Root deterministic RNG.
+    """
+
+    # Not a test class, despite the name (keeps pytest collection quiet).
+    __test__ = False
+
+    def __init__(self, calibration=None, seed=0):
+        self.calibration = calibration or Calibration()
+        self.rng = DeterministicRNG(seed=seed)
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            latency_s=self.calibration.network_latency_s,
+            bandwidth_bps=self.calibration.network_bandwidth_bps,
+        )
+        self.hosts = {}
+        self.vaults = {}
+
+    def add_host(self, name, architecture=None, cpu_factor=1.0):
+        """Create a host (and its vault) and return the host."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        architecture = architecture or self.calibration.architectures[0]
+        host = Host(
+            self.sim,
+            name,
+            self.calibration,
+            architecture=architecture,
+            cpu_factor=cpu_factor,
+            rng=self.rng,
+        )
+        self.hosts[name] = host
+        self.vaults[name] = Vault(host)
+        return host
+
+    def host_names(self):
+        """Host names in creation order."""
+        return list(self.hosts)
+
+    def run(self, until=None):
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)
+
+    def __repr__(self):
+        return f"<Testbed hosts={len(self.hosts)} t={self.sim.now:g}>"
+
+
+def build_lan(host_count, calibration=None, seed=0, architectures=None):
+    """Build a generic switched-LAN testbed with ``host_count`` hosts.
+
+    ``architectures`` may be a sequence cycled across hosts to model a
+    heterogeneous cluster (used by the migration example).
+    """
+    if host_count < 1:
+        raise ValueError(f"need at least one host, got {host_count}")
+    testbed = Testbed(calibration=calibration, seed=seed)
+    pool = architectures or testbed.calibration.architectures
+    for index in range(host_count):
+        testbed.add_host(f"host{index:02d}", architecture=pool[index % len(pool)])
+    return testbed
+
+
+def build_wan(
+    site_count,
+    hosts_per_site,
+    calibration=None,
+    seed=0,
+    intersite_latency_s=0.030,
+):
+    """Build a multi-site wide-area testbed.
+
+    Hosts are named ``s<site>h<index>``; every address created on a
+    host (its endpoints are prefixed with the host name) inherits the
+    host's site, so cross-site traffic pays ``intersite_latency_s``
+    one-way (default 30 ms — a late-90s coast-to-coast link) while
+    intra-site traffic stays at LAN latency.  Runtime services
+    (binding agent, stores) live in the default ``core`` site,
+    co-located with site 0.
+    """
+    if site_count < 1 or hosts_per_site < 1:
+        raise ValueError("need at least one site and one host per site")
+    testbed = Testbed(calibration=calibration, seed=seed)
+    network = testbed.network
+    sites = [f"site{index}" for index in range(site_count)]
+    for site_index, site in enumerate(sites):
+        for host_index in range(hosts_per_site):
+            name = f"s{site_index}h{host_index:02d}"
+            testbed.add_host(name)
+            network.assign_site(name, site)
+    for index_a, site_a in enumerate(sites):
+        for site_b in sites[index_a + 1 :]:
+            network.set_intersite_latency(site_a, site_b, intersite_latency_s)
+        # Core services sit at site 0's facility.
+        if site_a != sites[0]:
+            network.set_intersite_latency(site_a, network.DEFAULT_SITE, intersite_latency_s)
+    return testbed
+
+
+def build_centurion(calibration=None, seed=0):
+    """Build the paper's testbed subset: 16 nodes on 100 Mbps Ethernet.
+
+    Dual processors are modeled as cpu_factor 1.0 for the serial costs
+    the experiments exercise (the study's measurements are not
+    parallelism-bound).
+    """
+    testbed = Testbed(calibration=calibration, seed=seed)
+    for index in range(16):
+        testbed.add_host(f"centurion{index:02d}", architecture="x86-linux")
+    return testbed

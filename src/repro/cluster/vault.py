@@ -1,0 +1,78 @@
+"""Vaults: persistent storage for object state.
+
+In Legion, a deactivated object's state lives in an *object persistent
+representation* (OPR) kept by a vault object.  The baseline evolution
+pipeline (capture state, re-create process, restore state) reads and
+writes OPRs; the cost model charges fixed transaction overhead plus a
+throughput term, because the paper calls state capture and recovery
+"object-specific parameters that depend on the size and format of the
+object's contained data".
+"""
+
+
+class OPR:
+    """An object persistent representation: one object's saved state."""
+
+    def __init__(self, loid, state, size_bytes):
+        self.loid = loid
+        self.state = state
+        self.size_bytes = size_bytes
+
+    def __repr__(self):
+        return f"<OPR {self.loid} {self.size_bytes}B>"
+
+
+class Vault:
+    """Persistent storage co-located with a host.
+
+    Parameters
+    ----------
+    host:
+        The host whose disk backs this vault.
+    """
+
+    def __init__(self, host):
+        self._host = host
+        self._sim = host.sim
+        self._calibration = host.calibration
+        self._oprs = {}
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def host(self):
+        """The backing host."""
+        return self._host
+
+    def holds(self, loid):
+        """True if an OPR for ``loid`` is stored here."""
+        return loid in self._oprs
+
+    def _disk_time(self, size_bytes):
+        calibration = self._calibration
+        return calibration.disk_seek_s + size_bytes / calibration.disk_bandwidth_bps
+
+    def store(self, loid, state, size_bytes):
+        """Process body: write an OPR; drive with ``yield from``."""
+        if size_bytes < 0:
+            raise ValueError(f"state size must be >= 0, got {size_bytes}")
+        yield self._sim.timeout(self._disk_time(size_bytes))
+        self._oprs[loid] = OPR(loid, state, size_bytes)
+        self.writes += 1
+
+    def load(self, loid):
+        """Process body: read an OPR back; drive with ``yield from``.
+
+        Raises ``KeyError`` if no OPR for ``loid`` is stored here.
+        """
+        opr = self._oprs[loid]
+        yield self._sim.timeout(self._disk_time(opr.size_bytes))
+        self.reads += 1
+        return opr
+
+    def discard(self, loid):
+        """Remove the OPR for ``loid`` if present."""
+        self._oprs.pop(loid, None)
+
+    def __repr__(self):
+        return f"<Vault on {self._host.name} oprs={len(self._oprs)}>"

@@ -1,0 +1,151 @@
+"""Automatic derivation of structural dependencies (§3.2).
+
+The paper observes: "It is likely that creating structural
+dependencies could be automated via static analysis of source code by
+whatever entity builds implementation components ...  If dynamic
+function F1 contains a call to dynamic function F2, a relationship
+that can (for the most part) be detected by analyzing the source code
+for F1's implementation, then F1 depends structurally on F2."
+
+In this reproduction, function bodies are Python; the "static
+analysis" is an AST walk over each body looking for calls through the
+call context — ``ctx.call("name", ...)`` (including ``yield from``
+forms) — which is exactly how intra-object dynamic calls are written.
+The analyzer emits **Type A** dependencies (``[F1, C1] -> [F2]``):
+structural, pinned to the analyzed implementation on the dependent
+side, open on the required side so upgrades remain possible.
+
+Behavioral dependencies cannot be derived: "a compiler cannot in
+general tell on its own that some dynamic function should require a
+particular implementation of some other function; programmers must
+indicate this directly."
+"""
+
+import ast
+import inspect
+import textwrap
+
+from repro.core.dependency import Dependency
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collects string literals passed as the first argument of
+    ``<ctx>.call(...)`` anywhere in a function body."""
+
+    def __init__(self, context_names):
+        self._context_names = context_names
+        self.called = set()
+        self.dynamic_unknown = 0
+
+    def visit_Call(self, node):
+        self.generic_visit(node)
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "call":
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        if func.value.id not in self._context_names:
+            return
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            self.called.add(node.args[0].value)
+        else:
+            # ctx.call(variable, ...): the target is not statically
+            # known — the "(for the most part)" caveat in the paper.
+            self.dynamic_unknown += 1
+
+
+def called_functions(body):
+    """Return (names, unknown_count) for one function body.
+
+    ``names`` are the statically-visible ``ctx.call`` targets;
+    ``unknown_count`` counts call sites whose target could not be
+    resolved statically.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(body))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        # Builtins, lambdas defined in odd places, or C callables:
+        # nothing to analyze.
+        return set(), 0
+    function_nodes = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    ]
+    if not function_nodes:
+        return set(), 0
+    root = function_nodes[0]
+    args = root.args
+    positional = [arg.arg for arg in args.posonlyargs + args.args]
+    context_names = {positional[0]} if positional else {"ctx"}
+    collector = _CallCollector(context_names)
+    collector.visit(root)
+    return collector.called, collector.dynamic_unknown
+
+
+def derive_structural_dependencies(component, include_self=True):
+    """Analyze a component's function bodies; return Type A dependencies.
+
+    For each function F1 in the component whose body contains
+    ``ctx.call("F2", ...)``, emits ``[F1, component] -> [F2]``.  Calls
+    to the function itself are included by default — the §3.2 trick
+    for protecting recursive functions.
+    """
+    dependencies = []
+    for name, function_def in sorted(component.functions.items()):
+        called, __ = called_functions(function_def.body)
+        for target in sorted(called):
+            if target == name and not include_self:
+                continue
+            dependencies.append(
+                Dependency(
+                    dependent_function=name,
+                    required_function=target,
+                    dependent_component=component.component_id,
+                )
+            )
+    return dependencies
+
+
+def annotate_component(component, include_self=True):
+    """Run the analyzer and ship the derived dependencies with the
+    component (deduplicated); returns the dependencies added."""
+    derived = derive_structural_dependencies(component, include_self=include_self)
+    added = []
+    for dependency in derived:
+        if dependency not in component.declared_dependencies:
+            component.declared_dependencies.append(dependency)
+            added.append(dependency)
+    return added
+
+
+def check_closure(descriptor):
+    """Verify the §3.2 "dependency chain" property on a descriptor.
+
+    "To ensure completely that an exported function F1 will never call
+    a function that does not exist, it is up to the programmer to
+    create the appropriate dependency chain."  This helper reports
+    enabled functions that are *called* (per the declared structural
+    dependencies' dependent sides) but have no enabled implementation —
+    i.e. gaps a complete chain would have prevented.
+
+    Returns a sorted list of (caller, missing_callee) pairs; empty
+    means the chain is closed under the declared dependencies.
+    """
+    gaps = set()
+    for dependency in descriptor.dependencies:
+        dependent_enabled = (
+            descriptor.is_enabled(
+                dependency.dependent_function, dependency.dependent_component
+            )
+            if dependency.dependent_component is not None
+            else bool(descriptor.enabled_components_of(dependency.dependent_function))
+        )
+        if not dependent_enabled:
+            continue
+        if not descriptor.enabled_components_of(dependency.required_function):
+            gaps.add((dependency.dependent_function, dependency.required_function))
+    return sorted(gaps)

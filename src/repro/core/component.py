@@ -1,0 +1,151 @@
+"""Implementation components (§2, §2.3).
+
+An :class:`ImplementationComponent` is the unit of replaceable
+implementation: a set of dynamic function implementations, optional
+private data, per-function evolution markings the component *demands*
+of any DCDO that incorporates it, and dependencies shipped with the
+component (the paper notes structural dependencies "could be automated
+via static analysis" by whatever builds the component).
+
+A component may carry several :class:`ComponentVariant` builds — one
+per implementation type — which is what lets a DCDO migrate between
+heterogeneous hosts while staying at the same version (§2.1).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import IncompatibleImplementationType
+from repro.core.functions import FunctionDef, Marking
+from repro.core.impltype import NATIVE
+
+
+@dataclass(frozen=True)
+class ComponentVariant:
+    """One compiled build of a component for one implementation type."""
+
+    impl_type: object
+    size_bytes: int
+    blob_id: str
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+
+@dataclass
+class ImplementationComponent:
+    """A named, versionable fragment of an object's implementation.
+
+    Attributes
+    ----------
+    component_id:
+        Globally unique component name (also used in dependency and
+        permanence declarations).
+    functions:
+        name -> :class:`FunctionDef` implemented by this component.
+    variants:
+        impl_type -> :class:`ComponentVariant`; at least one required
+        before the component can be incorporated anywhere.
+    required_markings:
+        name -> :class:`Marking` the component demands in any DCDO it
+        is incorporated into ("programmers can mark a dynamic function
+        as mandatory (or permanent) within a descriptor that is
+        maintained with the component itself", §3.2).
+    declared_dependencies:
+        Dependencies shipped with the component, merged into a DFM
+        descriptor at incorporation.
+    """
+
+    component_id: str
+    functions: dict = field(default_factory=dict)
+    variants: dict = field(default_factory=dict)
+    required_markings: dict = field(default_factory=dict)
+    declared_dependencies: list = field(default_factory=list)
+
+    def function_names(self):
+        """Sorted names of functions implemented here."""
+        return sorted(self.functions)
+
+    def exported_names(self):
+        """Sorted names of exported functions (the component interface)."""
+        return sorted(name for name, fn in self.functions.items() if fn.exported)
+
+    def add_variant(self, variant):
+        """Register a build for one implementation type."""
+        self.variants[variant.impl_type] = variant
+        return variant
+
+    def variant_for_host(self, host):
+        """The variant that runs on ``host``.
+
+        Raises :class:`IncompatibleImplementationType` if none match.
+        """
+        for impl_type, variant in self.variants.items():
+            if impl_type.compatible_with_host(host):
+                return variant
+        raise IncompatibleImplementationType(
+            f"component {self.component_id!r} has no variant for "
+            f"architecture {host.architecture!r}"
+        )
+
+    def marking_demand(self, function):
+        """The marking this component requires for ``function``."""
+        return self.required_markings.get(function, Marking.FULLY_DYNAMIC)
+
+
+class ComponentBuilder:
+    """Fluent construction of components, used by tests and examples.
+
+    >>> component = (
+    ...     ComponentBuilder("math-v1")
+    ...     .function("add", lambda ctx, a, b: a + b, signature="int add(int,int)")
+    ...     .internal_function("carry", lambda ctx: 0)
+    ...     .variant(size_bytes=120_000)
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self, component_id):
+        self._component = ImplementationComponent(component_id=component_id)
+        self._variant_count = 0
+
+    def function(self, name, body, signature="", exported=True):
+        """Add an exported (by default) dynamic function."""
+        self._component.functions[name] = FunctionDef(
+            name=name, body=body, exported=exported, signature=signature
+        )
+        return self
+
+    def internal_function(self, name, body, signature=""):
+        """Add an internal dynamic function."""
+        return self.function(name, body, signature=signature, exported=False)
+
+    def require_mandatory(self, name):
+        """Demand the function be mandatory wherever this is incorporated."""
+        self._component.required_markings[name] = Marking.MANDATORY
+        return self
+
+    def require_permanent(self, name):
+        """Demand the function be permanent wherever this is incorporated."""
+        self._component.required_markings[name] = Marking.PERMANENT
+        return self
+
+    def depends(self, dependency):
+        """Ship a dependency with the component."""
+        self._component.declared_dependencies.append(dependency)
+        return self
+
+    def variant(self, size_bytes, impl_type=NATIVE, blob_id=None):
+        """Add a compiled build of the component."""
+        self._variant_count += 1
+        blob_id = blob_id or f"{self._component.component_id}:{impl_type.architecture}"
+        self._component.add_variant(
+            ComponentVariant(impl_type=impl_type, size_bytes=size_bytes, blob_id=blob_id)
+        )
+        return self
+
+    def build(self):
+        """Return the finished component (adds a default variant if none)."""
+        if not self._component.variants:
+            self.variant(size_bytes=64_000)
+        return self._component

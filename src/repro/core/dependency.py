@@ -1,0 +1,111 @@
+"""Function dependencies (§3.2).
+
+Four dependency types restrict configuration, quoted from the paper:
+
+- **Type A** ``[F1, C1] -> [F2]`` — structural: if the implementation
+  of F1 found in C1 is enabled, *some* implementation of F2 must be
+  enabled.
+- **Type B** ``[F1, C1] -> [F2, C2]`` — behavioral: if the
+  implementation of F1 in C1 is enabled, the implementation of F2 in
+  C2 must be enabled.
+- **Type C** ``[F1] -> [F2, C2]`` — behavioral: if *any*
+  implementation of F1 is enabled, the implementation of F2 in C2 must
+  be enabled.
+- **Type D** ``[F1] -> [F2]`` — structural: if any implementation of
+  F1 is enabled, some implementation of F2 must be enabled.
+
+A dependency with ``required_function == dependent_function`` lets a
+recursive function protect itself ("by indicating that a function
+depends on itself, a programmer can ensure that recursive functions
+are not changed or removed while they are executing").
+"""
+
+from dataclasses import dataclass
+
+from repro.core.errors import DependencyViolation
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One declared dependency between dynamic functions.
+
+    ``None`` in a component slot means "any implementation".
+    """
+
+    dependent_function: str
+    required_function: str
+    dependent_component: str = None
+    required_component: str = None
+
+    @property
+    def type_letter(self):
+        """The paper's A/B/C/D classification of this dependency."""
+        if self.dependent_component is not None:
+            return "A" if self.required_component is None else "B"
+        return "D" if self.required_component is None else "C"
+
+    @property
+    def is_structural(self):
+        """Types A and D: any implementation of the target suffices."""
+        return self.required_component is None
+
+    @property
+    def is_behavioral(self):
+        """Types B and C: one particular implementation is required."""
+        return self.required_component is not None
+
+    def __str__(self):
+        def side(function, component):
+            if component is None:
+                return f"[{function}]"
+            return f"[{function}, {component}]"
+
+        return (
+            f"Type {self.type_letter}: "
+            f"{side(self.dependent_function, self.dependent_component)} -> "
+            f"{side(self.required_function, self.required_component)}"
+        )
+
+
+def check_dependencies(dependencies, is_enabled, enabled_components_of):
+    """Validate a configuration state against declared dependencies.
+
+    Parameters
+    ----------
+    dependencies:
+        Iterable of :class:`Dependency`.
+    is_enabled:
+        ``is_enabled(function, component_or_none) -> bool`` — whether
+        the given implementation (or, with ``None``, any
+        implementation) of the function is enabled.
+    enabled_components_of:
+        ``enabled_components_of(function) -> set`` of component ids
+        with an enabled implementation of the function.
+
+    Raises
+    ------
+    DependencyViolation
+        For the first dependency whose dependent side is enabled while
+        its required side is not.
+    """
+    for dependency in dependencies:
+        if dependency.dependent_component is not None:
+            dependent_active = is_enabled(
+                dependency.dependent_function, dependency.dependent_component
+            )
+        else:
+            dependent_active = bool(enabled_components_of(dependency.dependent_function))
+        if not dependent_active:
+            continue
+        if dependency.required_component is not None:
+            satisfied = is_enabled(
+                dependency.required_function, dependency.required_component
+            )
+        else:
+            satisfied = bool(enabled_components_of(dependency.required_function))
+        if not satisfied:
+            raise DependencyViolation(
+                dependency,
+                f"{dependency.dependent_function!r} is enabled but its "
+                f"required function {dependency.required_function!r} is not",
+            )

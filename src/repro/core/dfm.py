@@ -1,0 +1,435 @@
+"""The dynamic function mapper (§2).
+
+"A DFM contains an entry for every dynamic function that is currently
+contained in the object, and keeps track of whether the function is
+exported or internal, and whether it is currently enabled or disabled.
+A DFM serves as a centralized table through which all calls to dynamic
+functions must go."
+
+This is the live, per-DCDO structure: unlike a DFM descriptor it holds
+the actual function bodies (the mapped-in code) and the per-function
+active thread counters used for thread activity monitoring (§3.2).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import validation
+from repro.core.descriptor import DescriptorEntry, DFMDescriptor
+from repro.core.errors import (
+    ComponentNotIncorporated,
+    FunctionNotEnabled,
+    FunctionNotExported,
+)
+from repro.core.functions import Marking
+
+
+@dataclass
+class DFMEntry:
+    """One function implementation mapped into a DCDO."""
+
+    function: str
+    component_id: str
+    function_def: object
+    enabled: bool = False
+    exported: bool = True
+    active_threads: int = 0
+    calls: int = 0
+
+
+@dataclass
+class IncorporatedComponent:
+    """A component currently mapped into a DCDO's address space."""
+
+    component: object
+    variant: object
+    #: Private per-object data for the component's internal structures
+    #: (§2: "these data structures must be accessed from outside the
+    #: component by calling the component's exported dynamic
+    #: functions").
+    private_state: dict = field(default_factory=dict)
+
+
+class DynamicFunctionMapper:
+    """The per-object dispatch table for dynamic functions."""
+
+    def __init__(self):
+        self._entries = {}
+        self._components = {}
+        self._markings = {}
+        self._pins = {}
+        self._dependencies = []
+        # function -> its (single) enabled entry; the hot-path index
+        # that makes lookup O(1) regardless of table size.
+        self._enabled_index = {}
+        self.total_calls = 0
+
+    def _reindex(self):
+        """Rebuild the enabled-entry index from the entry table."""
+        self._enabled_index = {
+            entry.function: entry for entry in self._entries.values() if entry.enabled
+        }
+
+    # ------------------------------------------------------------------
+    # State-protocol accessors (shared validation, see core.validation)
+    # ------------------------------------------------------------------
+
+    @property
+    def component_ids(self):
+        """Set of incorporated component ids."""
+        return set(self._components)
+
+    @property
+    def dependencies(self):
+        """Declared dependencies (list copy)."""
+        return list(self._dependencies)
+
+    def entry(self, function, component_id):
+        """The entry for (function, component) or None."""
+        return self._entries.get((function, component_id))
+
+    def entries_for(self, function):
+        """All entries implementing ``function``."""
+        return [entry for entry in self._entries.values() if entry.function == function]
+
+    def entries_in(self, component_id):
+        """All entries implemented by ``component_id``."""
+        return [
+            entry for entry in self._entries.values() if entry.component_id == component_id
+        ]
+
+    def is_enabled(self, function, component_id):
+        """True if that particular implementation is enabled."""
+        entry = self._entries.get((function, component_id))
+        return entry is not None and entry.enabled
+
+    def enabled_components_of(self, function):
+        """Component ids with an enabled implementation of ``function``."""
+        return {
+            entry.component_id
+            for entry in self._entries.values()
+            if entry.function == function and entry.enabled
+        }
+
+    def marking(self, function):
+        """The function's marking (FULLY_DYNAMIC by default)."""
+        return self._markings.get(function, Marking.FULLY_DYNAMIC)
+
+    def markings_items(self):
+        """(function, marking) pairs for non-default markings."""
+        return list(self._markings.items())
+
+    def pin(self, function):
+        """The permanent pin for ``function``, or None."""
+        return self._pins.get(function)
+
+    # ------------------------------------------------------------------
+    # Introspection (status-reporting support, §2.2)
+    # ------------------------------------------------------------------
+
+    def component(self, component_id):
+        """The :class:`IncorporatedComponent` or raise."""
+        incorporated = self._components.get(component_id)
+        if incorporated is None:
+            raise ComponentNotIncorporated(f"component {component_id!r} is not incorporated")
+        return incorporated
+
+    def function_names(self):
+        """Sorted names of all mapped functions."""
+        return sorted({entry.function for entry in self._entries.values()})
+
+    def exported_interface(self):
+        """Sorted names of enabled, exported functions."""
+        return sorted(
+            {
+                entry.function
+                for entry in self._entries.values()
+                if entry.enabled and entry.exported
+            }
+        )
+
+    def entry_count(self):
+        """Total number of (function, component) entries."""
+        return len(self._entries)
+
+    def active_threads_in(self, component_id):
+        """Sum of active thread counts across a component's functions."""
+        return sum(entry.active_threads for entry in self.entries_in(component_id))
+
+    def functions_depending_on(self, function, component_id=None):
+        """Names of enabled dependents of the given function/impl.
+
+        Used with thread monitoring: "if function F1 depends on F2, and
+        a thread is executing in F1, then the DCDO can postpone any
+        request to disable F2 until the active thread count for F1 ...
+        goes to zero" (§3.2).
+        """
+        dependents = set()
+        for dependency in self._dependencies:
+            if dependency.required_function != function:
+                continue
+            if (
+                dependency.required_component is not None
+                and component_id is not None
+                and dependency.required_component != component_id
+            ):
+                continue
+            dependents.add(dependency.dependent_function)
+        return dependents
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def lookup(self, function, external=False):
+        """Resolve a call: return the enabled entry for ``function``.
+
+        This is the single level of indirection every dynamic-function
+        call pays.  ``external`` marks calls arriving from other
+        objects, which additionally require the function be exported.
+
+        Raises :class:`FunctionNotEnabled` when no enabled
+        implementation exists and :class:`FunctionNotExported` for
+        external calls to internal functions.
+        """
+        chosen = self._enabled_index.get(function)
+        if chosen is None:
+            raise FunctionNotEnabled(function)
+        if external and not chosen.exported:
+            raise FunctionNotExported(function)
+        return chosen
+
+    def enter(self, entry):
+        """Record a thread entering the function (§3.2 monitoring)."""
+        entry.active_threads += 1
+        entry.calls += 1
+        self.total_calls += 1
+
+    def leave(self, entry):
+        """Record a thread leaving the function."""
+        if entry.active_threads <= 0:
+            raise RuntimeError(f"thread count underflow for {entry.function!r}")
+        entry.active_threads -= 1
+
+    # ------------------------------------------------------------------
+    # Mutation (called by the DCDO's configuration functions, which
+    # charge the simulated costs and apply removal policies first)
+    # ------------------------------------------------------------------
+
+    def add_component(self, component, variant, validate=True):
+        """Map a component in: create (disabled) entries for its functions.
+
+        ``validate=False`` skips the marking-conflict check during
+        atomic descriptor application (the final state is validated
+        instead); presence is still enforced.
+        """
+        if validate:
+            validation.check_can_incorporate(self, component)
+        elif component.component_id in self._components:
+            from repro.core.errors import ComponentAlreadyIncorporated
+
+            raise ComponentAlreadyIncorporated(
+                f"component {component.component_id!r} is already incorporated"
+            )
+        self._components[component.component_id] = IncorporatedComponent(
+            component=component, variant=variant
+        )
+        for name, function_def in component.functions.items():
+            self._entries[(name, component.component_id)] = DFMEntry(
+                function=name,
+                component_id=component.component_id,
+                function_def=function_def,
+                enabled=False,
+                exported=function_def.exported,
+            )
+        for name, demanded in component.required_markings.items():
+            self._markings[name] = (
+                demanded
+                if demanded.at_least(self.marking(name))
+                else self.marking(name)
+            )
+            if demanded is Marking.PERMANENT:
+                self._pins[name] = component.component_id
+        for dependency in component.declared_dependencies:
+            if dependency not in self._dependencies:
+                self._dependencies.append(dependency)
+        self._reindex()
+
+    def remove_component(self, component_id, validate=True):
+        """Unmap a component (thread checks are the caller's job).
+
+        ``validate=False`` is used by atomic descriptor application,
+        where the *final* state has already been validated and
+        intermediate states may legitimately violate invariants.
+        """
+        if validate:
+            surviving = validation.check_can_remove_component(self, component_id)
+        else:
+            if component_id not in self._components:
+                raise ComponentNotIncorporated(
+                    f"component {component_id!r} is not incorporated"
+                )
+            surviving = [
+                dependency
+                for dependency in self._dependencies
+                if dependency.dependent_component != component_id
+            ]
+        self._dependencies = surviving
+        del self._components[component_id]
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if entry.component_id != component_id
+        }
+        self._reindex()
+
+    def enable(self, function, component_id, replace_current=False):
+        """Enable one implementation (validated).
+
+        With ``replace_current``, atomically swaps out the currently
+        enabled implementation — legal for mandatory functions (some
+        implementation stays enabled throughout) but not permanent
+        ones.
+        """
+        others = self.enabled_components_of(function) - {component_id}
+        if replace_current and others:
+            if self.entry(function, component_id) is None:
+                raise ComponentNotIncorporated(
+                    f"no implementation of {function!r} in component {component_id!r}"
+                )
+            pinned = self.pin(function)
+            if pinned is not None and pinned != component_id:
+                from repro.core.errors import PermanenceViolation
+
+                raise PermanenceViolation(
+                    f"{function!r} is permanently pinned to component {pinned!r}"
+                )
+            saved = {}
+            for other in others:
+                saved[(function, other)] = self._entries[(function, other)].enabled
+                self._entries[(function, other)].enabled = False
+            saved[(function, component_id)] = self._entries[(function, component_id)].enabled
+            self._entries[(function, component_id)].enabled = True
+            from repro.core.dependency import check_dependencies
+
+            try:
+                check_dependencies(
+                    self._dependencies, self.is_enabled, self.enabled_components_of
+                )
+            except Exception:
+                for key, was_enabled in saved.items():
+                    self._entries[key].enabled = was_enabled
+                raise
+            finally:
+                self._reindex()
+            return
+        validation.check_can_enable(self, function, component_id)
+        entry = self._entries[(function, component_id)]
+        entry.enabled = True
+        self._enabled_index[function] = entry
+
+    def disable(self, function, component_id, enforce_dependencies=True):
+        """Disable one implementation (validated).
+
+        Threads already executing inside the function are unaffected:
+        "there is no reason why a thread cannot proceed inside a
+        deactivated function ... it only matters what the status of
+        the function is at the time the call is initiated" (§3.2).
+
+        ``enforce_dependencies=False`` is the thread-monitoring mode:
+        the caller has already drained dependents' active threads, so
+        the static dependency veto is waived.
+        """
+        validation.check_can_disable(
+            self, function, component_id, enforce_dependencies=enforce_dependencies
+        )
+        self._entries[(function, component_id)].enabled = False
+        self._enabled_index.pop(function, None)
+
+    def set_exported(self, function, component_id, exported):
+        """Move a function between public and private interfaces."""
+        entry = self._entries.get((function, component_id))
+        if entry is None:
+            raise ComponentNotIncorporated(
+                f"no implementation of {function!r} in component {component_id!r}"
+            )
+        entry.exported = exported
+
+    def mark_mandatory(self, function):
+        """Mark ``function`` mandatory in this live DFM."""
+        if not self.marking(function).at_least(Marking.MANDATORY):
+            self._markings[function] = Marking.MANDATORY
+
+    def mark_permanent(self, function, component_id):
+        """Mark ``function`` permanent, pinned to ``component_id``."""
+        from repro.core.errors import PermanenceViolation
+
+        existing = self._pins.get(function)
+        if existing is not None and existing != component_id:
+            raise PermanenceViolation(
+                f"{function!r} is already permanently pinned to {existing!r}"
+            )
+        self._markings[function] = Marking.PERMANENT
+        self._pins[function] = component_id
+
+    def add_dependency(self, dependency):
+        """Declare a dependency; current state must satisfy it."""
+        from repro.core.dependency import check_dependencies
+
+        check_dependencies(
+            self._dependencies + [dependency], self.is_enabled, self.enabled_components_of
+        )
+        self._dependencies.append(dependency)
+
+    def remove_dependency(self, dependency):
+        """Retract a declared dependency."""
+        if dependency in self._dependencies:
+            self._dependencies.remove(dependency)
+
+    def adopt_restrictions(self, descriptor):
+        """Copy markings, pins, and dependencies from a descriptor."""
+        self._markings = dict(
+            (function, marking) for function, marking in descriptor.markings_items()
+        )
+        self._pins = {
+            function: descriptor.pin(function)
+            for function, __ in descriptor.markings_items()
+            if descriptor.pin(function) is not None
+        }
+        self._dependencies = descriptor.dependencies
+
+    def apply_entry_states(self, descriptor):
+        """Set enabled/exported per the descriptor; returns change count.
+
+        Only touches (function, component) pairs present in both; the
+        component add/remove steps are the DCDO's job because they
+        carry real (download/link) costs.
+        """
+        changes = 0
+        for key, entry in self._entries.items():
+            target = descriptor.entry(*key)
+            if target is None:
+                continue
+            if entry.enabled != target.enabled or entry.exported != target.exported:
+                entry.enabled = target.enabled
+                entry.exported = target.exported
+                changes += 1
+        if changes:
+            self._reindex()
+        return changes
+
+    def to_descriptor(self):
+        """Snapshot this DFM as a :class:`DFMDescriptor` (for diffing)."""
+        descriptor = DFMDescriptor()
+        for component_id, incorporated in self._components.items():
+            descriptor._component_refs[component_id] = None  # refs live in the manager
+        for key, entry in self._entries.items():
+            descriptor._entries[key] = DescriptorEntry(
+                function=entry.function,
+                component_id=entry.component_id,
+                enabled=entry.enabled,
+                exported=entry.exported,
+            )
+        descriptor._markings = dict(self._markings)
+        descriptor._pins = dict(self._pins)
+        descriptor._dependencies = list(self._dependencies)
+        return descriptor

@@ -1,0 +1,31 @@
+"""Implementation types (§2.1).
+
+An implementation type "describes properties such as the component's
+architecture, its object code format, and (if important) the
+programming language with which it was built".  Implementation types
+are what let functionally-equivalent implementations be used
+interchangeably on heterogeneous hosts.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class ImplementationType:
+    """The characteristics of one kind of compiled implementation."""
+
+    architecture: str
+    code_format: str = "elf"
+    language: str = "c++"
+
+    def compatible_with_host(self, host):
+        """True if code of this type can run on ``host``."""
+        return self.architecture == host.architecture
+
+    def __str__(self):
+        return f"{self.architecture}/{self.code_format}/{self.language}"
+
+
+#: The default implementation type used when tests and examples do not
+#: care about heterogeneity (matches the default host architecture).
+NATIVE = ImplementationType(architecture="x86-linux")

@@ -1,0 +1,476 @@
+"""The DCDO Manager (§2.4).
+
+"A DCDO Manager is in charge of maintaining implementation components
+for a particular object type, and for evolving the DCDOs that it
+manages."  It extends the Legion class object with:
+
+- a **DFM store**: version id -> (DFM descriptor, instantiable flag);
+  configurable versions are derived by logically copying existing
+  ones, configured, and eventually marked instantiable — after which
+  they "cannot be changed any further";
+- a **DCDO table**: per-instance version identifier and implementation
+  type, used "when deciding when and how to evolve its DCDOs";
+- component registration (creating ICOs);
+- the evolution entry points the update policies drive.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.dcdo import DCDO, RemovePolicy
+from repro.core.descriptor import DFMDescriptor, diff_descriptors
+from repro.core.errors import (
+    EvolutionDisallowed,
+    UnknownVersion,
+    VersionNotConfigurable,
+    VersionNotInstantiable,
+)
+from repro.core.ico import ImplementationComponentObject
+from repro.core.policies.evolution import SingleVersionPolicy
+from repro.core.policies.update import ExplicitUpdatePolicy
+from repro.core.version import VersionTree
+from repro.legion.klass import ClassObject
+from repro.legion.loid import mint_loid
+
+
+@dataclass
+class VersionRecord:
+    """One entry in the DFM store."""
+
+    version: object
+    descriptor: DFMDescriptor
+    instantiable: bool = False
+    parent: object = None
+
+
+class DCDOManager(ClassObject):
+    """Coordinates creation and evolution for one DCDO type.
+
+    Parameters
+    ----------
+    runtime, type_name, host:
+        As for :class:`~repro.legion.klass.ClassObject`.
+    evolution_policy:
+        Which version transitions are legal (default: single-version).
+    update_policy:
+        When instances are updated (default: explicit).
+    remove_policy:
+        Removal policy installed on created instances.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        type_name,
+        host,
+        implementations=(),
+        instance_factory=None,
+        evolution_policy=None,
+        update_policy=None,
+        remove_policy=None,
+    ):
+        super().__init__(
+            runtime,
+            type_name,
+            host,
+            implementations=implementations,
+            instance_factory=instance_factory,
+        )
+        self.evolution_policy = evolution_policy or SingleVersionPolicy()
+        self.update_policy = update_policy or ExplicitUpdatePolicy()
+        self._remove_policy = remove_policy or RemovePolicy.error()
+        self._version_tree = VersionTree()
+        self._dfm_store = {}
+        self._current_version = None
+        self._components = {}
+        self._instance_versions = {}
+        self._instance_impl_types = {}
+        self.evolutions_performed = 0
+        self._register_manager_methods()
+
+    # ------------------------------------------------------------------
+    # Component registration (ICOs)
+    # ------------------------------------------------------------------
+
+    def register_component(self, component, host_name=None):
+        """Create an ICO serving ``component``; returns its LOID.
+
+        The ICO is a full active object, bound into the context space
+        under ``/components/<type>/<component-id>`` so it benefits from
+        the system's global namespace (§2.3).
+        """
+        if component.component_id in self._components:
+            raise ValueError(f"component {component.component_id!r} already registered")
+        host = self._pick_host(host_name)
+        loid = mint_loid(self._runtime.domain, f"{self.type_name}.ICO")
+        ico = ImplementationComponentObject(self._runtime, loid, host, component=component)
+        self._runtime.sim.run_process(ico.activate())
+        self._runtime.attach_object(ico)
+        self._runtime.context_space.bind(
+            f"/components/{self.type_name}/{component.component_id}", loid
+        )
+        self._components[component.component_id] = (component, loid)
+        return loid
+
+    def component_ico(self, component_id):
+        """The ICO LOID serving ``component_id``."""
+        try:
+            return self._components[component_id][1]
+        except KeyError:
+            raise UnknownVersion(
+                f"component {component_id!r} is not registered with this manager"
+            ) from None
+
+    def registered_components(self):
+        """Sorted registered component ids."""
+        return sorted(self._components)
+
+    # ------------------------------------------------------------------
+    # The DFM store: version derivation and configuration (§2.4)
+    # ------------------------------------------------------------------
+
+    @property
+    def current_version(self):
+        """The designated current version, or None."""
+        return self._current_version
+
+    def versions(self):
+        """All version ids in the DFM store."""
+        return sorted(self._dfm_store, key=lambda version: version.parts)
+
+    def version_record(self, version):
+        """The :class:`VersionRecord`, or raise :class:`UnknownVersion`."""
+        record = self._dfm_store.get(version)
+        if record is None:
+            raise UnknownVersion(f"no version {version} in the DFM store")
+        return record
+
+    def is_instantiable(self, version):
+        """True if ``version`` may create / evolve DCDOs."""
+        return self.version_record(version).instantiable
+
+    def new_version(self):
+        """Create a fresh root version with an empty descriptor."""
+        version = self._version_tree.new_root()
+        self._dfm_store[version] = VersionRecord(version=version, descriptor=DFMDescriptor())
+        return version
+
+    def derive_version(self, parent):
+        """§2.4: create a configurable version by logically copying
+        ``parent``; returns the new version id."""
+        parent_record = self.version_record(parent)
+        version = self._version_tree.derive(parent)
+        self._dfm_store[version] = VersionRecord(
+            version=version,
+            descriptor=parent_record.descriptor.clone(),
+            parent=parent,
+        )
+        return version
+
+    def descriptor_of(self, version, allow_instantiable=False):
+        """The version's descriptor, for configuration.
+
+        Configurable versions are freely editable; instantiable ones
+        "cannot be changed any further" and are only readable
+        (``allow_instantiable=True``).
+        """
+        record = self.version_record(version)
+        if record.instantiable and not allow_instantiable:
+            raise VersionNotConfigurable(
+                f"version {version} is instantiable and cannot be changed"
+            )
+        return record.descriptor
+
+    def incorporate_into(self, version, component_id):
+        """Incorporate a registered component into a configurable version."""
+        component, ico_loid = self._components_entry(component_id)
+        self.descriptor_of(version).incorporate(component, ico_loid)
+
+    def _components_entry(self, component_id):
+        entry = self._components.get(component_id)
+        if entry is None:
+            raise UnknownVersion(
+                f"component {component_id!r} is not registered with this manager"
+            )
+        return entry
+
+    def mark_instantiable(self, version):
+        """Freeze a configurable version after validating it (§2.4/§3.2)."""
+        record = self.version_record(version)
+        if record.instantiable:
+            return
+        record.descriptor.validate_instantiable()
+        record.instantiable = True
+        self._runtime.trace(
+            "version-instantiable",
+            self.loid,
+            version=str(version),
+            components=len(record.descriptor.component_ids),
+        )
+
+    def set_current_version(self, version):
+        """Designate the official current version.
+
+        The version must be instantiable.  The update policy decides
+        whether existing instances are updated now (proactive), later
+        (lazy), or on request (explicit); any policy-returned process
+        is run to completion so "setting a new current version" costs
+        what the policy costs.
+        """
+        record = self.version_record(version)
+        if not record.instantiable:
+            raise VersionNotInstantiable(
+                f"version {version} must be instantiable before becoming current"
+            )
+        self._current_version = version
+        self._runtime.trace(
+            "current-version-set",
+            self.loid,
+            version=str(version),
+            policy=self.update_policy.name,
+        )
+        propagation = self.update_policy.on_new_current_version(self)
+        if propagation is not None:
+            self._runtime.sim.run_process(propagation)
+        return version
+
+    def set_current_version_async(self, version):
+        """Like :meth:`set_current_version` but returns the propagation
+        process (or None) instead of running it — for callers already
+        inside a simulation process."""
+        record = self.version_record(version)
+        if not record.instantiable:
+            raise VersionNotInstantiable(
+                f"version {version} must be instantiable before becoming current"
+            )
+        self._current_version = version
+        propagation = self.update_policy.on_new_current_version(self)
+        if propagation is None:
+            return None
+        return self._runtime.sim.spawn(propagation, name=f"propagate:{version}")
+
+    # ------------------------------------------------------------------
+    # The DCDO table (§2.4)
+    # ------------------------------------------------------------------
+
+    def instance_version(self, loid):
+        """The version a managed instance currently reflects."""
+        self.record(loid)  # raises UnknownObject for strangers
+        return self._instance_versions.get(loid)
+
+    def instance_impl_type(self, loid):
+        """The implementation type of an instance's current build."""
+        self.record(loid)
+        return self._instance_impl_types.get(loid)
+
+    def dcdo_table(self):
+        """(loid, version, impl_type, active) rows, creation order."""
+        return [
+            (
+                record.loid,
+                self._instance_versions.get(record.loid),
+                self._instance_impl_types.get(record.loid),
+                record.active,
+            )
+            for record in (self.record(loid) for loid in self.instance_loids())
+        ]
+
+    # ------------------------------------------------------------------
+    # Instance creation (overrides the monolithic build)
+    # ------------------------------------------------------------------
+
+    def _build_instance(self, loid, host):
+        """Create a DCDO and configure it from a version descriptor.
+
+        New instances reflect the designated current version ("All new
+        DCDOs are created to reflect the characteristics of the
+        designated current version", §3.4); re-activations after
+        migration or deactivation rebuild the instance's *own* version.
+        """
+        version = self._instance_versions.get(loid, self._current_version)
+        if version is None:
+            raise VersionNotInstantiable(
+                f"type {self.type_name!r} has no current version to instantiate"
+            )
+        record = self.version_record(version)
+        if not record.instantiable:
+            raise VersionNotInstantiable(
+                f"version {version} is not instantiable"
+            )
+        descriptor = record.descriptor
+        obj = DCDO(
+            self._runtime,
+            loid,
+            host,
+            manager_loid=self.loid,
+            remove_policy=self._remove_policy,
+        )
+        self._runtime.attach_object(obj)
+        yield from obj.activate()
+        for component_id in sorted(descriptor.component_ids):
+            __, ico_loid = self._components_entry(component_id)
+            yield from obj.incorporate_component(ico_loid, bootstrap=True)
+        obj.dfm.apply_entry_states(descriptor)
+        obj.dfm.adopt_restrictions(descriptor)
+        obj.set_version(version)
+        return obj, str(version)
+
+    def _instance_created(self, record):
+        self._instance_versions[record.loid] = self._current_version
+        self._instance_impl_types[record.loid] = record.obj.implementation_type
+        self.update_policy.on_instance_created(self, record)
+
+    def _notify_migrated(self, record):
+        self._instance_impl_types[record.loid] = record.obj.implementation_type
+        followup = self.update_policy.on_instance_migrated(self, record)
+        if followup is not None:
+            self._runtime.sim.spawn(followup, name=f"post-migrate:{record.loid}")
+
+    # ------------------------------------------------------------------
+    # Evolution (§2.4, §3.3)
+    # ------------------------------------------------------------------
+
+    def evolve_instance(self, loid, target_version=None):
+        """Generator: evolve one instance to ``target_version``.
+
+        Defaults to the policy's target for this instance (usually the
+        current version).  Validates the transition with the evolution
+        policy, ships the configuration diff to the DCDO in one
+        management RPC, and updates the DCDO table.  Returns the
+        version actually reached.
+        """
+        lock = self.management_lock(loid)
+        yield lock.acquire()
+        try:
+            record = self.record(loid)
+            if not record.active:
+                from repro.legion.errors import ObjectDeactivated
+
+                raise ObjectDeactivated(
+                    f"instance {loid} is deactivated; it will rebuild at its "
+                    f"version on next activation"
+                )
+            from_version = self._instance_versions.get(loid)
+            if target_version is None:
+                target_version = self.evolution_policy.default_target(self, from_version)
+                if target_version is None:
+                    return from_version
+            target_record = self.version_record(target_version)
+            if not target_record.instantiable:
+                raise VersionNotInstantiable(
+                    f"cannot evolve to configurable version {target_version}"
+                )
+            self.evolution_policy.check_transition(self, from_version, target_version)
+            if from_version == target_version:
+                return from_version
+            current_descriptor = (
+                self.version_record(from_version).descriptor
+                if from_version is not None
+                else DFMDescriptor()
+            )
+            diff = diff_descriptors(current_descriptor, target_record.descriptor)
+            diff.target_version = target_version
+            # Generous per-attempt timeouts (downloads can take tens of
+            # seconds) with retries; applyConfiguration is idempotent.
+            yield from self.invoker.invoke(
+                loid,
+                "applyConfiguration",
+                (diff,),
+                timeout_schedule=(60.0, 120.0, 600.0),
+            )
+            self._instance_versions[loid] = target_version
+            if record.active:
+                record.version_tag = str(target_version)
+            self.evolutions_performed += 1
+        finally:
+            lock.release()
+        return target_version
+
+    def try_evolve_instance(self, loid, target_version=None):
+        """Generator: evolve, treating policy vetoes as "stay put"."""
+        try:
+            result = yield from self.evolve_instance(loid, target_version)
+        except EvolutionDisallowed:
+            result = self._instance_versions.get(loid)
+        return result
+
+    def update_all_instances(self, target_version=None):
+        """Generator: evolve every active instance (serially)."""
+        results = {}
+        for loid in self.instance_loids():
+            if not self.record(loid).active:
+                continue
+            results[loid] = yield from self.try_evolve_instance(loid, target_version)
+        return results
+
+    # ------------------------------------------------------------------
+    # Exported manager interface
+    # ------------------------------------------------------------------
+
+    def _register_manager_methods(self):
+        self.register_method("getCurrentVersion", self._m_get_current_version)
+        self.register_method("getVersions", self._m_get_versions)
+        self.register_method("updateInstance", self._m_update_instance)
+        self.register_method("syncInstance", self._m_sync_instance)
+        self.register_method("getDCDOTable", self._m_get_dcdo_table)
+
+    def _m_get_current_version(self, ctx):
+        return self._current_version
+        yield  # pragma: no cover - uniform generator shape
+
+    def _m_get_versions(self, ctx):
+        return [(str(version), self.is_instantiable(version)) for version in self.versions()]
+        yield  # pragma: no cover - uniform generator shape
+
+    def _m_update_instance(self, ctx, loid, target_version=None):
+        """§3.4 explicit update: external objects call this.
+
+        Under the increasing-version multi-version variant, "the
+        explicit update policy could be altered to allow any ready
+        version number eventually derived from the DCDO's current
+        version to be specified in the parameter to updateInstance()" —
+        which is exactly passing ``target_version`` here.
+        """
+        version = yield from self.evolve_instance(loid, target_version)
+        return version
+
+    def _m_sync_instance(self, ctx, loid):
+        """Lazy-update entry point: bring ``loid`` to the policy target."""
+        version = yield from self.try_evolve_instance(loid)
+        return version
+
+    def _m_get_dcdo_table(self, ctx):
+        return [
+            (str(loid), str(version) if version else None, str(impl_type), active)
+            for loid, version, impl_type, active in self.dcdo_table()
+        ]
+        yield  # pragma: no cover - uniform generator shape
+
+
+def define_dcdo_type(
+    runtime,
+    type_name,
+    evolution_policy=None,
+    update_policy=None,
+    remove_policy=None,
+    host_name=None,
+):
+    """Define a DCDO type in ``runtime`` and return its manager.
+
+    The counterpart of :meth:`LegionRuntime.define_class` for DCDOs;
+    the returned manager still needs components registered and a first
+    version built before instances can be created.
+    """
+
+    def factory(runtime_, type_name_, host_, implementations=(), instance_factory=None):
+        return DCDOManager(
+            runtime_,
+            type_name_,
+            host_,
+            implementations=implementations,
+            instance_factory=instance_factory,
+            evolution_policy=evolution_policy,
+            update_policy=update_policy,
+            remove_policy=remove_policy,
+        )
+
+    return runtime.define_class(type_name, class_factory=factory, host_name=host_name)

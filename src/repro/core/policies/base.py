@@ -1,0 +1,64 @@
+"""Policy protocols the DCDO Manager composes with."""
+
+
+class EvolutionPolicy:
+    """Decides which version transitions are legal for instances.
+
+    Subclasses raise
+    :class:`~repro.core.errors.EvolutionDisallowed` from
+    :meth:`check_transition` to veto a transition.  The manager has
+    already verified that the target version exists and is
+    instantiable before consulting the policy.
+    """
+
+    name = "abstract"
+
+    def check_transition(self, manager, from_version, to_version):
+        """Raise :class:`EvolutionDisallowed` to veto; return to allow."""
+        raise NotImplementedError
+
+    def default_target(self, manager, from_version):
+        """The version an unqualified update request should aim for.
+
+        Returns ``None`` when the policy defines no automatic target
+        (e.g. no-update).  The default is the manager's current
+        version.
+        """
+        return manager.current_version
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__}>"
+
+
+class UpdatePolicy:
+    """Decides when instances are brought to a new version.
+
+    All hooks are optional; the base class is a valid "never update
+    automatically" policy (explicit update relies on exactly that).
+    """
+
+    name = "abstract"
+
+    def on_new_current_version(self, manager):
+        """Called after ``set_current_version``; may return a process
+        generator for the manager to spawn (proactive updates do)."""
+        return None
+
+    def on_instance_created(self, manager, record):
+        """Called after an instance is created and active."""
+
+    def on_instance_migrated(self, manager, record):
+        """Called after an instance migrated to a new host; may return
+        a process generator (lazy on-migrate checks do)."""
+        return None
+
+    def make_instance_checker(self, manager, record):
+        """Return an object-side checker for lazy policies, or None.
+
+        The checker protocol is ``should_check(dcdo) -> bool`` plus
+        ``run_check(dcdo) -> generator``.
+        """
+        return None
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__}>"

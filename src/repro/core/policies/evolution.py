@@ -1,0 +1,106 @@
+"""Version-transition policies (§3.4 single-version, §3.5 multi-version)."""
+
+from repro.core.errors import EvolutionDisallowed
+from repro.core.policies.base import EvolutionPolicy
+from repro.core.validation import check_transition_preserves_rules
+
+
+class SingleVersionPolicy(EvolutionPolicy):
+    """§3.4: "exactly one official version ... at any given moment".
+
+    Instances "will only evolve to the current version maintained by
+    the DCDO Manager, not to any other version, even if it is marked
+    as instantiable".
+    """
+
+    name = "single-version"
+
+    def check_transition(self, manager, from_version, to_version):
+        current = manager.current_version
+        if to_version != current:
+            raise EvolutionDisallowed(
+                f"single-version policy: instances may only evolve to the "
+                f"current version {current}, not {to_version}"
+            )
+
+
+class NoUpdatePolicy(EvolutionPolicy):
+    """§3.5: "each DCDO is created with a particular version number,
+    and never evolves to a different version"."""
+
+    name = "no-update"
+
+    def check_transition(self, manager, from_version, to_version):
+        raise EvolutionDisallowed(
+            "no-update policy: deployed objects do not evolve"
+        )
+
+    def default_target(self, manager, from_version):
+        return None
+
+
+class IncreasingVersionPolicy(EvolutionPolicy):
+    """§3.5: "a DCDO of version V can only evolve to other versions
+    that are (eventually) derived from V" — descendants in the
+    version tree.  Works well with mandatory functions: a client is
+    assured the function exists in all future versions.
+    """
+
+    name = "increasing-version"
+
+    def check_transition(self, manager, from_version, to_version):
+        if from_version is None:
+            return
+        if not to_version.derives_from(from_version):
+            raise EvolutionDisallowed(
+                f"increasing-version policy: {to_version} does not derive "
+                f"from {from_version}"
+            )
+
+    def default_target(self, manager, from_version):
+        """The current version, but only if it derives from ours (§3.5's
+        lazy-variant refinement: "the DCDO updates its implementation,
+        but only if the new current version is derived from the DCDO's
+        version; otherwise the DCDO remains at its present version")."""
+        current = manager.current_version
+        if current is None or from_version is None:
+            return current
+        if current.derives_from(from_version):
+            return current
+        return None
+
+
+class GeneralEvolutionPolicy(EvolutionPolicy):
+    """§3.5: "a DCDO can evolve to any other ready version at any
+    time".  This undermines mandatory/permanent assurances — clients
+    must re-query interfaces — but is maximally flexible."""
+
+    name = "general-evolution"
+
+    def check_transition(self, manager, from_version, to_version):
+        return None
+
+
+class HybridEvolutionPolicy(EvolutionPolicy):
+    """§3.5's hybrid: general evolution, except transitions that would
+    "violate any rules, such as removing a mandatory function or
+    disabling a permanent function" are disallowed."""
+
+    name = "hybrid"
+
+    def check_transition(self, manager, from_version, to_version):
+        if from_version is None:
+            return
+        source = manager.descriptor_of(from_version, allow_instantiable=True)
+        target = manager.descriptor_of(to_version, allow_instantiable=True)
+        check_transition_preserves_rules(source, target)
+
+    def default_target(self, manager, from_version):
+        current = manager.current_version
+        if current is None or from_version is None:
+            return current
+        try:
+            self.check_transition(manager, from_version, current)
+        except Exception:  # noqa: BLE001 - any rule violation means "stay put"
+            return None
+        return current

@@ -1,0 +1,195 @@
+"""Instance-update (propagation) policies (§3.4).
+
+These decide *when* a DCDO's implementation is brought in line with
+its manager's versions — the cache-coherence half of the problem: "the
+DFM descriptor for the current version in the DCDO Manager represents
+the official copy of the data, and the DFMs in the DCDOs represent
+cached copies".
+"""
+
+from repro.core.policies.base import UpdatePolicy
+from repro.legion.errors import LegionError
+from repro.net import TransportError
+
+
+class ProactiveUpdatePolicy(UpdatePolicy):
+    """§3.4: "the manager incorporates changes into existing DCDOs as
+    soon as a new current version is set ... designating a new current
+    version triggers an immediate attempt to update all existing
+    instances".
+
+    ``parallel`` controls whether instances are updated concurrently
+    (the default; the version cut completes in roughly one instance's
+    update time) or serially (cost grows linearly with the fleet — the
+    §3.4 caveat that the strategy "does not scale well with the number
+    of DCDOs").
+    """
+
+    name = "proactive"
+
+    def __init__(self, parallel=True):
+        self.parallel = parallel
+
+    def on_new_current_version(self, manager):
+        return self._update_all(manager)
+
+    def _update_all(self, manager):
+        loids = [record.loid for record in manager.active_instances()]
+        if self.parallel:
+            updates = [
+                manager.runtime.sim.spawn(
+                    manager.try_evolve_instance(loid), name=f"update:{loid}"
+                )
+                for loid in loids
+            ]
+            from repro.sim.events import AllOf
+
+            if updates:
+                yield AllOf(manager.runtime.sim, updates)
+        else:
+            for loid in loids:
+                yield from manager.try_evolve_instance(loid)
+
+
+class ExplicitUpdatePolicy(UpdatePolicy):
+    """§3.4: "the DCDO Manager relies on other objects to call to the
+    manager in order to evolve them to the new current version".
+
+    Nothing happens automatically; external objects invoke the
+    manager's exported ``updateInstance`` when they choose — e.g. "a
+    client [can] discover that a DCDO is out of date, and initiate the
+    update to the current version before invoking a function on the
+    object".
+    """
+
+    name = "explicit"
+
+
+class _LazyChecker:
+    """Object-side state for one DCDO under a lazy policy."""
+
+    def __init__(self, policy, manager_loid):
+        self._policy = policy
+        self._manager_loid = manager_loid
+        self._calls_since_check = 0
+        self._last_check_time = None
+
+    def should_check(self, dcdo):
+        """Consult policy cadence: every k calls and/or every t seconds."""
+        policy = self._policy
+        self._calls_since_check += 1
+        now = dcdo.sim.now
+        due = False
+        if policy.every_k_calls is not None and self._calls_since_check >= policy.every_k_calls:
+            due = True
+        if policy.every_t_seconds is not None:
+            if self._last_check_time is None or now - self._last_check_time >= policy.every_t_seconds:
+                due = True
+        if policy.every_k_calls is None and policy.every_t_seconds is None:
+            # Strict consistency: "having DCDOs consult their class
+            # every time they get an invocation request" (§3.4).
+            due = True
+        return due
+
+    def run_check(self, dcdo):
+        """Generator: ask the manager to bring us up to date."""
+        self._calls_since_check = 0
+        self._last_check_time = dcdo.sim.now
+        try:
+            yield from dcdo.invoker.invoke(
+                self._manager_loid,
+                "syncInstance",
+                (dcdo.loid,),
+                timeout_schedule=(120.0,),
+            )
+        except (LegionError, TransportError):
+            # The manager being unreachable — or our own endpoint
+            # closing mid-check (we are being migrated) — must not
+            # take user calls down with it; stay at the current
+            # version.
+            pass
+
+
+class LazyUpdatePolicy(UpdatePolicy):
+    """§3.4: "a DCDO itself determines when it gets updated".
+
+    Variants, matching the paper's list:
+
+    - ``LazyUpdatePolicy()`` — strict consistency, check on every
+      invocation request;
+    - ``every_k_calls=k`` — "once every k member function calls";
+    - ``every_t_seconds=t`` — "once every t time units" (measured at
+      call time: the next call after the window expires checks first);
+    - ``check_on_migrate=True`` — "only when it migrates from one host
+      to another";
+    - ``background_every_s=t`` — the §3.5 refinement "after some
+      timeout period, a DCDO may check to see if a new current version
+      has been set": a per-instance background thread polls the
+      manager every ``t`` simulated seconds even with no client
+      traffic.
+    """
+
+    name = "lazy"
+
+    def __init__(
+        self,
+        every_k_calls=None,
+        every_t_seconds=None,
+        check_on_migrate=False,
+        background_every_s=None,
+    ):
+        if every_k_calls is not None and every_k_calls < 1:
+            raise ValueError(f"every_k_calls must be >= 1, got {every_k_calls}")
+        if every_t_seconds is not None and every_t_seconds <= 0:
+            raise ValueError(f"every_t_seconds must be > 0, got {every_t_seconds}")
+        if background_every_s is not None and background_every_s <= 0:
+            raise ValueError(f"background_every_s must be > 0, got {background_every_s}")
+        self.every_k_calls = every_k_calls
+        self.every_t_seconds = every_t_seconds
+        self.check_on_migrate = check_on_migrate
+        self.background_every_s = background_every_s
+
+    def _call_time_checking(self):
+        return not (
+            self.every_k_calls is None
+            and self.every_t_seconds is None
+            and (self.check_on_migrate or self.background_every_s is not None)
+        )
+
+    def make_instance_checker(self, manager, record):
+        if not self._call_time_checking():
+            # Pure on-migrate / pure background: no per-call checks.
+            return None
+        return _LazyChecker(self, manager.loid)
+
+    def on_instance_created(self, manager, record):
+        checker = self.make_instance_checker(manager, record)
+        if checker is not None:
+            record.obj.set_update_checker(checker)
+        if self.background_every_s is not None:
+            manager.runtime.sim.spawn(
+                self._background_poller(manager, record),
+                name=f"lazy-bg:{record.loid}",
+            )
+
+    def _background_poller(self, manager, record):
+        """Process body: poll the manager while the instance is active.
+
+        Sleeps on *daemon* timeouts so the poller never keeps an
+        unbounded simulation run alive.
+        """
+        sim = manager.runtime.sim
+        while record.active:
+            yield sim.timeout(self.background_every_s, daemon=True)
+            if not record.active:
+                return
+            try:
+                yield from manager.try_evolve_instance(record.loid)
+            except (LegionError, TransportError):
+                # Unreachable manager or instance: try again next tick.
+                continue
+
+    def on_instance_migrated(self, manager, record):
+        if not self.check_on_migrate:
+            return None
+        return manager.try_evolve_instance(record.loid)

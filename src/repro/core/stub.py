@@ -1,0 +1,147 @@
+"""Client-side stubs for calling DCDOs defensively.
+
+The paper puts the burden of fully-dynamic functions on callers:
+"invocations on a dynamic function should be written to expect the
+absence of the function.  Clients calling a DCDO should time out or
+catch an exception ... that indicates that the function they tried to
+invoke was not present" (§3.2), and under general evolution "clients
+can still query the interface of the DCDO to determine if a function
+it needs is still exported" (§3.5).
+
+:class:`DCDOStub` packages that discipline: it caches the object's
+exported interface, optionally verifies a function is present before
+building an invocation, and on a disappearing-function failure
+re-queries the interface and (per policy) retries once, falls back to
+an alternative function, or surfaces a clear error.
+"""
+
+from repro.legion.errors import MethodNotFound
+
+
+class InterfaceCache:
+    """A client's view of one DCDO's exported interface.
+
+    The view is inherently a snapshot — the §3.1 disappearing exported
+    function problem is exactly a stale snapshot — so it records when
+    it was taken and can be refreshed.
+    """
+
+    def __init__(self):
+        self.functions = None
+        self.version = None
+        self.fetched_at = None
+
+    @property
+    def is_fresh(self):
+        """True once an interface has been fetched."""
+        return self.functions is not None
+
+    def update(self, functions, version, now):
+        """Install a snapshot."""
+        self.functions = set(functions)
+        self.version = version
+        self.fetched_at = now
+
+    def exports(self, function):
+        """True if the snapshot says ``function`` is callable."""
+        return self.functions is not None and function in self.functions
+
+
+class DCDOStub:
+    """A defensive caller for one DCDO.
+
+    Parameters
+    ----------
+    client:
+        A :class:`~repro.legion.runtime.Client` (or any object with an
+        ``invoke``-returning-generator and a ``sim``).
+    loid:
+        The target DCDO.
+    retry_on_disappearance:
+        Re-query the interface and retry once when an invocation hits
+        a disappeared function (the function may have been replaced by
+        an equivalent and re-exported, or the object may have evolved
+        mid-flight).
+    fallbacks:
+        Optional mapping ``function -> alternative function`` used when
+        the primary is not exported (a degraded-mode pattern).
+    """
+
+    def __init__(self, client, loid, retry_on_disappearance=True, fallbacks=None):
+        self._client = client
+        self._loid = loid
+        self._retry = retry_on_disappearance
+        self._fallbacks = dict(fallbacks or {})
+        self.interface = InterfaceCache()
+        self.disappearances = 0
+        self.fallbacks_used = 0
+
+    @property
+    def loid(self):
+        """The target DCDO's LOID."""
+        return self._loid
+
+    def refresh_interface(self):
+        """Generator: fetch the current interface and version."""
+        functions = yield from self._client.invoke(self._loid, "getInterface")
+        version = yield from self._client.invoke(self._loid, "getVersion")
+        self.interface.update(functions, version, self._client.sim.now)
+        return set(functions)
+
+    def supports(self, function):
+        """Generator: is ``function`` exported right now?
+
+        Always re-queries — a cached answer would be exactly the stale
+        snapshot the §3.1 problem is about.
+        """
+        functions = yield from self.refresh_interface()
+        return function in functions
+
+    def call(self, function, *args, check_first=False, timeout_schedule=None):
+        """Generator: invoke ``function`` defensively.
+
+        ``check_first`` consults a fresh interface before invoking —
+        the §3.5 "query the interface ... before invoking" pattern
+        (one extra round trip; the TOCTOU window shrinks but cannot
+        close, which is why the retry path exists too).
+        """
+        target = function
+        if check_first:
+            exported = yield from self.supports(function)
+            if not exported:
+                target = self._pick_fallback(function)
+        try:
+            result = yield from self._client.invoke(
+                self._loid, target, *args, timeout_schedule=timeout_schedule
+            )
+            return result
+        except MethodNotFound:
+            self.disappearances += 1
+            if not self._retry and target not in self._fallbacks:
+                raise
+        # The function disappeared under us: re-query and try once more
+        # (it may have been replaced, or a fallback may be exported).
+        functions = yield from self.refresh_interface()
+        if target in functions and self._retry:
+            result = yield from self._client.invoke(
+                self._loid, target, *args, timeout_schedule=timeout_schedule
+            )
+            return result
+        fallback = self._pick_fallback(target)
+        if fallback != target and fallback in functions:
+            self.fallbacks_used += 1
+            result = yield from self._client.invoke(
+                self._loid, fallback, *args, timeout_schedule=timeout_schedule
+            )
+            return result
+        raise MethodNotFound(self._loid, function)
+
+    def call_sync(self, function, *args, **kwargs):
+        """Run one defensive call to completion (test/driver helper)."""
+        return self._client.sim.run_process(self.call(function, *args, **kwargs))
+
+    def _pick_fallback(self, function):
+        return self._fallbacks.get(function, function)
+
+    def __repr__(self):
+        return f"<DCDOStub {self._loid} disappearances={self.disappearances}>"

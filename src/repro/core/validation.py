@@ -1,0 +1,267 @@
+"""Shared validation rules for DFMs and DFM descriptors (§2.4, §3.2).
+
+The same restrictions must hold whether a configuration change is made
+directly on a live DCDO's DFM or on a DFM descriptor inside a manager,
+so the rules are written once here against a small state protocol that
+both implement:
+
+- ``entry(function, component_id)`` -> entry or None (``.enabled``,
+  ``.exported``)
+- ``entries_for(function)`` -> list of entries
+- ``entries_in(component_id)`` -> list of entries
+- ``is_enabled(function, component_id)`` -> bool
+- ``enabled_components_of(function)`` -> set of component ids
+- ``marking(function)`` -> :class:`~repro.core.functions.Marking`
+- ``pin(function)`` -> component id or None (permanent pin)
+- ``dependencies`` -> list of :class:`~repro.core.dependency.Dependency`
+- ``component_ids`` -> set of incorporated component ids
+"""
+
+from repro.core.dependency import check_dependencies
+from repro.core.errors import (
+    AmbiguousFunction,
+    ComponentNotIncorporated,
+    FunctionNotEnabled,
+    MandatoryViolation,
+    MarkingConflict,
+    PermanenceViolation,
+)
+from repro.core.functions import Marking
+
+
+def _check_dependencies_with(state, is_enabled, enabled_components_of):
+    check_dependencies(state.dependencies, is_enabled, enabled_components_of)
+
+
+def check_state_consistent(state):
+    """Validate the state as it stands (used after atomic rebuilds)."""
+    for function, components in _enabled_map(state).items():
+        if len(components) > 1:
+            raise AmbiguousFunction(
+                f"{function!r} has multiple enabled implementations: {sorted(components)}"
+            )
+    _check_dependencies_with(state, state.is_enabled, state.enabled_components_of)
+    _check_markings(state)
+
+
+def _enabled_map(state):
+    enabled = {}
+    for component_id in state.component_ids:
+        for entry in state.entries_in(component_id):
+            if entry.enabled:
+                enabled.setdefault(entry.function, set()).add(component_id)
+    return enabled
+
+
+def _check_markings(state):
+    for function, marking in state.markings_items():
+        if marking is Marking.FULLY_DYNAMIC:
+            continue
+        enabled = state.enabled_components_of(function)
+        if not enabled:
+            raise MandatoryViolation(
+                f"{marking.value} function {function!r} has no enabled implementation"
+            )
+        if marking is Marking.PERMANENT:
+            pinned = state.pin(function)
+            if pinned is None or pinned not in enabled:
+                raise PermanenceViolation(
+                    f"permanent function {function!r} is not pinned to its "
+                    f"enabled implementation"
+                )
+
+
+def check_can_enable(state, function, component_id, enforce_dependencies=True):
+    """Rules for enabling the implementation of ``function`` in ``component_id``.
+
+    Beyond ambiguity and permanence, enabling can *activate* the
+    dependent side of a declared dependency, so dependencies are
+    checked against the post-enable state.  Manager-side descriptors
+    under configuration pass ``enforce_dependencies=False`` — they are
+    staging areas whose invariants are enforced when the version is
+    marked instantiable (§2.4); a *live* DFM enforces per operation,
+    because a violating enable is an immediately callable hazard.
+    """
+    entry = state.entry(function, component_id)
+    if entry is None:
+        raise ComponentNotIncorporated(
+            f"no implementation of {function!r} in component {component_id!r}"
+        )
+    if entry.enabled:
+        return
+    others = state.enabled_components_of(function) - {component_id}
+    if others:
+        raise AmbiguousFunction(
+            f"{function!r} already has an enabled implementation in "
+            f"{sorted(others)}; disable it first or use replace"
+        )
+    pinned = state.pin(function)
+    if pinned is not None and pinned != component_id:
+        raise PermanenceViolation(
+            f"{function!r} is permanently pinned to component {pinned!r}"
+        )
+    if not enforce_dependencies:
+        return
+
+    def is_enabled_after(target_function, target_component):
+        if (target_function, target_component) == (function, component_id):
+            return True
+        return state.is_enabled(target_function, target_component)
+
+    def enabled_components_after(target_function):
+        components = set(state.enabled_components_of(target_function))
+        if target_function == function:
+            components.add(component_id)
+        return components
+
+    _check_dependencies_with(state, is_enabled_after, enabled_components_after)
+
+
+def check_can_disable(state, function, component_id, enforce_dependencies=True):
+    """Rules for disabling the implementation of ``function`` in ``component_id``.
+
+    ``enforce_dependencies=False`` skips the static dependency veto —
+    used by the §3.2 thread-monitoring mode, where the disable was
+    postponed until every dependent's active thread count reached zero
+    instead of being statically refused.
+    """
+    entry = state.entry(function, component_id)
+    if entry is None or not entry.enabled:
+        raise FunctionNotEnabled(function, f"in component {component_id!r}")
+    marking = state.marking(function)
+    if marking is Marking.PERMANENT and state.pin(function) == component_id:
+        raise PermanenceViolation(
+            f"cannot disable permanent function {function!r} "
+            f"(pinned to {component_id!r})"
+        )
+    remaining = state.enabled_components_of(function) - {component_id}
+    if marking is Marking.MANDATORY and not remaining:
+        raise MandatoryViolation(
+            f"disabling {function!r} in {component_id!r} would leave the "
+            f"mandatory function with no enabled implementation"
+        )
+
+    if not enforce_dependencies:
+        return
+
+    def is_enabled_after(target_function, target_component):
+        if (target_function, target_component) == (function, component_id):
+            return False
+        return state.is_enabled(target_function, target_component)
+
+    def enabled_components_after(target_function):
+        components = set(state.enabled_components_of(target_function))
+        if target_function == function:
+            components.discard(component_id)
+        return components
+
+    _check_dependencies_with(state, is_enabled_after, enabled_components_after)
+
+
+def check_can_remove_component(state, component_id):
+    """Rules for removing a whole component.
+
+    Entries implemented by the component vanish; dependencies whose
+    *dependent* side lives only in this component are retracted with it
+    ("a dynamic function's 'mandatory' or 'permanent' status can be
+    essentially retracted when dependencies on it are removed", §3.2),
+    while dependencies *requiring* this component's implementations
+    must still hold for enabled dependents elsewhere.
+    """
+    if component_id not in state.component_ids:
+        raise ComponentNotIncorporated(f"component {component_id!r} is not incorporated")
+    removed_functions = {entry.function for entry in state.entries_in(component_id)}
+    for function in removed_functions:
+        marking = state.marking(function)
+        if marking is Marking.PERMANENT and state.pin(function) == component_id:
+            raise PermanenceViolation(
+                f"component {component_id!r} holds the permanent implementation "
+                f"of {function!r}"
+            )
+        if marking is Marking.MANDATORY:
+            remaining = state.enabled_components_of(function) - {component_id}
+            if not remaining:
+                raise MandatoryViolation(
+                    f"removing {component_id!r} would leave mandatory function "
+                    f"{function!r} with no enabled implementation"
+                )
+
+    surviving = [
+        dependency
+        for dependency in state.dependencies
+        if dependency.dependent_component != component_id
+    ]
+
+    def is_enabled_after(function, component):
+        if component == component_id:
+            return False
+        return state.is_enabled(function, component)
+
+    def enabled_components_after(function):
+        return state.enabled_components_of(function) - {component_id}
+
+    check_dependencies(surviving, is_enabled_after, enabled_components_after)
+    return surviving
+
+
+def check_can_incorporate(state, component):
+    """Rules for incorporating ``component`` (marking conflicts, §3.2).
+
+    "if a programmer attempts to incorporate component C that contains
+    permanent function F2, into a DFM descriptor that contains another
+    component with its own permanent implementation of function F1,
+    then the attempt to incorporate component C fails."
+    """
+    if component.component_id in state.component_ids:
+        from repro.core.errors import ComponentAlreadyIncorporated
+
+        raise ComponentAlreadyIncorporated(
+            f"component {component.component_id!r} is already incorporated"
+        )
+    for function, demanded in component.required_markings.items():
+        if demanded is not Marking.PERMANENT:
+            continue
+        pinned = state.pin(function)
+        if pinned is not None and pinned != component.component_id:
+            raise MarkingConflict(
+                f"component {component.component_id!r} demands the permanent "
+                f"implementation of {function!r}, already pinned to {pinned!r}"
+            )
+
+
+def check_instantiable(state):
+    """Rules for marking a version instantiable (§2.4, §3.2).
+
+    "If the DFM descriptor contains a mandatory dynamic function with
+    no enabled implementation, the version will not be allowed to be
+    marked instantiable."
+    """
+    check_state_consistent(state)
+
+
+def check_transition_preserves_rules(source, target):
+    """The hybrid policy's rule check (§3.5).
+
+    A transition must not remove a mandatory function or disable (or
+    re-pin) a permanent one relative to the *source* version.  Raises
+    the corresponding violation.
+    """
+    for function, marking in source.markings_items():
+        if marking is Marking.FULLY_DYNAMIC:
+            continue
+        if not target.marking(function).at_least(marking):
+            raise MandatoryViolation(
+                f"target version weakens {function!r} from {marking.value} "
+                f"to {target.marking(function).value}"
+            )
+        if not target.enabled_components_of(function):
+            raise MandatoryViolation(
+                f"target version has no enabled implementation of "
+                f"{marking.value} function {function!r}"
+            )
+        if marking is Marking.PERMANENT:
+            if target.pin(function) != source.pin(function):
+                raise PermanenceViolation(
+                    f"target version re-pins permanent function {function!r} "
+                    f"({source.pin(function)!r} -> {target.pin(function)!r})"
+                )

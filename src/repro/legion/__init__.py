@@ -1,0 +1,60 @@
+"""A Legion-like wide-area distributed object substrate (simulated).
+
+This package rebuilds the pieces of Legion the DCDO model depends on,
+per the paper's description of the host system:
+
+- :mod:`repro.legion.loid` — Legion object identifiers (LOIDs), the
+  global names for all objects.
+- :mod:`repro.legion.naming` — context space mapping path names to
+  LOIDs ("dynamic configurability can benefit from the global
+  namespace defined by the host system", §2.3).
+- :mod:`repro.legion.binding` — binding agents and per-object binding
+  caches; stale bindings take ~25-35 s to discover (§4).
+- :mod:`repro.legion.rpc` — the method-invocation protocol, including
+  timeout/retry/rebind behaviour.
+- :mod:`repro.legion.objects` — the active-object base class: mailbox,
+  method table, per-request simulated threads.
+- :mod:`repro.legion.implementation` — implementation binaries and the
+  chunked download protocol whose costs dominate baseline evolution.
+- :mod:`repro.legion.klass` — class objects, which create, activate,
+  deactivate, and migrate their instances.
+- :mod:`repro.legion.runtime` — the facade wiring a testbed into a
+  running Legion system.
+"""
+
+from repro.legion.binding import Binding, BindingAgent, BindingCache, StaleBindingStats
+from repro.legion.context_service import ContextService, bind_path, lookup_path
+from repro.legion.errors import (
+    LegionError,
+    MethodNotFound,
+    ObjectUnreachable,
+    UnknownObject,
+)
+from repro.legion.implementation import Implementation, ImplementationStore
+from repro.legion.klass import ClassObject
+from repro.legion.loid import LOID
+from repro.legion.naming import ContextSpace
+from repro.legion.objects import CallContext, LegionObject
+from repro.legion.runtime import LegionRuntime
+
+__all__ = [
+    "Binding",
+    "BindingAgent",
+    "BindingCache",
+    "CallContext",
+    "ClassObject",
+    "ContextService",
+    "ContextSpace",
+    "bind_path",
+    "lookup_path",
+    "Implementation",
+    "ImplementationStore",
+    "LOID",
+    "LegionError",
+    "LegionObject",
+    "LegionRuntime",
+    "MethodNotFound",
+    "ObjectUnreachable",
+    "StaleBindingStats",
+    "UnknownObject",
+]

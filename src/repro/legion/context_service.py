@@ -1,0 +1,85 @@
+"""The context space as a network service.
+
+Legion's name space is itself provided by objects; remote clients
+resolve path names by calling a context object.  This module wraps the
+runtime's :class:`~repro.legion.naming.ContextSpace` in an endpoint so
+lookups and binds made by distant objects pay real round trips (the
+local data structure remains available to the trusted runtime core).
+
+The DCDO model leans on this namespace for components (§2.3):
+registering a component binds its ICO under
+``/components/<type>/<component-id>``, so any object can find and
+incorporate a component knowing only its path name.
+"""
+
+from repro.legion.naming import ContextSpace
+
+
+class ContextService:
+    """Serves a :class:`ContextSpace` over the network.
+
+    Operations (request payload ``{"op": ..., ...}``):
+
+    - ``lookup``: path -> LOID (raises UnknownObject remotely);
+    - ``bind``: path + loid -> True;
+    - ``unbind``: path -> removed LOID;
+    - ``list``: path -> sorted entry names.
+    """
+
+    ADDRESS = "service/context"
+
+    def __init__(self, network, context_space=None):
+        self.space = context_space if context_space is not None else ContextSpace()
+        self.lookups_served = 0
+        self.binds_served = 0
+        from repro.net import Endpoint
+
+        self._endpoint = Endpoint(
+            network,
+            self.ADDRESS,
+            request_handler=self._handle_request,
+        )
+
+    def _handle_request(self, message):
+        payload = message.payload
+        op = payload.get("op")
+        if op == "lookup":
+            self.lookups_served += 1
+            return (self.space.lookup(payload["path"]), 0)
+        if op == "bind":
+            self.binds_served += 1
+            self.space.bind(payload["path"], payload["loid"])
+            return (True, 0)
+        if op == "unbind":
+            return (self.space.unbind(payload["path"]), 0)
+        if op == "list":
+            return (self.space.list_context(payload.get("path", "/")), 0)
+        raise ValueError(f"unknown context op {op!r}")
+        yield  # pragma: no cover - uniform generator shape
+
+
+def lookup_path(endpoint, path, timeout_s=5.0):
+    """Generator: resolve ``path`` through the context service.
+
+    For use by clients and objects (``yield from``); returns the LOID.
+    """
+    loid = yield from endpoint.request(
+        ContextService.ADDRESS,
+        {"op": "lookup", "path": path},
+        size_bytes=len(path),
+        timeout_s=timeout_s,
+        max_attempts=2,
+    )
+    return loid
+
+
+def bind_path(endpoint, path, loid, timeout_s=5.0):
+    """Generator: bind ``path`` to ``loid`` through the context service."""
+    result = yield from endpoint.request(
+        ContextService.ADDRESS,
+        {"op": "bind", "path": path, "loid": loid},
+        size_bytes=len(path) + 64,
+        timeout_s=timeout_s,
+        max_attempts=2,
+    )
+    return result

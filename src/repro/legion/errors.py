@@ -1,0 +1,42 @@
+"""Errors raised by the Legion substrate."""
+
+from repro.sim.errors import SimulationError
+
+
+class LegionError(SimulationError):
+    """Base class for Legion-level failures."""
+
+
+class UnknownObject(LegionError):
+    """No such LOID is known to the binding agent or class object."""
+
+
+class ObjectUnreachable(LegionError):
+    """All invocation attempts (including rebinding) failed."""
+
+    def __init__(self, loid, elapsed):
+        super().__init__(f"object {loid} unreachable after {elapsed:.3f}s")
+        self.loid = loid
+        self.elapsed = elapsed
+
+
+class MethodNotFound(LegionError):
+    """The target object has no such member function.
+
+    For DCDOs this is also how the *disappearing exported function
+    problem* (§3.1) surfaces at a client: the invocation was built
+    against an interface that no longer matches the object.
+    """
+
+    def __init__(self, loid, method):
+        super().__init__(f"object {loid} has no method {method!r}")
+        self.loid = loid
+        self.method = method
+
+
+class ObjectDeactivated(LegionError):
+    """The object exists but is not currently active on any host."""
+
+
+class ImplementationUnavailable(LegionError):
+    """No implementation compatible with the target host exists."""

@@ -1,0 +1,150 @@
+"""Implementation binaries and the chunked download protocol.
+
+A normal Legion object's behaviour is "defined by a static monolithic
+executable" (§2); the executable must be present on a host before the
+object can activate there.  The :class:`ImplementationStore` is the
+service objects download binaries from, using a chunked protocol whose
+calibrated per-chunk cost reproduces the paper's measured download
+times (5.1 MB ≈ 15–25 s, 550 KB ≈ 4 s).
+
+The same transfer path moves DCDO component data out of ICOs, so the
+"uncached component incorporation is download-dominated" result (§4)
+falls out of shared machinery.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.legion.errors import ImplementationUnavailable
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """A monolithic executable implementing an object type.
+
+    Attributes
+    ----------
+    impl_id:
+        Globally unique name of the binary (also its cache key).
+    size_bytes:
+        Binary size; drives download time.
+    architecture:
+        Architecture the binary runs on.
+    functions:
+        Mapping of member-function name -> body callable.  Frozen at
+        build time — this is exactly the rigidity DCDOs remove.
+    version_tag:
+        Human-readable version label for the baseline's "new
+        executable per version" model.
+    """
+
+    impl_id: str
+    size_bytes: int
+    architecture: str = "x86-linux"
+    functions: dict = field(default_factory=dict)
+    version_tag: str = "1"
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    def runs_on(self, host):
+        """True if this binary matches the host's architecture."""
+        return self.architecture == host.architecture
+
+
+class ImplementationStore:
+    """The service holding implementation binaries for download.
+
+    One store serves the whole testbed (like a Legion vault holding
+    implementation objects).  Hosts download through
+    :meth:`download_to`, which charges the full chunked protocol and
+    populates the host's file cache.
+    """
+
+    ADDRESS = "service/impl-store"
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+        self._implementations = {}
+        self.downloads_served = 0
+        from repro.net import Endpoint
+
+        self._endpoint = Endpoint(
+            runtime.network,
+            self.ADDRESS,
+            request_handler=self._handle_request,
+        )
+
+    def publish(self, implementation):
+        """Make ``implementation`` downloadable; returns it."""
+        self._implementations[implementation.impl_id] = implementation
+        return implementation
+
+    def get(self, impl_id):
+        """Return the published implementation.
+
+        Raises :class:`ImplementationUnavailable` for unknown ids.
+        """
+        implementation = self._implementations.get(impl_id)
+        if implementation is None:
+            raise ImplementationUnavailable(f"no implementation {impl_id!r} published")
+        return implementation
+
+    def find_for_host(self, candidates, host):
+        """Pick the first candidate id whose binary runs on ``host``."""
+        for impl_id in candidates:
+            implementation = self._implementations.get(impl_id)
+            if implementation is not None and implementation.runs_on(host):
+                return implementation
+        raise ImplementationUnavailable(
+            f"no implementation among {list(candidates)!r} runs on {host.architecture}"
+        )
+
+    def ensure_cached(self, host, impl_id, requester_endpoint):
+        """Generator: make ``impl_id`` present in ``host.cache``.
+
+        Returns the simulated seconds spent downloading (0.0 on a cache
+        hit).  ``requester_endpoint`` is the endpoint on the
+        downloading side; chunk requests travel as real messages so
+        bandwidth contention is modeled.
+        """
+        implementation = self.get(impl_id)
+        if host.cache.lookup(impl_id) is not None:
+            return 0.0
+        sim = self._runtime.sim
+        calibration = self._runtime.calibration
+        started = sim.now
+        # Protocol setup: bind the store, open the transfer, create the
+        # local file.
+        yield sim.timeout(calibration.download_setup_s)
+        chunk_bytes = calibration.download_chunk_bytes
+        remaining = implementation.size_bytes
+        while True:
+            request_bytes = min(chunk_bytes, remaining) if remaining else 0
+            yield from requester_endpoint.request(
+                self.ADDRESS,
+                {"op": "chunk", "impl_id": impl_id, "bytes": request_bytes},
+                size_bytes=64,
+                timeout_s=30.0,
+                max_attempts=3,
+            )
+            # Per-chunk processing on the receiving host: checksum,
+            # decompress, write to local disk.
+            yield host.cpu_work(calibration.download_chunk_process_s)
+            remaining -= request_bytes
+            if remaining <= 0:
+                break
+        host.cache.insert(impl_id, implementation.size_bytes)
+        self.downloads_served += 1
+        return sim.now - started
+
+    def _handle_request(self, message):
+        payload = message.payload
+        if payload.get("op") != "chunk":
+            raise ValueError(f"unknown impl-store op {payload.get('op')!r}")
+        # The store reads the chunk from its disk before replying; the
+        # reply's size charges the wire.
+        implementation = self.get(payload["impl_id"])
+        del implementation  # existence check only; content is simulated
+        yield self._runtime.sim.timeout(self._runtime.calibration.disk_seek_s)
+        return ("chunk-data", payload["bytes"])

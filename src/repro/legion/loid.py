@@ -1,0 +1,57 @@
+"""Legion object identifiers.
+
+Every object in the system — user objects, class objects, ICOs, DCDO
+Managers, service objects — is named by a :class:`LOID`: a globally
+unique, location-independent identifier.  LOIDs carry a *domain*, a
+*type name*, and an *instance number*, mirroring Legion's structured
+identifiers while staying printable and hashable.
+"""
+
+import itertools
+from dataclasses import dataclass
+
+_instance_counters = {}
+
+
+@dataclass(frozen=True, order=True)
+class LOID:
+    """A location-independent object identifier.
+
+    Attributes
+    ----------
+    domain:
+        Administrative domain string (one per runtime by default).
+    type_name:
+        The name of the object's type (its class object's name).
+    instance:
+        Instance number, unique within (domain, type_name).
+    """
+
+    domain: str
+    type_name: str
+    instance: int
+
+    def __str__(self):
+        return f"{self.domain}/{self.type_name}#{self.instance}"
+
+    @property
+    def is_class(self):
+        """True for class-object LOIDs (instance 0 by convention)."""
+        return self.instance == 0
+
+
+def mint_loid(domain, type_name):
+    """Create a fresh instance LOID for (domain, type_name).
+
+    Instance numbers start at 1; 0 is reserved for the class object
+    itself (see :func:`class_loid`).
+    """
+    key = (domain, type_name)
+    if key not in _instance_counters:
+        _instance_counters[key] = itertools.count(1)
+    return LOID(domain, type_name, next(_instance_counters[key]))
+
+
+def class_loid(domain, type_name):
+    """The LOID of the class object for (domain, type_name)."""
+    return LOID(domain, type_name, 0)

@@ -1,0 +1,93 @@
+"""Context space: the global path-name namespace.
+
+Legion names objects through *contexts*, hierarchical directories
+mapping string names to LOIDs.  The DCDO model leans on this namespace
+for implementation components (§2.3): "implementation components can
+be named using whatever scheme exists for naming objects in the
+system", so ICOs are registered here like any other object.
+
+The context space is a logical service; lookups made by remote objects
+travel through RPC at the runtime layer.  This module is the data
+structure itself.
+"""
+
+from repro.legion.errors import UnknownObject
+
+
+class ContextSpace:
+    """A hierarchical name -> LOID directory.
+
+    Paths are slash-separated (``/home/impls/sorter-v2``); intermediate
+    contexts are created on demand by :meth:`bind`.
+    """
+
+    def __init__(self):
+        self._root = {}
+
+    @staticmethod
+    def _split(path):
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            raise ValueError(f"invalid path {path!r}")
+        return parts
+
+    def bind(self, path, loid):
+        """Bind ``path`` to ``loid``, creating intermediate contexts."""
+        *dirs, leaf = self._split(path)
+        node = self._root
+        for part in dirs:
+            child = node.get(part)
+            if child is None:
+                child = node[part] = {}
+            elif not isinstance(child, dict):
+                raise ValueError(f"path component {part!r} is a leaf, not a context")
+            node = child
+        if isinstance(node.get(leaf), dict):
+            raise ValueError(f"path {path!r} names a context, not a leaf")
+        node[leaf] = loid
+
+    def lookup(self, path):
+        """Return the LOID bound at ``path``.
+
+        Raises :class:`UnknownObject` if the path is unbound or names
+        an intermediate context.
+        """
+        node = self._root
+        for part in self._split(path):
+            if not isinstance(node, dict) or part not in node:
+                raise UnknownObject(f"no object bound at {path!r}")
+            node = node[part]
+        if isinstance(node, dict):
+            raise UnknownObject(f"{path!r} is a context, not an object")
+        return node
+
+    def unbind(self, path):
+        """Remove the binding at ``path``; returns the LOID removed."""
+        *dirs, leaf = self._split(path)
+        node = self._root
+        for part in dirs:
+            node = node.get(part)
+            if not isinstance(node, dict):
+                raise UnknownObject(f"no context at {path!r}")
+        if leaf not in node or isinstance(node[leaf], dict):
+            raise UnknownObject(f"no object bound at {path!r}")
+        return node.pop(leaf)
+
+    def list_context(self, path="/"):
+        """Return sorted names in the context at ``path``."""
+        node = self._root
+        parts = [part for part in path.split("/") if part]
+        for part in parts:
+            if not isinstance(node, dict) or part not in node:
+                raise UnknownObject(f"no context at {path!r}")
+            node = node[part]
+        if not isinstance(node, dict):
+            raise UnknownObject(f"{path!r} is an object, not a context")
+        return sorted(node)
+
+    def __contains__(self, path):
+        try:
+            self.lookup(path)
+        except (UnknownObject, ValueError):
+            return False
+        return True

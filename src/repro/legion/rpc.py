@@ -1,0 +1,178 @@
+"""The Legion method-invocation protocol.
+
+A :class:`MethodInvoker` turns ``invoke(loid, method, args)`` into
+request/reply traffic, resolving LOIDs through a binding cache backed
+by the binding agent.  Its retry behaviour is where the paper's
+stale-binding cost lives: after an object moves, the invoker walks a
+timeout schedule against the dead address (cumulatively ~30 s by
+default calibration) before concluding the binding is stale, re-
+resolving, and retrying at the fresh address.
+"""
+
+from dataclasses import dataclass
+
+from repro.legion.binding import BindingAgent
+from repro.legion.errors import MethodNotFound, ObjectUnreachable, UnknownObject
+from repro.net import RemoteError, RequestTimeout
+
+
+@dataclass
+class InvokeStats:
+    """Per-invoker counters used by tests and benchmarks."""
+
+    invocations: int = 0
+    retries: int = 0
+    rebinds: int = 0
+
+    def reset(self):
+        """Zero all counters."""
+        self.invocations = 0
+        self.retries = 0
+        self.rebinds = 0
+
+
+class MethodInvoker:
+    """Client-side machinery for remote method invocation.
+
+    Parameters
+    ----------
+    endpoint:
+        The transport endpoint invocations are sent from.
+    binding_cache:
+        This client's binding cache.
+    calibration:
+        Cost model (timeout schedule, marshalling cost, payload size).
+    rng:
+        Optional RNG for timeout jitter.
+    """
+
+    def __init__(self, endpoint, binding_cache, calibration, rng=None):
+        self._endpoint = endpoint
+        self._cache = binding_cache
+        self._calibration = calibration
+        self._rng = rng
+        self.stats = InvokeStats()
+
+    @property
+    def endpoint(self):
+        """The transport endpoint invocations are sent from."""
+        return self._endpoint
+
+    @property
+    def binding_cache(self):
+        """This client's binding cache."""
+        return self._cache
+
+    def _resolve_remote(self, loid):
+        """Generator: ask the binding agent for a fresh binding."""
+        try:
+            binding = yield from self._endpoint.request(
+                BindingAgent.ADDRESS,
+                {"op": "resolve", "loid": loid},
+                size_bytes=128,
+                timeout_s=2.0,
+                max_attempts=2,
+            )
+        except RemoteError as error:
+            if isinstance(error.cause, UnknownObject):
+                raise error.cause
+            raise
+        self._cache.put(binding)
+        return binding
+
+    def _timeout_schedule(self, override=None):
+        schedule = override or self._calibration.rebind_timeout_schedule_s
+        if self._rng is None:
+            return list(schedule)
+        return [self._rng.jitter("rpc-timeouts", t, 0.15) for t in schedule]
+
+    def invoke(
+        self,
+        loid,
+        method,
+        args=(),
+        payload_bytes=None,
+        timeout_schedule=None,
+    ):
+        """Generator: invoke ``method`` on the object named ``loid``.
+
+        Returns the method's result.  Raises:
+
+        - :class:`MethodNotFound` — the target has no such (enabled,
+          exported) function; for DCDOs this is the §3.1 disappearing
+          exported function problem reaching the client.
+        - :class:`ObjectUnreachable` — the object could not be reached
+          even after rebinding.
+        - any application exception the remote method raised.
+
+        ``timeout_schedule`` overrides the calibrated per-attempt reply
+        timeouts; callers invoking operations known to run long (e.g.
+        management-plane evolution calls) pass a generous schedule so a
+        slow server is not mistaken for a dead one and re-executed.
+        """
+        payload_bytes = (
+            self._calibration.method_message_bytes if payload_bytes is None else payload_bytes
+        )
+        started = self._endpoint.sim.now
+        self.stats.invocations += 1
+
+        # Client-side marshalling / stub dispatch cost.
+        yield self._endpoint.sim.timeout(self._calibration.method_dispatch_s)
+
+        binding = self._cache.get(loid)
+        if binding is None:
+            binding = yield from self._resolve_remote(loid)
+
+        request = {"op": "invoke", "method": method, "args": tuple(args)}
+        for stale_round in range(2):
+            try:
+                result = yield from self._attempt_at(
+                    binding, request, payload_bytes, timeout_schedule
+                )
+                return result
+            except RequestTimeout:
+                elapsed = self._endpoint.sim.now - started
+                if stale_round == 1:
+                    raise ObjectUnreachable(loid, elapsed)
+                # The binding looks stale: every attempt in the schedule
+                # timed out.  Record the discovery and rebind.
+                self._cache.record_stale_discovery(elapsed)
+                self._cache.invalidate(loid)
+                self.stats.rebinds += 1
+                fresh = yield from self._resolve_remote(loid)
+                if fresh.address == binding.address and fresh.incarnation == binding.incarnation:
+                    raise ObjectUnreachable(loid, self._endpoint.sim.now - started)
+                binding = fresh
+
+    def _attempt_at(self, binding, request, payload_bytes, timeout_schedule=None):
+        """Generator: walk the timeout schedule against one address."""
+        schedule = self._timeout_schedule(timeout_schedule)
+        last_error = None
+        for index, timeout_s in enumerate(schedule):
+            if index > 0:
+                self.stats.retries += 1
+            try:
+                reply = yield from self._endpoint.request(
+                    binding.address,
+                    request,
+                    size_bytes=payload_bytes,
+                    timeout_s=timeout_s,
+                    max_attempts=1,
+                )
+            except RequestTimeout as timeout_error:
+                last_error = timeout_error
+                continue
+            except RemoteError as error:
+                raise self._unwrap(error)
+            return reply
+        raise last_error
+
+    @staticmethod
+    def _unwrap(error):
+        """Surface application/Legion errors thrown by the remote side."""
+        cause = error.cause
+        if isinstance(cause, (MethodNotFound, UnknownObject)):
+            return cause
+        if isinstance(cause, Exception) and not isinstance(cause, RemoteError):
+            return cause
+        return error

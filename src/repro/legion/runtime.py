@@ -1,0 +1,220 @@
+"""The Legion runtime facade.
+
+:class:`LegionRuntime` wires a :class:`~repro.cluster.testbed.Testbed`
+into a running Legion system: binding agent, implementation store,
+context space, and the registry of class objects and live instances.
+Everything the examples and benchmarks touch goes through this facade.
+"""
+
+from repro.legion.binding import BindingAgent, BindingCache
+from repro.legion.context_service import ContextService, lookup_path
+from repro.legion.errors import UnknownObject
+from repro.legion.implementation import ImplementationStore
+from repro.legion.klass import ClassObject
+from repro.legion.rpc import MethodInvoker
+
+
+class Client:
+    """A pure client: an endpoint + invoker not backed by an object.
+
+    Used by tests, examples, and benchmarks to play the role of "some
+    other object in the system" calling into the objects under test.
+    """
+
+    _counter = 0
+
+    def __init__(self, runtime, host, name=None):
+        Client._counter += 1
+        self._runtime = runtime
+        self._host = host
+        address = name or f"{host.name}/client#{Client._counter}"
+        from repro.net import Endpoint
+
+        self.endpoint = Endpoint(runtime.network, address)
+        self.binding_cache = BindingCache()
+        self.invoker = MethodInvoker(
+            self.endpoint, self.binding_cache, runtime.calibration, rng=runtime.rng
+        )
+
+    @property
+    def sim(self):
+        """The simulator."""
+        return self._runtime.sim
+
+    def invoke(self, loid, method, *args, timeout_schedule=None):
+        """Generator: remote method invocation (see MethodInvoker)."""
+        return self.invoker.invoke(loid, method, args, timeout_schedule=timeout_schedule)
+
+    def call_sync(self, loid, method, *args, timeout_schedule=None):
+        """Run a single invocation to completion from outside a process.
+
+        Convenience for tests: spawns a driver process and runs the
+        simulator until the result is available.
+        """
+        return self._runtime.sim.run_process(
+            self.invoke(loid, method, *args, timeout_schedule=timeout_schedule)
+        )
+
+    def lookup_path(self, path):
+        """Generator: resolve a context path to a LOID over the network."""
+        return lookup_path(self.endpoint, path)
+
+    def lookup_path_sync(self, path):
+        """Resolve a context path to completion (test/driver helper)."""
+        return self._runtime.sim.run_process(self.lookup_path(path))
+
+
+class LegionRuntime:
+    """A running Legion system on a simulated testbed.
+
+    Parameters
+    ----------
+    testbed:
+        The cluster to run on.
+    domain:
+        Administrative domain used in LOIDs.
+    """
+
+    def __init__(self, testbed, domain="legion"):
+        self._testbed = testbed
+        self._domain = domain
+        self.binding_agent = BindingAgent(testbed.network)
+        self.implementation_store = ImplementationStore(self)
+        self.context_service = ContextService(testbed.network)
+        #: Optional :class:`~repro.obs.trace.Tracer`; when attached,
+        #: configuration-plane events are recorded through
+        #: :meth:`trace`.
+        self.tracer = None
+        self._classes = {}
+        self._objects = {}
+
+    def trace(self, category, subject, **details):
+        """Record a trace event if a tracer is attached (else no-op)."""
+        if self.tracer is not None:
+            self.tracer.record(category, subject, **details)
+
+    @property
+    def context_space(self):
+        """The global name space (local view; remote objects use the
+        context service's network interface)."""
+        return self.context_service.space
+
+    # ------------------------------------------------------------------
+    # Substrate accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def testbed(self):
+        """The underlying cluster."""
+        return self._testbed
+
+    @property
+    def sim(self):
+        """The simulator."""
+        return self._testbed.sim
+
+    @property
+    def network(self):
+        """The network fabric."""
+        return self._testbed.network
+
+    @property
+    def calibration(self):
+        """The cost model."""
+        return self._testbed.calibration
+
+    @property
+    def rng(self):
+        """The deterministic RNG."""
+        return self._testbed.rng
+
+    @property
+    def domain(self):
+        """LOID domain for this runtime."""
+        return self._domain
+
+    @property
+    def hosts(self):
+        """Host name -> Host."""
+        return self._testbed.hosts
+
+    def host(self, name):
+        """Return the named host; raises ``KeyError`` if unknown."""
+        return self._testbed.hosts[name]
+
+    def vault_of(self, host):
+        """The vault co-located with ``host``."""
+        return self._testbed.vaults[host.name]
+
+    # ------------------------------------------------------------------
+    # Classes and objects
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        type_name,
+        implementations=(),
+        instance_factory=None,
+        host_name=None,
+        class_factory=None,
+    ):
+        """Create, publish, and activate a class object for ``type_name``.
+
+        ``class_factory`` lets callers substitute a :class:`ClassObject`
+        subclass (the DCDO Manager does this); it must accept the same
+        leading arguments.
+        """
+        if type_name in self._classes:
+            raise ValueError(f"class {type_name!r} already defined")
+        host = self.host(host_name) if host_name else next(iter(self.hosts.values()))
+        for implementation in implementations:
+            self.implementation_store.publish(implementation)
+        factory = class_factory or ClassObject
+        class_object = factory(
+            self,
+            type_name,
+            host,
+            implementations=implementations,
+            instance_factory=instance_factory,
+        )
+        self.sim.run_process(class_object.activate())
+        self._classes[type_name] = class_object
+        self._objects[class_object.loid] = class_object
+        self.context_space.bind(f"/classes/{type_name}", class_object.loid)
+        return class_object
+
+    def class_of(self, type_name):
+        """Return the class object for ``type_name``."""
+        class_object = self._classes.get(type_name)
+        if class_object is None:
+            raise UnknownObject(f"no class {type_name!r} defined")
+        return class_object
+
+    def attach_object(self, obj):
+        """Register a live object so the runtime can find it by LOID."""
+        self._objects[obj.loid] = obj
+
+    def find_object(self, loid):
+        """Return the live object for ``loid`` (runtime-internal uses).
+
+        Raises :class:`UnknownObject` if no such object is attached.
+        """
+        obj = self._objects.get(loid)
+        if obj is None:
+            raise UnknownObject(f"no live object {loid}")
+        return obj
+
+    def make_client(self, host_name=None, name=None):
+        """Create a :class:`Client` homed on the given (or first) host."""
+        host = self.host(host_name) if host_name else next(iter(self.hosts.values()))
+        return Client(self, host, name=name)
+
+    def run(self, until=None):
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)
+
+    def __repr__(self):
+        return (
+            f"<LegionRuntime domain={self._domain} classes={len(self._classes)} "
+            f"t={self.sim.now:g}>"
+        )

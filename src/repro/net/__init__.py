@@ -1,0 +1,37 @@
+"""Simulated network: messages, links, fabric, and reliable transport.
+
+The model is a switched LAN in the style of the paper's testbed (100
+Mbps switched Ethernet): every host has its own full-duplex port into
+the switch, so transmissions from different hosts do not contend, while
+messages from one host serialize on its egress port.  Message delivery
+time is ``propagation latency + size / bandwidth``.
+
+Fault injection (drops and partitions) is built into the fabric so
+tests can exercise timeout/retry behaviour in the layers above.
+"""
+
+from repro.net.fabric import Network, NetworkStats
+from repro.net.faults import DropRule, FaultPlan, Partition
+from repro.net.link import Port
+from repro.net.message import Message, next_message_id
+from repro.net.transport import (
+    Endpoint,
+    RemoteError,
+    RequestTimeout,
+    TransportError,
+)
+
+__all__ = [
+    "DropRule",
+    "Endpoint",
+    "FaultPlan",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Partition",
+    "Port",
+    "RemoteError",
+    "RequestTimeout",
+    "TransportError",
+    "next_message_id",
+]

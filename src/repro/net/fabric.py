@@ -1,0 +1,179 @@
+"""The network fabric: a switched LAN connecting endpoint ports.
+
+The fabric owns the address → :class:`Port` mapping, applies the fault
+plan, and charges each message its egress transmission time plus a
+propagation latency.  Defaults match the paper's testbed: 100 Mbps
+switched Ethernet with sub-millisecond LAN latency.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.net.faults import FaultPlan
+from repro.net.link import Port
+
+# 100 Mbps expressed in bytes per second.
+DEFAULT_BANDWIDTH_BPS = 100e6 / 8
+# One-way propagation + switch latency on the LAN.
+DEFAULT_LATENCY_S = 100e-6
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for a fabric, used by tests and reports."""
+
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_delivered: int = 0
+    deliveries_by_kind: dict = field(default_factory=dict)
+
+    def record_delivery(self, message):
+        """Account a successful delivery."""
+        self.messages_delivered += 1
+        self.bytes_delivered += message.wire_bytes
+        self.deliveries_by_kind[message.kind] = self.deliveries_by_kind.get(message.kind, 0) + 1
+
+    def record_drop(self):
+        """Account a message destroyed by the fault plan."""
+        self.messages_dropped += 1
+
+
+class Network:
+    """A switched LAN fabric.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    latency_s:
+        One-way propagation latency between any two ports.
+    bandwidth_bps:
+        Default per-port egress bandwidth, in bytes per second.
+    """
+
+    def __init__(self, sim, latency_s=DEFAULT_LATENCY_S, bandwidth_bps=DEFAULT_BANDWIDTH_BPS):
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self._sim = sim
+        self._latency_s = latency_s
+        self._default_bandwidth_bps = bandwidth_bps
+        self._ports = {}
+        # Wide-area topology: address prefixes map to sites, and pairs
+        # of sites may override the propagation latency.  Everything
+        # not assigned lives in the default site (the LAN case).
+        self._site_prefixes = []
+        self._intersite_latency = {}
+        self.faults = FaultPlan()
+        self.stats = NetworkStats()
+
+    @property
+    def sim(self):
+        """The owning simulator."""
+        return self._sim
+
+    @property
+    def latency_s(self):
+        """One-way propagation latency."""
+        return self._latency_s
+
+    def attach(self, address, bandwidth_bps=None):
+        """Create and register a port for ``address``; returns the port.
+
+        ``bandwidth_bps=None`` means the fabric default; an explicit
+        invalid value (e.g. 0) is rejected by the port.
+        """
+        if address in self._ports:
+            raise ValueError(f"address {address!r} already attached")
+        if bandwidth_bps is None:
+            bandwidth_bps = self._default_bandwidth_bps
+        port = Port(self._sim, address, bandwidth_bps)
+        self._ports[address] = port
+        return port
+
+    def detach(self, address):
+        """Remove the port for ``address``; in-flight messages are lost."""
+        self._ports.pop(address, None)
+
+    def port(self, address):
+        """Return the port registered for ``address``.
+
+        Raises ``KeyError`` for unknown addresses; callers that model
+        "host unreachable" should use :meth:`knows` first.
+        """
+        return self._ports[address]
+
+    def knows(self, address):
+        """True if a port is attached at ``address``."""
+        return address in self._ports
+
+    # ------------------------------------------------------------------
+    # Wide-area topology (the paper's setting is a wide-area system;
+    # the measured testbed is one LAN site, which remains the default)
+    # ------------------------------------------------------------------
+
+    DEFAULT_SITE = "core"
+
+    def assign_site(self, address_prefix, site):
+        """Place every address starting with ``address_prefix`` in ``site``."""
+        self._site_prefixes.append((address_prefix, site))
+        # Longest prefix wins on overlap.
+        self._site_prefixes.sort(key=lambda pair: -len(pair[0]))
+
+    def site_of(self, address):
+        """The site an address belongs to (DEFAULT_SITE if unassigned)."""
+        for prefix, site in self._site_prefixes:
+            if address.startswith(prefix):
+                return site
+        return self.DEFAULT_SITE
+
+    def set_intersite_latency(self, site_a, site_b, latency_s):
+        """Set the one-way latency between two sites (symmetric)."""
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self._intersite_latency[frozenset((site_a, site_b))] = latency_s
+
+    def latency_between(self, source, destination):
+        """One-way latency for a (source, destination) address pair."""
+        site_a = self.site_of(source)
+        site_b = self.site_of(destination)
+        if site_a == site_b:
+            return self._latency_s
+        return self._intersite_latency.get(
+            frozenset((site_a, site_b)), self._latency_s
+        )
+
+    def send(self, message):
+        """Start delivering ``message``; returns the delivery process.
+
+        The returned :class:`~repro.sim.Process` completes when the
+        message has been delivered or silently destroyed; senders
+        normally do not wait on it (fire-and-forget, like a datagram).
+        """
+        if message.source not in self._ports:
+            raise ValueError(f"unknown source address {message.source!r}")
+        return self._sim.spawn(self._deliver(message), name=f"deliver#{message.message_id}")
+
+    def _deliver(self, message):
+        source_port = self._ports[message.source]
+        # Serialize on the sender's egress port (bandwidth).
+        yield from source_port.transmit(message)
+        # Propagate across the switch (or the wide-area path).
+        yield self._sim.timeout(self.latency_between(message.source, message.destination))
+        if self.faults.swallows(message, self._sim.now):
+            self.stats.record_drop()
+            return False
+        destination_port = self._ports.get(message.destination)
+        if destination_port is None:
+            # Destination vanished (crashed / detached): silent loss,
+            # exactly like a frame to a dead NIC.
+            self.stats.record_drop()
+            return False
+        destination_port.deliver(message)
+        self.stats.record_delivery(message)
+        return True
+
+    def transfer_time(self, size_bytes):
+        """Ideal one-way time to move ``size_bytes`` (no contention)."""
+        return self._latency_s + size_bytes / self._default_bandwidth_bps
+
+    def __repr__(self):
+        return f"<Network ports={len(self._ports)} delivered={self.stats.messages_delivered}>"

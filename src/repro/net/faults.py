@@ -1,0 +1,125 @@
+"""Fault injection for the network fabric.
+
+Faults are expressed declaratively and attached to a
+:class:`FaultPlan` consulted by the fabric on every send:
+
+- :class:`DropRule` — drop messages matching a predicate, optionally
+  only the first N matches or only within a time window.
+- :class:`Partition` — block all traffic between two address groups
+  for a time window (or until healed).
+
+The layers above (transport retries, binding caches) are the code under
+test when faults fire; the fabric itself stays silent, exactly like a
+real switch dropping a frame.
+"""
+
+
+class DropRule:
+    """Drop messages that match a predicate.
+
+    Parameters
+    ----------
+    predicate:
+        ``predicate(message) -> bool``; ``None`` matches everything.
+    count:
+        Drop at most this many matching messages (``None`` = no limit).
+    start, end:
+        Simulated-time window in which the rule is active.
+    """
+
+    def __init__(self, predicate=None, count=None, start=0.0, end=None):
+        if count is not None and count < 1:
+            raise ValueError(f"count must be >= 1 or None, got {count}")
+        self._predicate = predicate
+        self._remaining = count
+        self._start = start
+        self._end = end
+        self.dropped = 0
+
+    def should_drop(self, message, now):
+        """True if this rule drops ``message`` at time ``now``."""
+        if now < self._start:
+            return False
+        if self._end is not None and now >= self._end:
+            return False
+        if self._remaining is not None and self._remaining <= 0:
+            return False
+        if self._predicate is not None and not self._predicate(message):
+            return False
+        if self._remaining is not None:
+            self._remaining -= 1
+        self.dropped += 1
+        return True
+
+
+class Partition:
+    """A bidirectional partition between two sets of addresses."""
+
+    def __init__(self, group_a, group_b, start=0.0, end=None):
+        self._group_a = frozenset(group_a)
+        self._group_b = frozenset(group_b)
+        if self._group_a & self._group_b:
+            raise ValueError("partition groups must be disjoint")
+        self._start = start
+        self._end = end
+        self.blocked = 0
+
+    def heal(self, now):
+        """End the partition at time ``now``."""
+        self._end = now
+
+    def blocks(self, message, now):
+        """True if the partition severs this message's path at ``now``."""
+        if now < self._start:
+            return False
+        if self._end is not None and now >= self._end:
+            return False
+        crosses = (
+            message.source in self._group_a and message.destination in self._group_b
+        ) or (message.source in self._group_b and message.destination in self._group_a)
+        if crosses:
+            self.blocked += 1
+        return crosses
+
+
+class FaultPlan:
+    """The set of active faults consulted by the fabric."""
+
+    def __init__(self):
+        self._drop_rules = []
+        self._partitions = []
+
+    @property
+    def drop_rules(self):
+        """The registered drop rules (read-only view by convention)."""
+        return list(self._drop_rules)
+
+    @property
+    def partitions(self):
+        """The registered partitions (read-only view by convention)."""
+        return list(self._partitions)
+
+    def add_drop_rule(self, rule):
+        """Register a :class:`DropRule` and return it."""
+        self._drop_rules.append(rule)
+        return rule
+
+    def add_partition(self, partition):
+        """Register a :class:`Partition` and return it."""
+        self._partitions.append(partition)
+        return partition
+
+    def clear(self):
+        """Remove all faults."""
+        self._drop_rules.clear()
+        self._partitions.clear()
+
+    def swallows(self, message, now):
+        """True if any active fault destroys ``message`` at ``now``."""
+        for partition in self._partitions:
+            if partition.blocks(message, now):
+                return True
+        for rule in self._drop_rules:
+            if rule.should_drop(message, now):
+                return True
+        return False

@@ -1,0 +1,80 @@
+"""Per-host network ports.
+
+A :class:`Port` models one host's full-duplex connection to the
+switch: an egress queue serialized at the port's bandwidth, and an
+ingress queue that the endpoint's receive loop drains.  Transmissions
+from different hosts never contend (switched Ethernet), but messages
+leaving one host go out one at a time in FIFO order.
+"""
+
+from repro.sim import Queue, Semaphore
+
+
+class Port:
+    """One endpoint's attachment to the network fabric.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    address:
+        The endpoint address this port serves.
+    bandwidth_bps:
+        Egress bandwidth in *bytes* per second.
+    """
+
+    def __init__(self, sim, address, bandwidth_bps):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self._sim = sim
+        self._address = address
+        self._bandwidth_bps = float(bandwidth_bps)
+        self._egress = Semaphore(sim, permits=1, name=f"{address}.egress")
+        self._inbox = Queue(sim, name=f"{address}.inbox")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    @property
+    def address(self):
+        """The endpoint address this port serves."""
+        return self._address
+
+    @property
+    def bandwidth_bps(self):
+        """Egress bandwidth in bytes per second."""
+        return self._bandwidth_bps
+
+    @property
+    def inbox(self):
+        """Queue of delivered messages, drained by the endpoint."""
+        return self._inbox
+
+    def transmission_time(self, wire_bytes):
+        """Seconds this port's transmitter is busy sending ``wire_bytes``."""
+        return wire_bytes / self._bandwidth_bps
+
+    def transmit(self, message):
+        """Process body: occupy the egress port for the message's wire time.
+
+        Returns a generator to be driven with ``yield from``.  On
+        return, the message has fully left the host; propagation and
+        delivery are the fabric's job.
+        """
+        yield self._egress.acquire()
+        try:
+            yield self._sim.timeout(self.transmission_time(message.wire_bytes))
+        finally:
+            self._egress.release()
+        self.bytes_sent += message.wire_bytes
+        self.messages_sent += 1
+
+    def deliver(self, message):
+        """Place a fully-propagated message in this port's inbox."""
+        self.bytes_received += message.wire_bytes
+        self.messages_received += 1
+        self._inbox.put_nowait(message)
+
+    def __repr__(self):
+        return f"<Port {self._address} rx={self.messages_received} tx={self.messages_sent}>"

@@ -1,0 +1,78 @@
+"""Network messages.
+
+A :class:`Message` is the unit of transfer on the simulated fabric.
+Sizes are explicit (in bytes) because transfer time — not content — is
+what the reproduction measures; payloads are ordinary Python objects
+and are never serialized for real.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+
+_message_counter = itertools.count(1)
+
+# Fixed per-message framing overhead, roughly Ethernet + IP + UDP
+# headers plus the Legion message header.  Charged on every transfer so
+# that zero-payload control messages still cost wire time.
+HEADER_BYTES = 128
+
+
+def next_message_id():
+    """Return a fresh globally unique message id."""
+    return next(_message_counter)
+
+
+@dataclass
+class Message:
+    """A single message in flight on the network.
+
+    Attributes
+    ----------
+    source:
+        Address string of the sending endpoint.
+    destination:
+        Address string of the receiving endpoint.
+    payload:
+        Arbitrary Python object carried by the message.
+    size_bytes:
+        Logical payload size used for transmission-time accounting.
+    kind:
+        Free-form tag (``"request"``, ``"reply"``, ``"oneway"``) used by
+        the transport layer and by fault-injection predicates.
+    correlation_id:
+        For replies, the id of the request being answered.
+    """
+
+    source: str
+    destination: str
+    payload: object
+    size_bytes: int = 0
+    kind: str = "oneway"
+    correlation_id: int = 0
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    @property
+    def wire_bytes(self):
+        """Bytes that occupy the wire: payload plus framing overhead."""
+        return self.size_bytes + HEADER_BYTES
+
+    def reply_to(self, payload, size_bytes=0, kind="reply"):
+        """Build a reply message addressed back to this message's sender."""
+        return Message(
+            source=self.destination,
+            destination=self.source,
+            payload=payload,
+            size_bytes=size_bytes,
+            kind=kind,
+            correlation_id=self.message_id,
+        )
+
+    def __repr__(self):
+        return (
+            f"<Message #{self.message_id} {self.kind} "
+            f"{self.source}->{self.destination} {self.size_bytes}B>"
+        )

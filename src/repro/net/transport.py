@@ -1,0 +1,262 @@
+"""Reliable request/reply transport over the datagram fabric.
+
+An :class:`Endpoint` binds an address on the fabric, runs a receive
+loop, and offers:
+
+- ``send(...)`` — one-way datagram;
+- ``request(...)`` — request/reply with per-attempt timeout and bounded
+  retries (both generators to be driven with ``yield from``).
+
+Request handlers are generators, so servicing a request can itself
+perform simulated work and nested calls.  Remote exceptions propagate
+back to the caller as :class:`RemoteError`.
+"""
+
+from repro.net.message import Message
+from repro.sim.errors import SimulationError
+
+
+class TransportError(SimulationError):
+    """Base class for transport-level failures."""
+
+
+class RequestTimeout(TransportError):
+    """No reply arrived within the allotted attempts.
+
+    Carries the destination address and total time spent so callers
+    (e.g. the binding layer) can account rebinding cost.
+    """
+
+    def __init__(self, destination, attempts, elapsed):
+        super().__init__(f"no reply from {destination!r} after {attempts} attempt(s) ({elapsed:.3f}s)")
+        self.destination = destination
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
+class RemoteError(TransportError):
+    """The remote handler raised; carries the original exception."""
+
+    def __init__(self, destination, cause):
+        super().__init__(f"remote error from {destination!r}: {cause!r}")
+        self.destination = destination
+        self.cause = cause
+
+
+class _ErrorReply:
+    """Wire marker distinguishing an error reply from a value reply."""
+
+    __slots__ = ("cause",)
+
+    def __init__(self, cause):
+        self.cause = cause
+
+
+class Endpoint:
+    """A transport endpoint bound to one fabric address.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.net.fabric.Network` to attach to.
+    address:
+        Unique address string for this endpoint.
+    request_handler:
+        Optional generator function ``handler(message)`` driven for
+        each inbound request; its return value becomes the reply
+        payload.  It may return ``(payload, size_bytes)`` to charge a
+        reply size.
+    default_timeout_s:
+        Per-attempt reply timeout for :meth:`request`.
+    max_attempts:
+        Number of send attempts before :class:`RequestTimeout`.
+    """
+
+    def __init__(
+        self,
+        network,
+        address,
+        request_handler=None,
+        oneway_handler=None,
+        default_timeout_s=5.0,
+        max_attempts=1,
+    ):
+        self._network = network
+        self._sim = network.sim
+        self._address = address
+        self._port = network.attach(address)
+        self._request_handler = request_handler
+        self._oneway_handler = oneway_handler
+        self._default_timeout_s = default_timeout_s
+        self._max_attempts = max_attempts
+        self._pending_replies = {}
+        self._seen_requests = set()
+        self._closed = False
+        self.requests_served = 0
+        self._receive_loop = self._sim.spawn(self._run(), name=f"endpoint:{address}")
+
+    @property
+    def address(self):
+        """This endpoint's fabric address."""
+        return self._address
+
+    @property
+    def network(self):
+        """The fabric this endpoint is attached to."""
+        return self._network
+
+    @property
+    def sim(self):
+        """The owning simulator."""
+        return self._sim
+
+    @property
+    def is_closed(self):
+        """True after :meth:`close`."""
+        return self._closed
+
+    def set_request_handler(self, handler):
+        """Install (or replace) the inbound request handler."""
+        self._request_handler = handler
+
+    def set_oneway_handler(self, handler):
+        """Install (or replace) the inbound one-way handler."""
+        self._oneway_handler = handler
+
+    def close(self):
+        """Detach from the fabric; all later traffic to us is lost."""
+        if self._closed:
+            return
+        self._closed = True
+        self._network.detach(self._address)
+        if self._receive_loop.is_alive:
+            self._receive_loop.interrupt("endpoint closed")
+        # Fail callers still waiting on replies: their peer is us, and
+        # we are gone, so the wait could otherwise dangle forever.
+        pending, self._pending_replies = self._pending_replies, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(TransportError(f"endpoint {self._address!r} closed"))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, destination, payload, size_bytes=0, kind="oneway"):
+        """Fire-and-forget datagram; returns the fabric delivery process."""
+        if self._closed:
+            raise TransportError(f"endpoint {self._address!r} is closed")
+        message = Message(
+            source=self._address,
+            destination=destination,
+            payload=payload,
+            size_bytes=size_bytes,
+            kind=kind,
+        )
+        return self._network.send(message)
+
+    def request(self, destination, payload, size_bytes=0, timeout_s=None, max_attempts=None):
+        """Generator: send a request and wait for its reply.
+
+        Usage from a process::
+
+            reply = yield from endpoint.request("other", {"op": "ping"})
+
+        Retries up to ``max_attempts`` times with a fresh message per
+        attempt (the correlation table accepts a reply to any attempt).
+        Raises :class:`RequestTimeout` when attempts are exhausted and
+        :class:`RemoteError` when the remote handler raised.
+        """
+        if self._closed:
+            raise TransportError(f"endpoint {self._address!r} is closed")
+        timeout_s = self._default_timeout_s if timeout_s is None else timeout_s
+        max_attempts = self._max_attempts if max_attempts is None else max_attempts
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        started = self._sim.now
+        for attempt in range(1, max_attempts + 1):
+            message = Message(
+                source=self._address,
+                destination=destination,
+                payload=payload,
+                size_bytes=size_bytes,
+                kind="request",
+            )
+            reply_event = self._sim.event(name=f"reply#{message.message_id}")
+            self._pending_replies[message.message_id] = reply_event
+            self._network.send(message)
+            timeout = self._sim.timeout(timeout_s)
+            from repro.sim.events import AnyOf
+
+            outcome = yield AnyOf(self._sim, [reply_event, timeout])
+            self._pending_replies.pop(message.message_id, None)
+            if reply_event in outcome:
+                reply = outcome[reply_event]
+                if isinstance(reply.payload, _ErrorReply):
+                    raise RemoteError(destination, reply.payload.cause)
+                return reply.payload
+        raise RequestTimeout(destination, max_attempts, self._sim.now - started)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        from repro.sim.errors import Interrupt
+
+        try:
+            while True:
+                message = yield self._port.inbox.get()
+                if message.kind == "reply":
+                    self._handle_reply(message)
+                elif message.kind == "request":
+                    self._sim.spawn(
+                        self._serve_request(message),
+                        name=f"serve#{message.message_id}",
+                    )
+                else:
+                    self._handle_oneway(message)
+        except Interrupt:
+            return
+
+    def _handle_reply(self, message):
+        event = self._pending_replies.pop(message.correlation_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(message)
+        # Replies to abandoned (timed-out) requests are dropped, which
+        # is exactly the at-most-once behaviour the binding layer
+        # depends on for its stale-binding timings.
+
+    def _handle_oneway(self, message):
+        if self._oneway_handler is None:
+            return
+        result = self._oneway_handler(message)
+        if result is not None and hasattr(result, "__next__"):
+            self._sim.spawn(result, name=f"oneway#{message.message_id}")
+
+    def _serve_request(self, message):
+        if message.message_id in self._seen_requests:
+            # Duplicate of a request we are already serving (a retry
+            # racing our reply); at-most-once execution drops it.
+            return
+        self._seen_requests.add(message.message_id)
+        if self._request_handler is None:
+            reply = message.reply_to(_ErrorReply(TransportError("no request handler")))
+            self._network.send(reply)
+            return
+        try:
+            result = yield from self._request_handler(message)
+        except Exception as exc:  # noqa: BLE001 - marshalled to caller
+            if self._closed:
+                return
+            self._network.send(message.reply_to(_ErrorReply(exc)))
+            return
+        if self._closed:
+            return
+        payload, reply_size = result if isinstance(result, tuple) else (result, 0)
+        self.requests_served += 1
+        self._network.send(message.reply_to(payload, size_bytes=reply_size))
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return f"<Endpoint {self._address} {state}>"

@@ -1,0 +1,24 @@
+"""Observability: metrics primitives and whole-system reports.
+
+Long-running grid services need to be observable while they evolve;
+this package provides the counters/timers used by examples and a
+:func:`collect_system_report` that snapshots every built-in counter in
+a runtime (network, caches, bindings, invokers, DFMs, managers) into
+one structured report.
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.report import SystemReport, collect_system_report, render_report
+from repro.obs.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SystemReport",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "collect_system_report",
+    "render_report",
+]

@@ -1,0 +1,141 @@
+"""Metric primitives over simulated time.
+
+All timing uses the simulator clock, so metrics are deterministic and
+comparable across runs with the same seed.
+"""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount=1):
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can move in both directions, tracking its peak."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value):
+        """Set the gauge to ``value``."""
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def adjust(self, delta):
+        """Move the gauge by ``delta``."""
+        self.set(self.value + delta)
+
+    def __repr__(self):
+        return f"<Gauge {self.name}={self.value} peak={self.peak}>"
+
+
+class Timer:
+    """Accumulates duration samples (simulated seconds)."""
+
+    def __init__(self, name, sim=None):
+        self.name = name
+        self._sim = sim
+        self.samples = []
+
+    @property
+    def count(self):
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def record(self, duration):
+        """Record one duration sample."""
+        if duration < 0:
+            raise ValueError(f"durations must be >= 0, got {duration}")
+        self.samples.append(duration)
+
+    def measure(self, body):
+        """Generator: time the simulated duration of ``body``.
+
+        Usage from a process::
+
+            result = yield from timer.measure(some_generator())
+        """
+        if self._sim is None:
+            raise RuntimeError(f"timer {self.name!r} was built without a simulator")
+        started = self._sim.now
+        result = yield from body
+        self.record(self._sim.now - started)
+        return result
+
+    def mean(self):
+        """Mean sample, or None when empty."""
+        if not self.samples:
+            return None
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, fraction):
+        """The ``fraction`` percentile (0..1) by nearest-rank."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def __repr__(self):
+        return f"<Timer {self.name} n={self.count} mean={self.mean()}>"
+
+
+class MetricsRegistry:
+    """A named collection of metrics, one per subsystem or experiment."""
+
+    def __init__(self, sim=None):
+        self._sim = sim
+        self._metrics = {}
+
+    def counter(self, name):
+        """Get-or-create a :class:`Counter`."""
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name):
+        """Get-or-create a :class:`Gauge`."""
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def timer(self, name):
+        """Get-or-create a :class:`Timer` bound to the registry's clock."""
+        return self._get_or_create(name, lambda: Timer(name, sim=self._sim), Timer)
+
+    def _get_or_create(self, name, factory, expected_type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, expected_type):
+            raise TypeError(
+                f"metric {name!r} already exists as {type(metric).__name__}"
+            )
+        return metric
+
+    def snapshot(self):
+        """A plain-dict snapshot of every metric's headline value."""
+        out = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = {"value": metric.value, "peak": metric.peak}
+            else:
+                out[name] = {"count": metric.count, "mean": metric.mean()}
+        return out
+
+    def __len__(self):
+        return len(self._metrics)

@@ -1,0 +1,97 @@
+"""Whole-system snapshots of a running Legion runtime.
+
+:func:`collect_system_report` walks the runtime's live structures and
+gathers every built-in counter into one :class:`SystemReport` — the
+operator's view of a system whose objects may be mid-evolution.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SystemReport:
+    """A structured snapshot of one runtime at one simulated instant."""
+
+    at: float
+    network: dict = field(default_factory=dict)
+    hosts: dict = field(default_factory=dict)
+    objects: dict = field(default_factory=dict)
+    types: dict = field(default_factory=dict)
+
+    @property
+    def total_active_objects(self):
+        """Count of live objects across all hosts."""
+        return sum(1 for info in self.objects.values() if info["active"])
+
+
+def collect_system_report(runtime):
+    """Snapshot ``runtime`` into a :class:`SystemReport`."""
+    report = SystemReport(at=runtime.sim.now)
+    stats = runtime.network.stats
+    report.network = {
+        "messages_delivered": stats.messages_delivered,
+        "messages_dropped": stats.messages_dropped,
+        "bytes_delivered": stats.bytes_delivered,
+        "by_kind": dict(stats.deliveries_by_kind),
+    }
+    for name, host in runtime.hosts.items():
+        report.hosts[name] = {
+            "architecture": host.architecture,
+            "processes": len(host.processes),
+            "processes_spawned": host.processes_spawned,
+            "cache_entries": len(host.cache),
+            "cache_bytes": host.cache.used_bytes,
+            "cache_hits": host.cache.hits,
+            "cache_misses": host.cache.misses,
+        }
+    for loid, obj in runtime._objects.items():
+        info = {
+            "type": loid.type_name,
+            "host": obj.host.name,
+            "active": obj.is_active,
+            "requests_completed": obj.requests_completed,
+            "in_flight": obj.active_requests,
+        }
+        dfm = getattr(obj, "dfm", None)
+        if dfm is not None:
+            info["dynamic_calls"] = dfm.total_calls
+            info["components"] = sorted(dfm.component_ids)
+            info["interface"] = dfm.exported_interface()
+            version = getattr(obj, "version", None)
+            info["version"] = str(version) if version is not None else None
+        report.objects[str(loid)] = info
+    for type_name, class_object in runtime._classes.items():
+        entry = {
+            "instances": len(class_object.instance_loids()),
+            "active_instances": len(class_object.active_instances()),
+            "created": class_object.instances_created,
+        }
+        if hasattr(class_object, "current_version"):
+            current = class_object.current_version
+            entry["current_version"] = str(current) if current else None
+            entry["versions"] = [str(version) for version in class_object.versions()]
+            entry["evolutions"] = class_object.evolutions_performed
+            entry["components"] = class_object.registered_components()
+        report.types[type_name] = entry
+    return report
+
+
+def render_report(report):
+    """Render a :class:`SystemReport` as readable text."""
+    lines = [f"system report at t={report.at:.3f}s"]
+    lines.append(
+        "network: {messages_delivered} delivered, {messages_dropped} dropped, "
+        "{bytes_delivered} bytes".format(**report.network)
+    )
+    lines.append(f"active objects: {report.total_active_objects}")
+    for type_name, entry in sorted(report.types.items()):
+        detail = f"  type {type_name}: {entry['active_instances']}/{entry['instances']} active"
+        if "current_version" in entry:
+            detail += f", current v{entry['current_version']}, {entry['evolutions']} evolutions"
+        lines.append(detail)
+    for name, host in sorted(report.hosts.items()):
+        lines.append(
+            f"  host {name}: {host['processes']} procs, "
+            f"cache {host['cache_entries']} entries / {host['cache_bytes']} B"
+        )
+    return "\n".join(lines)

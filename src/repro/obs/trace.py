@@ -1,0 +1,82 @@
+"""Structured event tracing for evolving systems.
+
+A :class:`Tracer` attached to a runtime records every configuration-
+plane event — version cuts, evolutions, component incorporations,
+migrations — with its simulated timestamp, giving operators (and
+tests) a timeline of *what changed when* in a system whose objects
+mutate while running.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    at: float
+    category: str
+    subject: str
+    details: tuple = ()
+
+    def detail(self, key, default=None):
+        """Look up one detail by key."""
+        for item_key, value in self.details:
+            if item_key == key:
+                return value
+        return default
+
+    def __str__(self):
+        detail_text = " ".join(f"{key}={value}" for key, value in self.details)
+        return f"[{self.at:12.6f}] {self.category:<22s} {self.subject} {detail_text}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from a runtime.
+
+    Attach with ``runtime.tracer = Tracer(runtime.sim)``; every
+    traced subsystem then reports through ``runtime.trace(...)``.
+    """
+
+    def __init__(self, sim, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._sim = sim
+        self._capacity = capacity
+        self.events = []
+        self.dropped = 0
+
+    def record(self, category, subject, **details):
+        """Record one event at the current simulated time."""
+        if self._capacity is not None and len(self.events) >= self._capacity:
+            self.dropped += 1
+            return None
+        event = TraceEvent(
+            at=self._sim.now,
+            category=category,
+            subject=str(subject),
+            details=tuple(sorted(details.items())),
+        )
+        self.events.append(event)
+        return event
+
+    def in_category(self, category):
+        """Events of one category, in order."""
+        return [event for event in self.events if event.category == category]
+
+    def about(self, subject):
+        """Events whose subject matches ``subject``."""
+        subject = str(subject)
+        return [event for event in self.events if event.subject == subject]
+
+    def between(self, start, end):
+        """Events with start <= at < end."""
+        return [event for event in self.events if start <= event.at < end]
+
+    def render_timeline(self, limit=None):
+        """The trace as readable text (last ``limit`` events)."""
+        events = self.events if limit is None else self.events[-limit:]
+        return "\n".join(str(event) for event in events)
+
+    def __len__(self):
+        return len(self.events)

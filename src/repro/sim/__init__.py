@@ -1,0 +1,65 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which the rest of the
+reproduction runs: a simulated clock, generator-based processes, and
+the synchronization primitives (events, timeouts, queues, semaphores)
+that the network, cluster, and Legion layers are built from.
+
+The kernel is intentionally small and self-contained (the environment
+has no simpy), but follows the same shape: a :class:`Simulator` owns a
+priority queue of scheduled events; a :class:`Process` wraps a Python
+generator that yields events and is resumed when they trigger.
+
+Example
+-------
+>>> from repro.sim import Simulator, Timeout
+>>> sim = Simulator()
+>>> def hello(sim, log):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.spawn(hello(sim, log))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from repro.sim.errors import (
+    Interrupt,
+    SimulationError,
+    StopProcess,
+)
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.primitives import (
+    Queue,
+    QueueEmpty,
+    QueueFull,
+    Semaphore,
+    Signal,
+)
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeterministicRNG",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Queue",
+    "QueueEmpty",
+    "QueueFull",
+    "Semaphore",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "StopProcess",
+    "Timeout",
+]

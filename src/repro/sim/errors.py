@@ -1,0 +1,39 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation kernel."""
+
+
+class StopProcess(SimulationError):
+    """Raised inside a process generator to terminate it early.
+
+    Returning from the generator is the normal way to finish; raising
+    ``StopProcess(value)`` is equivalent to ``return value`` but can be
+    raised from helper functions called by the process body.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process that another process interrupted.
+
+    The interrupted process receives this exception at its current
+    ``yield`` statement.  ``cause`` carries whatever object the
+    interrupter supplied (often a reason string).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeed()/fail() is called on a triggered event."""
+
+
+class StaleScheduleError(SimulationError):
+    """Raised when an event is scheduled in the past."""

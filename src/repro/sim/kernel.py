@@ -1,0 +1,175 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and the pending-event heap.  Events
+are processed in (time, sequence) order, so two events scheduled for
+the same instant run in the order they were scheduled — this makes
+every simulation run fully deterministic.
+"""
+
+import heapq
+
+from repro.sim.errors import SimulationError, StaleScheduleError
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class _HeapEntry:
+    """Heap node ordered by (time, sequence number).
+
+    ``daemon`` entries never keep the simulation alive: an unbounded
+    ``run()`` stops once only daemon work remains (used by background
+    pollers that would otherwise make run-to-completion diverge).
+    """
+
+    __slots__ = ("time", "seq", "action", "daemon")
+
+    def __init__(self, time, seq, action, daemon=False):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.daemon = daemon
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock (seconds by convention
+        throughout this repository).
+    """
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._heap = []
+        self._seq = 0
+        self._active_process = None
+        self._processed_events = 0
+        self._nondaemon_pending = 0
+
+    @property
+    def now(self):
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    @property
+    def processed_events(self):
+        """Count of processed heap entries (for diagnostics and tests)."""
+        return self._processed_events
+
+    # ------------------------------------------------------------------
+    # Factory helpers
+    # ------------------------------------------------------------------
+
+    def event(self, name=None):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None, daemon=False):
+        """Create a :class:`Timeout` triggering ``delay`` seconds from now.
+
+        ``daemon`` timeouts do not keep an unbounded ``run()`` alive —
+        use them for background polling loops.
+        """
+        return Timeout(self, delay, value=value, daemon=daemon)
+
+    def spawn(self, generator, name=None):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling (kernel internal, used by events/processes)
+    # ------------------------------------------------------------------
+
+    def _push(self, delay, action, daemon=False):
+        if delay < 0:
+            raise StaleScheduleError(f"cannot schedule {delay} seconds in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, _HeapEntry(self._now + delay, self._seq, action, daemon))
+        if not daemon:
+            self._nondaemon_pending += 1
+
+    def _schedule_event(self, event, delay=0.0, daemon=False):
+        """Queue a triggered event's callbacks to run after ``delay``."""
+        self._push(delay, event._process, daemon=daemon)
+
+    def _schedule_call(self, func, delay=0.0):
+        """Queue a bare callable (used for process kick-off and resume)."""
+        self._push(delay, func)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Process the single next heap entry; returns False when empty."""
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        if entry.time < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = entry.time
+        self._processed_events += 1
+        if not entry.daemon:
+            self._nondaemon_pending -= 1
+        entry.action()
+        return True
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            If ``None``, run until no non-daemon events remain (daemon
+            work — background pollers — never keeps the run alive).
+            If a number, run until the clock reaches that time (events
+            at exactly ``until`` are *not* processed; the clock is left
+            at ``until``).  If an :class:`Event`, run until that event
+            has triggered, and return its value (raising its exception
+            if it failed).
+        """
+        if until is None:
+            while self._nondaemon_pending > 0 and self.step():
+                pass
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        return self._run_until_time(float(until))
+
+    def _run_until_time(self, deadline):
+        if deadline < self._now:
+            raise ValueError(f"cannot run until {deadline}; clock is at {self._now}")
+        while self._heap and self._heap[0].time < deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def _run_until_event(self, event):
+        while not event.triggered:
+            if not self.step():
+                raise SimulationError(f"simulation ran out of events before {event!r} triggered")
+        # Drain same-instant callbacks so observers see a settled state.
+        while self._heap and self._heap[0].time == self._now:
+            self.step()
+        if event.ok:
+            return event.value
+        raise event.value
+
+    def run_process(self, generator, name=None):
+        """Spawn ``generator`` and run until it finishes; return its value."""
+        return self.run(self.spawn(generator, name=name))
+
+    def __repr__(self):
+        return f"<Simulator t={self._now:g} pending={len(self._heap)}>"

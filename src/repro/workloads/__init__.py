@@ -1,0 +1,16 @@
+"""Synthetic workload generators for experiments and examples."""
+
+from repro.workloads.generator import (
+    build_component_version,
+    make_noop_manager,
+    synthetic_components,
+)
+from repro.workloads.traffic import ClosedLoopClient, run_clients
+
+__all__ = [
+    "ClosedLoopClient",
+    "build_component_version",
+    "make_noop_manager",
+    "run_clients",
+    "synthetic_components",
+]

@@ -1,0 +1,98 @@
+"""Parameterized component and type generators.
+
+The §4 creation experiment sweeps "an object with 500 functions
+separated into 50 components"; these builders produce exactly such
+configurations: ``n`` components of ``k`` no-op functions each, with
+controllable component sizes.
+"""
+
+from repro.core import ComponentBuilder
+from repro.core.manager import define_dcdo_type
+
+
+def _noop_body(ctx):
+    return None
+
+
+def _echo_body(ctx, *args):
+    return args
+
+
+def synthetic_components(
+    component_count,
+    functions_per_component,
+    size_bytes=64_000,
+    prefix="comp",
+):
+    """Build ``component_count`` components of no-op functions.
+
+    Function names are globally unique (``<prefix><i>_fn<j>``), so all
+    components can be incorporated into one DCDO without collisions.
+    """
+    if component_count < 1:
+        raise ValueError(f"component_count must be >= 1, got {component_count}")
+    if functions_per_component < 1:
+        raise ValueError(
+            f"functions_per_component must be >= 1, got {functions_per_component}"
+        )
+    components = []
+    for comp_index in range(component_count):
+        builder = ComponentBuilder(f"{prefix}{comp_index:03d}")
+        for fn_index in range(functions_per_component):
+            builder.function(f"{prefix}{comp_index:03d}_fn{fn_index:03d}", _noop_body)
+        builder.variant(size_bytes=size_bytes)
+        components.append(builder.build())
+    return components
+
+
+def build_component_version(manager, components, enable_all=True):
+    """Register ``components``, build an instantiable version of them.
+
+    Returns the version id; does not set it current (callers choose).
+    """
+    for component in components:
+        if component.component_id not in manager.registered_components():
+            manager.register_component(component)
+    parent = manager.current_version
+    version = manager.derive_version(parent) if parent is not None else manager.new_version()
+    for component in components:
+        if component.component_id not in manager.descriptor_of(version).component_ids:
+            manager.incorporate_into(version, component.component_id)
+    if enable_all:
+        descriptor = manager.descriptor_of(version)
+        for component in components:
+            for name in component.functions:
+                if not descriptor.is_enabled(name, component.component_id):
+                    descriptor.enable(name, component.component_id)
+    manager.mark_instantiable(version)
+    return version
+
+
+def make_noop_manager(
+    runtime,
+    type_name,
+    component_count,
+    functions_per_component,
+    size_bytes=64_000,
+    **policy_kwargs,
+):
+    """A fully-initialized manager for a synthetic no-op DCDO type.
+
+    Registers the components, builds version 1 with everything
+    enabled, and makes it current.  Also adds a real ``ping`` function
+    (in the first component) so invocation experiments have something
+    to call.
+    """
+    components = synthetic_components(
+        component_count, functions_per_component, size_bytes=size_bytes,
+        prefix=f"{type_name.lower()}-",
+    )
+    # Give the first component a ping for invocation measurements.
+    first = components[0]
+    from repro.core.functions import FunctionDef
+
+    first.functions["ping"] = FunctionDef(name="ping", body=_echo_body)
+    manager = define_dcdo_type(runtime, type_name, **policy_kwargs)
+    version = build_component_version(manager, components)
+    manager.set_current_version(version)
+    return manager, components

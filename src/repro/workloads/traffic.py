@@ -1,0 +1,84 @@
+"""Client traffic generators.
+
+Closed-loop clients issue a call, wait for the reply, optionally think,
+and repeat — the standard model for request/response experiments.
+Latency samples are collected per client for the harness to aggregate.
+"""
+
+
+class ClosedLoopClient:
+    """A closed-loop caller against one target object.
+
+    Parameters
+    ----------
+    client:
+        A :class:`~repro.legion.runtime.Client`.
+    loid:
+        Target object.
+    method, args:
+        The invocation to repeat.
+    calls:
+        How many calls to issue (None = until stopped).
+    think_time_s:
+        Idle time between calls.
+    """
+
+    def __init__(self, client, loid, method, args=(), calls=100, think_time_s=0.0):
+        self._client = client
+        self._loid = loid
+        self._method = method
+        self._args = tuple(args)
+        self._calls = calls
+        self._think_time_s = think_time_s
+        self.latencies = []
+        self.errors = []
+        self._stopped = False
+
+    def stop(self):
+        """Stop after the in-flight call completes."""
+        self._stopped = True
+
+    @property
+    def completed_calls(self):
+        """Number of successful calls so far."""
+        return len(self.latencies)
+
+    def mean_latency(self):
+        """Mean latency over successful calls, or None."""
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def run(self):
+        """Process body driving the call loop; spawn or ``yield from``."""
+        sim = self._client.sim
+        issued = 0
+        while not self._stopped and (self._calls is None or issued < self._calls):
+            issued += 1
+            started = sim.now
+            try:
+                yield from self._client.invoke(self._loid, self._method, *self._args)
+            except Exception as error:  # noqa: BLE001 - experiments record errors
+                self.errors.append((sim.now, error))
+            else:
+                self.latencies.append(sim.now - started)
+            if self._think_time_s:
+                yield sim.timeout(self._think_time_s)
+        return self.completed_calls
+
+
+def run_clients(runtime, clients):
+    """Run a set of :class:`ClosedLoopClient` loops to completion."""
+    processes = [runtime.sim.spawn(client.run(), name="client-loop") for client in clients]
+    from repro.sim.events import AllOf
+
+    runtime.sim.run_process(_join_all(runtime, processes))
+    return clients
+
+
+def _join_all(runtime, processes):
+    from repro.sim.events import AllOf
+
+    if processes:
+        yield AllOf(runtime.sim, processes)
+    return None

@@ -1,0 +1,139 @@
+"""Tests for the monolithic baseline and its evolution pipeline."""
+
+import pytest
+
+from repro.baseline import (
+    MODERATE_IMPL_BYTES,
+    SMALL_IMPL_BYTES,
+    BaselineEvolution,
+    make_monolithic_implementation,
+)
+
+
+def behave_v1(ctx):
+    return "v1"
+
+
+def behave_v2(ctx):
+    return "v2"
+
+
+def make_class(runtime, size_bytes=SMALL_IMPL_BYTES, cache=True):
+    implementation = make_monolithic_implementation(
+        "base-v1",
+        function_count=20,
+        size_bytes=size_bytes,
+        functions={"behave": behave_v1},
+        version_tag="1",
+    )
+    if cache:
+        for host in runtime.hosts.values():
+            host.cache.insert(implementation.impl_id, implementation.size_bytes)
+    return runtime.define_class("BaseType", implementations=[implementation])
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def test_make_monolithic_pads_function_count():
+    implementation = make_monolithic_implementation("x", function_count=10)
+    assert len(implementation.functions) == 10
+
+
+def test_make_monolithic_keeps_real_bodies():
+    implementation = make_monolithic_implementation(
+        "x", function_count=5, functions={"behave": behave_v1}
+    )
+    assert implementation.functions["behave"] is behave_v1
+    assert len(implementation.functions) == 5
+
+
+def test_make_monolithic_rejects_negative_count():
+    with pytest.raises(ValueError):
+        make_monolithic_implementation("x", function_count=-1)
+
+
+# ----------------------------------------------------------------------
+# Evolution pipeline
+# ----------------------------------------------------------------------
+
+
+def evolve(runtime, klass, loid, size_bytes=MODERATE_IMPL_BYTES):
+    evolution = BaselineEvolution(runtime, klass)
+    new_implementation = make_monolithic_implementation(
+        "base-v2",
+        function_count=20,
+        size_bytes=size_bytes,
+        functions={"behave": behave_v2},
+        version_tag="2",
+    )
+    evolution.publish_version([new_implementation])
+    report = runtime.sim.run_process(evolution.evolve_instance(loid))
+    return evolution, report
+
+
+def test_baseline_evolution_changes_behavior(runtime):
+    klass = make_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance(state_bytes=100_000))
+    client = runtime.make_client("host03")
+    assert client.call_sync(loid, "behave") == "v1"
+    evolve(runtime, klass, loid)
+    client.binding_cache.invalidate(loid)
+    assert client.call_sync(loid, "behave") == "v2"
+    assert klass.record(loid).version_tag == "2"
+
+
+def test_baseline_evolution_preserves_state(runtime):
+    klass = make_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance())
+    obj = klass.record(loid).obj
+    obj.state["counter"] = 17
+    evolve(runtime, klass, loid)
+    assert klass.record(loid).obj.state["counter"] == 17
+    # The old live object was replaced by a new process.
+    assert klass.record(loid).obj is not obj
+
+
+def test_baseline_report_phases_sum_to_total(runtime):
+    klass = make_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance(state_bytes=1_000_000))
+    __, report = evolve(runtime, klass, loid)
+    assert report.total_s == pytest.approx(
+        report.capture_s + report.download_s + report.restart_s
+    )
+    assert report.capture_s > 0
+    assert report.download_s > 10.0  # 5.1 MB uncached
+    assert report.restart_s > 1.0  # spawn + restore + rebind
+
+
+def test_baseline_download_skipped_when_cached(runtime):
+    klass = make_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance())
+    host = klass.record(loid).host
+    host.cache.insert("base-v2", MODERATE_IMPL_BYTES)
+    __, report = evolve(runtime, klass, loid)
+    assert report.download_s == 0.0
+    assert report.downloaded_bytes == 0
+
+
+def test_client_disruption_includes_stale_binding(runtime):
+    klass = make_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance())
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "behave")  # warm the binding
+    evolution, __ = evolve(runtime, klass, loid)
+    disruption = runtime.sim.run_process(
+        evolution.measure_client_disruption(loid, client, method="behave")
+    )
+    assert 25.0 <= disruption <= 36.0
+
+
+def test_report_rows_are_labelled():
+    from repro.baseline import EvolutionReport
+
+    report = EvolutionReport(capture_s=1, download_s=2, restart_s=3, total_s=6)
+    labels = [label for label, __ in report.as_rows()]
+    assert "state capture" in labels
+    assert any("download" in label for label in labels)

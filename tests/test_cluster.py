@@ -1,0 +1,217 @@
+"""Unit tests for the cluster layer: hosts, vaults, caches, testbeds."""
+
+import pytest
+
+from repro.cluster import Calibration, FileCache, Testbed, build_centurion, build_lan
+
+
+# ----------------------------------------------------------------------
+# FileCache
+# ----------------------------------------------------------------------
+
+
+def test_cache_insert_and_lookup():
+    cache = FileCache()
+    cache.insert("blob", 100)
+    assert "blob" in cache
+    assert cache.lookup("blob") == 100
+    assert cache.hits == 1
+
+
+def test_cache_miss_counted():
+    cache = FileCache()
+    assert cache.lookup("nope") is None
+    assert cache.misses == 1
+
+
+def test_cache_evict():
+    cache = FileCache()
+    cache.insert("blob", 100)
+    assert cache.evict("blob")
+    assert not cache.evict("blob")
+    assert "blob" not in cache
+
+
+def test_cache_lru_eviction_under_capacity():
+    cache = FileCache(capacity_bytes=250)
+    cache.insert("a", 100)
+    cache.insert("b", 100)
+    cache.lookup("a")  # a becomes most-recent
+    cache.insert("c", 100)  # exceeds capacity: evicts b (LRU)
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+
+
+def test_cache_rejects_oversized_entry():
+    cache = FileCache(capacity_bytes=50)
+    with pytest.raises(ValueError, match="exceeds"):
+        cache.insert("big", 100)
+
+
+def test_cache_used_bytes_and_clear():
+    cache = FileCache()
+    cache.insert("a", 30)
+    cache.insert("b", 70)
+    assert cache.used_bytes == 100
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_invalid_parameters():
+    with pytest.raises(ValueError):
+        FileCache(capacity_bytes=0)
+    cache = FileCache()
+    with pytest.raises(ValueError):
+        cache.insert("x", -1)
+
+
+# ----------------------------------------------------------------------
+# Host
+# ----------------------------------------------------------------------
+
+
+def test_host_cpu_work_scales_with_cpu_factor():
+    testbed = Testbed()
+    slow = testbed.add_host("slow", cpu_factor=1.0)
+    fast = testbed.add_host("fast", cpu_factor=2.0)
+    times = {}
+
+    def worker(host, tag):
+        start = testbed.sim.now
+        yield host.cpu_work(4.0)
+        times[tag] = testbed.sim.now - start
+
+    testbed.sim.spawn(worker(slow, "slow"))
+    testbed.sim.spawn(worker(fast, "fast"))
+    testbed.sim.run()
+    assert times["slow"] == pytest.approx(4.0)
+    assert times["fast"] == pytest.approx(2.0)
+
+
+def test_host_spawn_process_charges_and_registers():
+    testbed = Testbed()
+    host = testbed.add_host("h")
+
+    def spawner():
+        process = yield from host.spawn_process("some-loid")
+        return process
+
+    start = testbed.sim.now
+    process = testbed.sim.run_process(spawner())
+    elapsed = testbed.sim.now - start
+    assert 0.9 <= elapsed <= 1.1  # process_spawn_s with jitter
+    assert process.pid in host.processes
+    process.kill()
+    assert process.pid not in host.processes
+
+
+def test_host_rejects_bad_cpu_factor():
+    testbed = Testbed()
+    with pytest.raises(ValueError):
+        testbed.add_host("bad", cpu_factor=0)
+
+
+def test_negative_cpu_work_rejected():
+    testbed = Testbed()
+    host = testbed.add_host("h")
+    with pytest.raises(ValueError):
+        host.cpu_work(-1)
+
+
+# ----------------------------------------------------------------------
+# Vault
+# ----------------------------------------------------------------------
+
+
+def test_vault_store_and_load_roundtrip():
+    testbed = Testbed()
+    host = testbed.add_host("h")
+    vault = testbed.vaults["h"]
+
+    def roundtrip():
+        yield from vault.store("loid", {"x": 1}, 1_000_000)
+        opr = yield from vault.load("loid")
+        return opr
+
+    opr = testbed.sim.run_process(roundtrip())
+    assert opr.state == {"x": 1}
+    assert opr.size_bytes == 1_000_000
+    assert vault.holds("loid")
+    assert vault.writes == 1
+    assert vault.reads == 1
+
+
+def test_vault_io_takes_disk_time():
+    testbed = Testbed()
+    testbed.add_host("h")
+    vault = testbed.vaults["h"]
+
+    def store_big():
+        yield from vault.store("loid", None, 20_000_000)  # 1 s at 20 MB/s
+
+    start = testbed.sim.now
+    testbed.sim.run_process(store_big())
+    assert testbed.sim.now - start >= 1.0
+
+
+def test_vault_load_missing_raises():
+    testbed = Testbed()
+    testbed.add_host("h")
+    vault = testbed.vaults["h"]
+    with pytest.raises(KeyError):
+        testbed.sim.run_process(vault.load("ghost"))
+
+
+def test_vault_discard():
+    testbed = Testbed()
+    testbed.add_host("h")
+    vault = testbed.vaults["h"]
+    testbed.sim.run_process(vault.store("loid", None, 10))
+    vault.discard("loid")
+    assert not vault.holds("loid")
+
+
+# ----------------------------------------------------------------------
+# Testbeds and calibration
+# ----------------------------------------------------------------------
+
+
+def test_centurion_matches_paper_testbed():
+    testbed = build_centurion()
+    assert len(testbed.hosts) == 16
+    assert all(host.architecture == "x86-linux" for host in testbed.hosts.values())
+    # 100 Mbps in bytes/second on every port.
+    assert testbed.calibration.network_bandwidth_bps == pytest.approx(12.5e6)
+
+
+def test_build_lan_cycles_architectures():
+    testbed = build_lan(4, architectures=("a1", "a2"))
+    archs = [host.architecture for host in testbed.hosts.values()]
+    assert archs == ["a1", "a2", "a1", "a2"]
+
+
+def test_build_lan_requires_hosts():
+    with pytest.raises(ValueError):
+        build_lan(0)
+
+
+def test_duplicate_host_rejected():
+    testbed = Testbed()
+    testbed.add_host("h")
+    with pytest.raises(ValueError, match="already exists"):
+        testbed.add_host("h")
+
+
+def test_calibration_download_model_hits_paper_anchors():
+    calibration = Calibration()
+    assert 3.5 <= calibration.download_time(550_000) <= 4.5
+    assert 15.0 <= calibration.download_time(5_100_000) <= 25.0
+
+
+def test_calibration_defaults_are_immutable_per_instance():
+    a = Calibration()
+    b = Calibration()
+    a.extra["custom"] = 1
+    assert "custom" not in b.extra

@@ -1,0 +1,175 @@
+"""Tests for the structural-dependency static analyzer."""
+
+from repro.core import ComponentBuilder, Dependency
+from repro.core.analysis import (
+    annotate_component,
+    called_functions,
+    check_closure,
+    derive_structural_dependencies,
+)
+
+
+def simple_caller(ctx):
+    result = yield from ctx.call("helper")
+    return result
+
+
+def multi_caller(ctx, flag):
+    first = yield from ctx.call("alpha", flag)
+    second = yield from ctx.call("beta")
+    if flag:
+        third = yield from ctx.call("alpha")  # repeated target
+        return (first, second, third)
+    return (first, second)
+
+
+def recursive_fn(ctx, n):
+    if n <= 0:
+        return 0
+    rest = yield from ctx.call("recursive_fn", n - 1)
+    return n + rest
+
+
+def dynamic_target(ctx, name):
+    result = yield from ctx.call(name)  # not statically resolvable
+    return result
+
+
+def renamed_context(context):
+    return (yield from context.call("via_renamed"))
+
+
+def no_calls(ctx, a, b):
+    return a + b
+
+
+def test_called_functions_finds_literal_targets():
+    names, unknown = called_functions(multi_caller)
+    assert names == {"alpha", "beta"}
+    assert unknown == 0
+
+
+def test_called_functions_counts_unknown_targets():
+    names, unknown = called_functions(dynamic_target)
+    assert names == set()
+    assert unknown == 1
+
+
+def test_called_functions_respects_context_parameter_name():
+    names, __ = called_functions(renamed_context)
+    assert names == {"via_renamed"}
+
+
+def test_called_functions_none_for_plain_body():
+    names, unknown = called_functions(no_calls)
+    assert names == set()
+    assert unknown == 0
+
+
+def test_called_functions_handles_unanalyzable_bodies():
+    names, unknown = called_functions(len)  # builtin: no source
+    assert names == set()
+    assert unknown == 0
+
+
+def test_derive_structural_dependencies_are_type_a():
+    component = (
+        ComponentBuilder("c1")
+        .function("simple_caller", simple_caller)
+        .function("helper", lambda ctx: "h")
+        .build()
+    )
+    deps = derive_structural_dependencies(component)
+    assert deps == [
+        Dependency("simple_caller", "helper", dependent_component="c1")
+    ]
+    assert deps[0].type_letter == "A"
+
+
+def test_derive_includes_self_dependency_for_recursion():
+    component = ComponentBuilder("c1").function("recursive_fn", recursive_fn).build()
+    deps = derive_structural_dependencies(component)
+    assert Dependency("recursive_fn", "recursive_fn", dependent_component="c1") in deps
+    assert derive_structural_dependencies(component, include_self=False) == []
+
+
+def test_annotate_component_ships_and_deduplicates():
+    component = (
+        ComponentBuilder("c1")
+        .function("simple_caller", simple_caller)
+        .function("helper", lambda ctx: "h")
+        .build()
+    )
+    added = annotate_component(component)
+    assert len(added) == 1
+    assert annotate_component(component) == []  # idempotent
+    assert component.declared_dependencies == added
+
+
+def test_annotated_component_protects_callee_in_live_dcdo(runtime):
+    """End to end: analyzer-shipped dependencies veto the disable that
+    would have caused the missing internal function problem."""
+    import pytest
+
+    from repro.core import DependencyViolation
+    from repro.core.manager import define_dcdo_type
+
+    component = (
+        ComponentBuilder("analyzed")
+        .function("simple_caller", simple_caller)
+        .function("helper", lambda ctx: "h")
+        .variant(size_bytes=64_000)
+        .build()
+    )
+    annotate_component(component)
+    manager = define_dcdo_type(runtime, "Analyzed")
+    manager.register_component(component)
+    version = manager.new_version()
+    manager.incorporate_into(version, "analyzed")
+    descriptor = manager.descriptor_of(version)
+    descriptor.enable("simple_caller", "analyzed")
+    descriptor.enable("helper", "analyzed")
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client()
+    assert client.call_sync(loid, "simple_caller") == "h"
+    with pytest.raises(DependencyViolation):
+        client.call_sync(loid, "disableFunction", "helper", "analyzed")
+
+
+def test_check_closure_reports_gaps():
+    from repro.core import DFMDescriptor
+
+    caller_comp = (
+        ComponentBuilder("caller-comp")
+        .function("simple_caller", simple_caller)
+        .build()
+    )
+    annotate_component(caller_comp)
+    descriptor = DFMDescriptor()
+    descriptor.incorporate(caller_comp, ico_loid="ico")
+    # Deliberately bypass add-time validation by injecting the enabled
+    # state without the helper existing anywhere.
+    from dataclasses import replace
+
+    key = ("simple_caller", "caller-comp")
+    descriptor._entries[key] = replace(descriptor._entries[key], enabled=True)
+    assert check_closure(descriptor) == [("simple_caller", "helper")]
+
+
+def test_check_closure_clean_when_chain_complete():
+    from repro.core import DFMDescriptor
+
+    component = (
+        ComponentBuilder("c1")
+        .function("simple_caller", simple_caller)
+        .function("helper", lambda ctx: "h")
+        .build()
+    )
+    annotate_component(component)
+    descriptor = DFMDescriptor()
+    descriptor.incorporate(component, ico_loid="ico")
+    descriptor.enable("helper", "c1")
+    descriptor.enable("simple_caller", "c1")
+    assert check_closure(descriptor) == []

@@ -1,0 +1,116 @@
+"""Unit tests for the four dependency types and the checker."""
+
+import pytest
+
+from repro.core import Dependency, DependencyViolation
+from repro.core.dependency import check_dependencies
+
+
+def test_type_classification_matches_paper():
+    assert Dependency("F1", "F2", dependent_component="C1").type_letter == "A"
+    assert (
+        Dependency("F1", "F2", dependent_component="C1", required_component="C2").type_letter
+        == "B"
+    )
+    assert Dependency("F1", "F2", required_component="C2").type_letter == "C"
+    assert Dependency("F1", "F2").type_letter == "D"
+
+
+def test_structural_vs_behavioral():
+    assert Dependency("F1", "F2", dependent_component="C1").is_structural
+    assert Dependency("F1", "F2").is_structural
+    assert Dependency("F1", "F2", required_component="C2").is_behavioral
+    assert Dependency(
+        "F1", "F2", dependent_component="C1", required_component="C2"
+    ).is_behavioral
+
+
+def test_str_uses_paper_notation():
+    dep = Dependency("F1", "F2", dependent_component="C1", required_component="C2")
+    assert str(dep) == "Type B: [F1, C1] -> [F2, C2]"
+    dep_d = Dependency("F1", "F2")
+    assert str(dep_d) == "Type D: [F1] -> [F2]"
+
+
+class FakeState:
+    """Minimal enabled-state stand-in for exercising the checker."""
+
+    def __init__(self, enabled_pairs):
+        self._enabled = set(enabled_pairs)
+
+    def is_enabled(self, function, component):
+        return (function, component) in self._enabled
+
+    def enabled_components_of(self, function):
+        return {comp for fn, comp in self._enabled if fn == function}
+
+
+def run_check(dependencies, enabled_pairs):
+    state = FakeState(enabled_pairs)
+    check_dependencies(dependencies, state.is_enabled, state.enabled_components_of)
+
+
+def test_type_a_satisfied_by_any_implementation():
+    dep = Dependency("F1", "F2", dependent_component="C1")
+    run_check([dep], [("F1", "C1"), ("F2", "anything")])
+
+
+def test_type_a_violated_when_no_implementation():
+    dep = Dependency("F1", "F2", dependent_component="C1")
+    with pytest.raises(DependencyViolation):
+        run_check([dep], [("F1", "C1")])
+
+
+def test_type_a_inactive_dependent_is_fine():
+    dep = Dependency("F1", "F2", dependent_component="C1")
+    run_check([dep], [("F1", "other-component")])  # C1's impl not enabled
+
+
+def test_type_b_requires_exact_implementation():
+    dep = Dependency("F1", "F2", dependent_component="C1", required_component="C2")
+    run_check([dep], [("F1", "C1"), ("F2", "C2")])
+    with pytest.raises(DependencyViolation):
+        run_check([dep], [("F1", "C1"), ("F2", "C3")])
+
+
+def test_type_c_any_dependent_impl_triggers():
+    dep = Dependency("F1", "F2", required_component="C2")
+    with pytest.raises(DependencyViolation):
+        run_check([dep], [("F1", "whatever")])
+    run_check([dep], [("F1", "whatever"), ("F2", "C2")])
+
+
+def test_type_d_any_to_any():
+    dep = Dependency("F1", "F2")
+    with pytest.raises(DependencyViolation):
+        run_check([dep], [("F1", "C9")])
+    run_check([dep], [("F1", "C9"), ("F2", "C7")])
+
+
+def test_no_dependents_enabled_passes_vacuously():
+    deps = [Dependency("F1", "F2"), Dependency("F3", "F4", required_component="C")]
+    run_check(deps, [("F2", "C1")])
+
+
+def test_self_dependency_for_recursive_functions():
+    """§3.2: "by indicating that a function depends on itself, a
+    programmer can ensure that recursive functions are not changed or
+    removed while they are executing" — structurally, a self-dependency
+    is satisfiable while enabled."""
+    dep = Dependency("F1", "F1", dependent_component="C1", required_component="C1")
+    run_check([dep], [("F1", "C1")])
+    run_check([dep], [])
+
+
+def test_dependency_chain_checked_link_by_link():
+    deps = [Dependency("F1", "F2"), Dependency("F2", "F3")]
+    run_check(deps, [("F1", "C"), ("F2", "C"), ("F3", "C")])
+    with pytest.raises(DependencyViolation):
+        run_check(deps, [("F1", "C"), ("F2", "C")])
+
+
+def test_dependencies_are_hashable_and_comparable():
+    a = Dependency("F1", "F2")
+    b = Dependency("F1", "F2")
+    assert a == b
+    assert len({a, b}) == 1

@@ -1,0 +1,308 @@
+"""Unit tests for DFM descriptors: configuration ops, validation, diffing."""
+
+import pytest
+
+from repro.core import (
+    AmbiguousFunction,
+    ComponentAlreadyIncorporated,
+    ComponentBuilder,
+    ComponentNotIncorporated,
+    Dependency,
+    DependencyViolation,
+    DFMDescriptor,
+    MandatoryViolation,
+    Marking,
+    MarkingConflict,
+    PermanenceViolation,
+    diff_descriptors,
+)
+
+
+def component(component_id, functions=("f",), internal=(), markings=None, deps=()):
+    builder = ComponentBuilder(component_id)
+    for name in functions:
+        builder.function(name, lambda ctx: name)
+    for name in internal:
+        builder.internal_function(name, lambda ctx: name)
+    for name, marking in (markings or {}).items():
+        if marking is Marking.MANDATORY:
+            builder.require_mandatory(name)
+        else:
+            builder.require_permanent(name)
+    for dep in deps:
+        builder.depends(dep)
+    return builder.build()
+
+
+def make_descriptor(*components):
+    descriptor = DFMDescriptor()
+    for comp in components:
+        descriptor.incorporate(comp, ico_loid=f"ico:{comp.component_id}")
+    return descriptor
+
+
+def test_incorporate_adds_disabled_entries():
+    descriptor = make_descriptor(component("c1", functions=("f", "g")))
+    assert descriptor.component_ids == {"c1"}
+    assert not descriptor.is_enabled("f", "c1")
+    assert descriptor.exported_interface() == []
+
+
+def test_incorporate_twice_rejected():
+    comp = component("c1")
+    descriptor = make_descriptor(comp)
+    with pytest.raises(ComponentAlreadyIncorporated):
+        descriptor.incorporate(comp, ico_loid="ico:c1")
+
+
+def test_enable_and_interface():
+    descriptor = make_descriptor(component("c1", functions=("f",), internal=("h",)))
+    descriptor.enable("f", "c1")
+    descriptor.enable("h", "c1")
+    assert descriptor.exported_interface() == ["f"]  # h is internal
+    assert descriptor.enabled_components_of("h") == {"c1"}
+
+
+def test_enable_missing_entry_rejected():
+    descriptor = make_descriptor(component("c1"))
+    with pytest.raises(ComponentNotIncorporated):
+        descriptor.enable("nope", "c1")
+
+
+def test_two_enabled_implementations_rejected():
+    descriptor = make_descriptor(component("c1"), component("c2"))
+    descriptor.enable("f", "c1")
+    with pytest.raises(AmbiguousFunction):
+        descriptor.enable("f", "c2")
+
+
+def test_enable_replace_swaps_implementation():
+    descriptor = make_descriptor(component("c1"), component("c2"))
+    descriptor.enable("f", "c1")
+    descriptor.enable("f", "c2", replace_current=True)
+    assert descriptor.enabled_components_of("f") == {"c2"}
+
+
+def test_disable():
+    descriptor = make_descriptor(component("c1"))
+    descriptor.enable("f", "c1")
+    descriptor.disable("f", "c1")
+    assert descriptor.enabled_components_of("f") == set()
+
+
+def test_disable_not_enabled_raises():
+    descriptor = make_descriptor(component("c1"))
+    from repro.core import FunctionNotEnabled
+
+    with pytest.raises(FunctionNotEnabled):
+        descriptor.disable("f", "c1")
+
+
+def test_set_exported_moves_between_interfaces():
+    descriptor = make_descriptor(component("c1"))
+    descriptor.enable("f", "c1")
+    descriptor.set_exported("f", "c1", False)
+    assert descriptor.exported_interface() == []
+    descriptor.set_exported("f", "c1", True)
+    assert descriptor.exported_interface() == ["f"]
+
+
+# ----------------------------------------------------------------------
+# Markings
+# ----------------------------------------------------------------------
+
+
+def test_mandatory_blocks_disabling_last_impl():
+    descriptor = make_descriptor(component("c1"))
+    descriptor.enable("f", "c1")
+    descriptor.mark_mandatory("f")
+    with pytest.raises(MandatoryViolation):
+        descriptor.disable("f", "c1")
+
+
+def test_mandatory_allows_replacing_impl():
+    """Mandatory requires *some* implementation, not a particular one."""
+    descriptor = make_descriptor(component("c1"), component("c2"))
+    descriptor.enable("f", "c1")
+    descriptor.mark_mandatory("f")
+    descriptor.enable("f", "c2", replace_current=True)
+    assert descriptor.enabled_components_of("f") == {"c2"}
+
+
+def test_permanent_blocks_disable_and_replace():
+    descriptor = make_descriptor(component("c1"), component("c2"))
+    descriptor.enable("f", "c1")
+    descriptor.mark_permanent("f")
+    with pytest.raises(PermanenceViolation):
+        descriptor.disable("f", "c1")
+    with pytest.raises(PermanenceViolation):
+        descriptor.enable("f", "c2", replace_current=True)
+
+
+def test_permanent_pin_requires_unambiguous_enabled_impl():
+    descriptor = make_descriptor(component("c1"))
+    with pytest.raises(PermanenceViolation):
+        descriptor.mark_permanent("f")  # nothing enabled to pin
+
+
+def test_component_demanded_markings_merge():
+    comp = component("c1", markings={"f": Marking.MANDATORY})
+    descriptor = make_descriptor(comp)
+    assert descriptor.marking("f") is Marking.MANDATORY
+
+
+def test_conflicting_permanent_demands_fail_incorporation():
+    """§3.2: incorporating a component whose permanent demand collides
+    with an existing permanent pin fails."""
+    first = component("c1", markings={"f": Marking.PERMANENT})
+    second = component("c2", markings={"f": Marking.PERMANENT})
+    descriptor = make_descriptor(first)
+    with pytest.raises(MarkingConflict):
+        descriptor.incorporate(second, ico_loid="ico:c2")
+
+
+def test_markings_are_monotone():
+    descriptor = make_descriptor(component("c1"))
+    descriptor.enable("f", "c1")
+    descriptor.mark_permanent("f")
+    descriptor.mark_mandatory("f")  # weakening attempt is a no-op
+    assert descriptor.marking("f") is Marking.PERMANENT
+
+
+# ----------------------------------------------------------------------
+# Dependencies
+# ----------------------------------------------------------------------
+
+
+def test_add_dependency_validated_against_current_state():
+    descriptor = make_descriptor(component("c1", functions=("f1",)))
+    descriptor.enable("f1", "c1")
+    with pytest.raises(DependencyViolation):
+        descriptor.add_dependency(Dependency("f1", "f2"))
+
+
+def test_disable_blocked_by_dependency():
+    descriptor = make_descriptor(
+        component("c1", functions=("f1",)), component("c2", functions=("f2",))
+    )
+    descriptor.enable("f1", "c1")
+    descriptor.enable("f2", "c2")
+    descriptor.add_dependency(Dependency("f1", "f2", dependent_component="c1"))
+    with pytest.raises(DependencyViolation):
+        descriptor.disable("f2", "c2")
+    # Disabling the dependent first releases the requirement.
+    descriptor.disable("f1", "c1")
+    descriptor.disable("f2", "c2")
+
+
+def test_remove_component_retracts_its_dependents():
+    """§3.2: a function's protected status is "essentially retracted
+    when dependencies on it are removed, which can happen when
+    dependent functions are ... removed"."""
+    descriptor = make_descriptor(
+        component("c1", functions=("f1",)), component("c2", functions=("f2",))
+    )
+    descriptor.enable("f1", "c1")
+    descriptor.enable("f2", "c2")
+    descriptor.add_dependency(Dependency("f1", "f2", dependent_component="c1"))
+    descriptor.disable("f1", "c1")
+    descriptor.remove_component("c1")
+    assert descriptor.dependencies == []
+    descriptor.disable("f2", "c2")  # now legal
+
+
+def test_remove_component_violating_required_side_rejected():
+    descriptor = make_descriptor(
+        component("c1", functions=("f1",)), component("c2", functions=("f2",))
+    )
+    descriptor.enable("f1", "c1")
+    descriptor.enable("f2", "c2")
+    descriptor.add_dependency(
+        Dependency("f1", "f2", dependent_component="c1", required_component="c2")
+    )
+    with pytest.raises(DependencyViolation):
+        descriptor.remove_component("c2")
+
+
+def test_component_shipped_dependencies_merge():
+    dep = Dependency("f1", "f2", dependent_component="c1")
+    descriptor = make_descriptor(component("c1", functions=("f1",), deps=[dep]))
+    assert descriptor.dependencies == [dep]
+
+
+# ----------------------------------------------------------------------
+# Instantiability, cloning, equivalence
+# ----------------------------------------------------------------------
+
+
+def test_instantiable_requires_mandatory_enabled():
+    descriptor = make_descriptor(component("c1", markings={"f": Marking.MANDATORY}))
+    with pytest.raises(MandatoryViolation):
+        descriptor.validate_instantiable()
+    descriptor.enable("f", "c1")
+    descriptor.validate_instantiable()
+
+
+def test_instantiable_requires_dependencies_hold():
+    descriptor = make_descriptor(
+        component("c1", functions=("f1",)), component("c2", functions=("f2",))
+    )
+    descriptor.enable("f1", "c1")
+    descriptor.enable("f2", "c2")
+    descriptor.add_dependency(Dependency("f1", "f2"))
+    descriptor.validate_instantiable()
+
+
+def test_clone_is_independent():
+    descriptor = make_descriptor(component("c1"))
+    copy = descriptor.clone()
+    copy.enable("f", "c1")
+    assert not descriptor.is_enabled("f", "c1")
+    assert copy.is_enabled("f", "c1")
+
+
+def test_functional_equivalence():
+    """§2.1: same components incorporated and DFMs functionally
+    equivalent (same impls enabled and exported)."""
+    a = make_descriptor(component("c1"))
+    b = make_descriptor(component("c1"))
+    assert a.functionally_equivalent(b)
+    b.enable("f", "c1")
+    assert not a.functionally_equivalent(b)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+
+
+def test_diff_identical_is_noop():
+    a = make_descriptor(component("c1"))
+    diff = diff_descriptors(a, a.clone())
+    assert diff.is_noop
+
+
+def test_diff_detects_added_and_removed_components():
+    old = make_descriptor(component("c1"))
+    new = make_descriptor(component("c2"))
+    diff = diff_descriptors(old, new)
+    assert [ref.component_id for ref in diff.components_to_add] == ["c2"]
+    assert diff.components_to_remove == ["c1"]
+
+
+def test_diff_counts_entry_changes():
+    old = make_descriptor(component("c1", functions=("f", "g")))
+    new = old.clone()
+    new.enable("f", "c1")
+    diff = diff_descriptors(old, new)
+    assert diff.entry_changes == 1
+    assert not diff.is_noop
+
+
+def test_diff_carries_target_clone():
+    old = make_descriptor(component("c1"))
+    new = old.clone()
+    new.enable("f", "c1")
+    diff = diff_descriptors(old, new)
+    new.disable("f", "c1")
+    assert diff.target.is_enabled("f", "c1")  # snapshot, not a live ref

@@ -1,0 +1,146 @@
+"""Tests for Implementation Component Objects and figure/CLI plumbing."""
+
+import pytest
+
+from repro.core import ComponentBuilder, ImplementationType, IncompatibleImplementationType
+from repro.core.ico import ImplementationComponentObject
+from repro.legion.loid import mint_loid
+
+
+def make_ico(runtime, size_bytes=500_000):
+    component = (
+        ComponentBuilder("served")
+        .function("fn", lambda ctx: "fn")
+        .variant(size_bytes=size_bytes)
+        .build()
+    )
+    host = runtime.host("host00")
+    loid = mint_loid(runtime.domain, "ICO")
+    ico = ImplementationComponentObject(runtime, loid, host, component=component)
+    runtime.sim.run_process(ico.activate())
+    runtime.attach_object(ico)
+    return component, ico
+
+
+def test_ico_requires_component(runtime):
+    host = runtime.host("host00")
+    with pytest.raises(ValueError, match="needs a component"):
+        ImplementationComponentObject(runtime, mint_loid(runtime.domain, "ICO"), host)
+
+
+def test_get_component_returns_descriptor_object(runtime):
+    component, ico = make_ico(runtime)
+    client = runtime.make_client("host01")
+    fetched = client.call_sync(ico.loid, "getComponent")
+    assert fetched is component
+    assert ico.metadata_requests == 1
+
+
+def test_fetch_variant_charges_wire_time(runtime):
+    """A 500 KB variant fetch must take visibly longer than metadata."""
+    __, ico = make_ico(runtime, size_bytes=500_000)
+    client = runtime.make_client("host01")
+    from repro.core.impltype import NATIVE
+
+    start = runtime.sim.now
+    client.call_sync(ico.loid, "getComponent")
+    metadata_time = runtime.sim.now - start
+    start = runtime.sim.now
+    variant = client.call_sync(ico.loid, "fetchVariant", NATIVE)
+    data_time = runtime.sim.now - start
+    assert variant.size_bytes == 500_000
+    assert data_time > 5 * metadata_time
+    assert ico.data_requests == 1
+
+
+def test_fetch_variant_unknown_type_raises(runtime):
+    __, ico = make_ico(runtime)
+    client = runtime.make_client("host01")
+    exotic = ImplementationType(architecture="vax-vms")
+    with pytest.raises(IncompatibleImplementationType):
+        client.call_sync(ico.loid, "fetchVariant", exotic)
+
+
+def test_get_descriptor_is_pure_metadata(runtime):
+    component, ico = make_ico(runtime)
+    client = runtime.make_client("host01")
+    descriptor = client.call_sync(ico.loid, "getDescriptor")
+    assert descriptor["component_id"] == "served"
+    assert descriptor["functions"]["fn"]["exported"] is True
+    assert descriptor["variants"] == ["x86-linux/elf/c++"]
+
+
+def test_variant_for_host_picks_matching_architecture(runtime):
+    x86 = ImplementationType(architecture="x86-linux")
+    sparc = ImplementationType(architecture="sparc-solaris")
+    component = (
+        ComponentBuilder("multi")
+        .function("fn", lambda ctx: None)
+        .variant(size_bytes=10, impl_type=x86)
+        .variant(size_bytes=20, impl_type=sparc)
+        .build()
+    )
+    host = runtime.host("host00")  # x86-linux
+    assert component.variant_for_host(host).impl_type == x86
+
+
+def test_variant_for_host_mismatch_raises(runtime):
+    sparc = ImplementationType(architecture="sparc-solaris")
+    component = (
+        ComponentBuilder("sparc-only")
+        .function("fn", lambda ctx: None)
+        .variant(size_bytes=10, impl_type=sparc)
+        .build()
+    )
+    with pytest.raises(IncompatibleImplementationType):
+        component.variant_for_host(runtime.host("host00"))
+
+
+# ----------------------------------------------------------------------
+# Figure series + CLI
+# ----------------------------------------------------------------------
+
+
+def test_render_csv_quotes_and_formats():
+    from repro.bench.figures import render_csv
+
+    text = render_csv(("a", "b"), [(1, 2.5), ("x,y", 3.0)])
+    lines = text.strip().split("\n")
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert lines[2] == '"x,y",3'
+
+
+def test_figure_e5_series_is_monotone():
+    from repro.bench.figures import figure_e5_download_vs_size
+
+    header, rows = figure_e5_download_vs_size(seed=0)
+    assert header == ("size_bytes", "download_s")
+    sizes = [row[0] for row in rows]
+    times = [row[1] for row in rows]
+    assert sizes == sorted(sizes)
+    assert times == sorted(times)
+
+
+def test_cli_list_and_run(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["list"]) == 0
+    assert main(["run", "E4"]) == 0
+    output = capsys.readouterr().out
+    assert "stale binding" in output
+
+
+def test_cli_unknown_experiment(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["run", "E99"]) == 2
+
+
+def test_cli_figures_to_directory(tmp_path):
+    from repro.bench.__main__ import main
+
+    assert main(["figures", "fig-e5", "--out", str(tmp_path)]) == 0
+    written = tmp_path / "fig-e5.csv"
+    assert written.exists()
+    assert written.read_text().startswith("size_bytes,download_s")

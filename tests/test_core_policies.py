@@ -1,0 +1,295 @@
+"""Tests for evolution management strategies (§3.3-3.5)."""
+
+import pytest
+
+from repro.core import EvolutionDisallowed
+from repro.core.policies import (
+    ExplicitUpdatePolicy,
+    GeneralEvolutionPolicy,
+    HybridEvolutionPolicy,
+    IncreasingVersionPolicy,
+    LazyUpdatePolicy,
+    NoUpdatePolicy,
+    ProactiveUpdatePolicy,
+    SingleVersionPolicy,
+)
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+def swap_to_descending(manager, parent=None):
+    """Derive (from ``parent`` or current) a version using compare-desc."""
+    parent = parent or manager.current_version
+    version = manager.derive_version(parent)
+    descriptor = manager.descriptor_of(version)
+    if "compare-desc" not in descriptor.component_ids:
+        manager.incorporate_into(version, "compare-desc")
+        descriptor = manager.descriptor_of(version)
+    descriptor.enable("compare", "compare-desc", replace_current=True)
+    manager.mark_instantiable(version)
+    return version
+
+
+# ----------------------------------------------------------------------
+# Evolution (version-graph) policies
+# ----------------------------------------------------------------------
+
+
+def test_single_version_only_evolves_to_current(runtime):
+    manager = make_sorter_manager(runtime, evolution_policy=SingleVersionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    other = swap_to_descending(manager)  # instantiable but NOT current
+    with pytest.raises(EvolutionDisallowed):
+        runtime.sim.run_process(manager.evolve_instance(loid, other))
+    manager.set_current_version(other)
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, other))
+    assert reached == other
+
+
+def test_no_update_policy_freezes_instances(runtime):
+    manager = make_sorter_manager(runtime, evolution_policy=NoUpdatePolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    with pytest.raises(EvolutionDisallowed):
+        runtime.sim.run_process(manager.evolve_instance(loid, version))
+    # But new instances pick up a new current version.
+    manager.set_current_version(version)
+    new_loid, __ = create_dcdo(runtime, manager)
+    assert manager.instance_version(new_loid) == version
+    assert manager.instance_version(loid) != version
+
+
+def test_increasing_version_allows_descendants_only(runtime):
+    manager = make_sorter_manager(runtime, evolution_policy=IncreasingVersionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    child = swap_to_descending(manager, parent=v1)
+    sibling_root = manager.new_version()
+    for component_id in ("sorter", "compare-asc"):
+        manager.incorporate_into(sibling_root, component_id)
+    descriptor = manager.descriptor_of(sibling_root)
+    descriptor.enable("sort", "sorter")
+    descriptor.enable("compare", "compare-asc")
+    manager.mark_instantiable(sibling_root)
+    # Descendant: allowed.
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, child))
+    assert reached == child
+    # Non-descendant root: vetoed.
+    with pytest.raises(EvolutionDisallowed):
+        runtime.sim.run_process(manager.evolve_instance(loid, sibling_root))
+
+
+def test_increasing_version_lazy_refinement_stays_put(runtime):
+    """§3.5: if the new current version is not derived from the DCDO's
+    version, the DCDO remains at its present version."""
+    manager = make_sorter_manager(runtime, evolution_policy=IncreasingVersionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    child = swap_to_descending(manager, parent=v1)
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, child))
+    assert reached == child
+    # New current version is a sibling (derived from v1, not from child).
+    sibling = swap_to_descending(manager, parent=v1)
+    manager.set_current_version(sibling)
+    stayed = runtime.sim.run_process(manager.try_evolve_instance(loid))
+    assert stayed == child
+    assert manager.instance_version(loid) == child
+
+
+def test_general_evolution_allows_any_instantiable(runtime):
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    child = swap_to_descending(manager, parent=v1)
+    runtime.sim.run_process(manager.evolve_instance(loid, child))
+    # Evolving *back* to v1 (not a descendant of child) is fine here.
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, v1))
+    assert reached == v1
+
+
+def test_hybrid_policy_blocks_rule_violations(runtime):
+    """§3.5 hybrid: general evolution minus transitions that remove a
+    mandatory function or disable a permanent one."""
+    from repro.core import ComponentBuilder
+
+    manager = make_sorter_manager(runtime, evolution_policy=HybridEvolutionPolicy())
+    v1 = manager.current_version
+    # v2 marks sort mandatory.
+    v2 = manager.derive_version(v1)
+    manager.descriptor_of(v2).mark_mandatory("sort")
+    manager.mark_instantiable(v2)
+    # v3 (sibling of v2, derived from v1): no sorter at all.
+    bare = ComponentBuilder("bare").function("noop", lambda ctx: None).build()
+    manager.register_component(bare)
+    v3 = manager.derive_version(v1)
+    descriptor = manager.descriptor_of(v3)
+    descriptor.disable("sort", "sorter")
+    descriptor.remove_component("sorter")
+    manager.incorporate_into(v3, "bare")
+    manager.descriptor_of(v3).enable("noop", "bare")
+    manager.mark_instantiable(v3)
+
+    loid, __ = create_dcdo(runtime, manager)
+    runtime.sim.run_process(manager.evolve_instance(loid, v2))
+    with pytest.raises(Exception) as excinfo:
+        runtime.sim.run_process(manager.evolve_instance(loid, v3))
+    from repro.core import MandatoryViolation
+
+    assert isinstance(excinfo.value, MandatoryViolation)
+    # From v1 (no mandatory markings) the same transition is legal.
+    other_loid, __ = create_dcdo(runtime, manager)
+    reached = runtime.sim.run_process(manager.evolve_instance(other_loid, v3))
+    assert reached == v3
+
+
+# ----------------------------------------------------------------------
+# Update (propagation) policies
+# ----------------------------------------------------------------------
+
+
+def test_proactive_update_evolves_all_on_version_cut(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ProactiveUpdatePolicy(),
+    )
+    loids = [create_dcdo(runtime, manager)[0] for __ in range(3)]
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    assert all(manager.instance_version(loid) == version for loid in loids)
+    client = runtime.make_client()
+    assert client.call_sync(loids[0], "sort", [1, 2, 3]) == [3, 2, 1]
+
+
+def test_proactive_parallel_faster_than_serial(runtime):
+    """§3.4: proactive "does not scale well with the number of DCDOs";
+    the parallel variant amortizes, the serial variant pays linearly."""
+    import repro.cluster as cluster
+    from repro.legion import LegionRuntime
+
+    durations = {}
+    for parallel in (True, False):
+        fresh = LegionRuntime(cluster.build_lan(4, seed=11))
+        manager = make_sorter_manager(
+            fresh,
+            update_policy=ProactiveUpdatePolicy(parallel=parallel),
+        )
+        for __ in range(4):
+            create_dcdo(fresh, manager)
+        version = swap_to_descending(manager)
+        start = fresh.sim.now
+        manager.set_current_version(version)
+        durations[parallel] = fresh.sim.now - start
+    assert durations[True] < durations[False]
+
+
+def test_explicit_update_does_nothing_automatically(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ExplicitUpdatePolicy(),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    assert manager.instance_version(loid) == v1  # still old
+    client = runtime.make_client()
+    client.call_sync(manager.loid, "updateInstance", loid, timeout_schedule=(600.0,))
+    assert manager.instance_version(loid) == version
+
+
+def test_lazy_strict_updates_before_next_call(runtime):
+    """§3.4: strict consistency — DCDOs consult their class on every
+    invocation request."""
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    assert manager.instance_version(loid) != version
+    client = runtime.make_client()
+    # The next user call triggers the check and the update first.
+    assert client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,)) == [2, 1]
+    assert manager.instance_version(loid) == version
+
+
+def test_lazy_every_k_calls(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(every_k_calls=3),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    client = runtime.make_client()
+    results = [
+        client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,)) for __ in range(3)
+    ]
+    # Calls 1 and 2 ran ascending (no check yet); call 3 checked first.
+    assert results == [[1, 2], [1, 2], [2, 1]]
+
+
+def test_lazy_every_t_seconds(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(every_t_seconds=100.0),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    client = runtime.make_client()
+    # First-ever call checks (no prior check time), updating the object.
+    assert client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,)) == [2, 1]
+    # Fresh cut within the window: next call does NOT check.
+    newer = swap_to_descending(manager, parent=version)
+    manager.set_current_version(newer)
+    assert client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,)) == [2, 1]
+    assert manager.instance_version(loid) == version
+    # After the window passes, the check fires again.
+    runtime.sim.run(until=runtime.sim.now + 101.0)
+    client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,))
+    assert manager.instance_version(loid) == newer
+
+
+def test_lazy_on_migrate_updates_at_migration_only(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(check_on_migrate=True),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    client = runtime.make_client()
+    client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,))
+    assert manager.instance_version(loid) == v1  # calls don't trigger it
+    source = manager.record(loid).host.name
+    target = next(name for name in runtime.hosts if name != source)
+    runtime.sim.run_process(manager.migrate_instance(loid, target))
+    runtime.sim.run()  # let the post-migration check complete
+    assert manager.instance_version(loid) == version
+
+
+def test_lazy_check_unreachable_manager_does_not_break_calls(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    manager.deactivate()  # the manager object goes dark
+    client = runtime.make_client()
+    assert client.call_sync(loid, "sort", [2, 1], timeout_schedule=(600.0,)) == [1, 2]
+
+
+def test_policy_validation_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        LazyUpdatePolicy(every_k_calls=0)
+    with pytest.raises(ValueError):
+        LazyUpdatePolicy(every_t_seconds=0)

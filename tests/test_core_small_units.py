@@ -1,0 +1,168 @@
+"""Small-unit tests: markings, impl types, function defs, policy bases."""
+
+import pytest
+
+from repro.core import (
+    ComponentBuilder,
+    ComponentVariant,
+    FunctionDef,
+    ImplementationType,
+    Marking,
+    NATIVE,
+)
+from repro.core.policies.base import EvolutionPolicy, UpdatePolicy
+
+
+# ----------------------------------------------------------------------
+# Marking
+# ----------------------------------------------------------------------
+
+
+def test_marking_strength_ordering():
+    assert Marking.PERMANENT.at_least(Marking.MANDATORY)
+    assert Marking.PERMANENT.at_least(Marking.FULLY_DYNAMIC)
+    assert Marking.MANDATORY.at_least(Marking.FULLY_DYNAMIC)
+    assert not Marking.FULLY_DYNAMIC.at_least(Marking.MANDATORY)
+    assert not Marking.MANDATORY.at_least(Marking.PERMANENT)
+
+
+def test_marking_reflexive():
+    for marking in Marking:
+        assert marking.at_least(marking)
+
+
+# ----------------------------------------------------------------------
+# ImplementationType
+# ----------------------------------------------------------------------
+
+
+def test_impl_type_equality_and_hash():
+    a = ImplementationType(architecture="x86-linux")
+    b = ImplementationType(architecture="x86-linux")
+    assert a == b
+    assert len({a, b}) == 1
+    assert a == NATIVE
+
+
+def test_impl_type_str():
+    impl_type = ImplementationType("sparc-solaris", "elf32", "c++")
+    assert str(impl_type) == "sparc-solaris/elf32/c++"
+
+
+def test_impl_type_host_compatibility(runtime):
+    host = runtime.host("host00")  # x86-linux
+    assert NATIVE.compatible_with_host(host)
+    assert not ImplementationType("vax-vms").compatible_with_host(host)
+
+
+# ----------------------------------------------------------------------
+# FunctionDef / ComponentVariant / ComponentBuilder
+# ----------------------------------------------------------------------
+
+
+def test_function_def_requires_callable():
+    with pytest.raises(TypeError):
+        FunctionDef(name="f", body="not callable")
+
+
+def test_function_def_visibility():
+    exported = FunctionDef(name="f", body=lambda ctx: None)
+    internal = FunctionDef(name="g", body=lambda ctx: None, exported=False)
+    assert exported.visibility == "exported"
+    assert internal.visibility == "internal"
+
+
+def test_component_variant_rejects_negative_size():
+    with pytest.raises(ValueError):
+        ComponentVariant(impl_type=NATIVE, size_bytes=-1, blob_id="x")
+
+
+def test_builder_default_variant_created():
+    component = ComponentBuilder("c").function("f", lambda ctx: None).build()
+    assert NATIVE in component.variants
+    assert component.variants[NATIVE].blob_id == "c:x86-linux"
+
+
+def test_builder_exported_and_internal_names():
+    component = (
+        ComponentBuilder("c")
+        .function("pub", lambda ctx: None)
+        .internal_function("priv", lambda ctx: None)
+        .build()
+    )
+    assert component.exported_names() == ["pub"]
+    assert component.function_names() == ["priv", "pub"]
+
+
+def test_builder_marking_demands():
+    component = (
+        ComponentBuilder("c")
+        .function("f", lambda ctx: None)
+        .require_mandatory("f")
+        .build()
+    )
+    assert component.marking_demand("f") is Marking.MANDATORY
+    assert component.marking_demand("other") is Marking.FULLY_DYNAMIC
+
+
+# ----------------------------------------------------------------------
+# Policy base classes
+# ----------------------------------------------------------------------
+
+
+def test_update_policy_base_is_inert(runtime):
+    from tests.conftest import make_sorter_manager
+
+    manager = make_sorter_manager(runtime, update_policy=UpdatePolicy())
+    assert manager.update_policy.on_new_current_version(manager) is None
+    assert manager.update_policy.on_instance_migrated(manager, None) is None
+    assert manager.update_policy.make_instance_checker(manager, None) is None
+
+
+def test_evolution_policy_base_default_target(runtime):
+    from tests.conftest import make_sorter_manager
+
+    manager = make_sorter_manager(runtime)
+    policy = EvolutionPolicy()
+    assert policy.default_target(manager, None) == manager.current_version
+    with pytest.raises(NotImplementedError):
+        policy.check_transition(manager, None, None)
+
+
+def test_policy_reprs_name_the_class():
+    assert "EvolutionPolicy" in repr(EvolutionPolicy())
+    assert "UpdatePolicy" in repr(UpdatePolicy())
+
+
+# ----------------------------------------------------------------------
+# set_current_version_async
+# ----------------------------------------------------------------------
+
+
+def test_set_current_version_async_returns_propagation(runtime):
+    from repro.core.policies import ProactiveUpdatePolicy, SingleVersionPolicy
+    from tests.conftest import create_dcdo, make_sorter_manager
+    from tests.test_core_policies import swap_to_descending
+
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ProactiveUpdatePolicy(),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    process = manager.set_current_version_async(version)
+    assert process is not None
+    assert manager.instance_version(loid) != version  # not yet applied
+    runtime.sim.run(until=process)
+    assert manager.instance_version(loid) == version
+
+
+def test_set_current_version_async_explicit_returns_none(runtime):
+    from tests.conftest import make_sorter_manager
+    from tests.test_core_policies import swap_to_descending
+
+    manager = make_sorter_manager(runtime, type_name="AsyncNone")
+    version = swap_to_descending(manager)
+    assert manager.set_current_version_async(version) is None
+    assert manager.current_version == version

@@ -1,0 +1,96 @@
+"""Tests for the defensive client stub."""
+
+import pytest
+
+from repro.core.stub import DCDOStub
+from repro.legion.errors import MethodNotFound
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+@pytest.fixture
+def stub_setup(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    return manager, loid, obj, client
+
+
+def test_plain_call_works(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid)
+    assert stub.call_sync("sort", [2, 1]) == [1, 2]
+
+
+def test_refresh_interface_caches_snapshot(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid)
+    functions = client.sim.run_process(stub.refresh_interface())
+    assert functions == {"sort", "compare"}
+    assert stub.interface.is_fresh
+    assert stub.interface.version == "1"
+    assert stub.interface.exports("sort")
+    assert not stub.interface.exports("ghost")
+
+
+def test_supports_requeries(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid)
+    assert client.sim.run_process(stub.supports("sort"))
+    client.call_sync(loid, "disableFunction", "sort", "sorter")
+    assert not client.sim.run_process(stub.supports("sort"))
+
+
+def test_check_first_skips_missing_function_via_fallback(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid, fallbacks={"sort": "compare"})
+    client.call_sync(loid, "disableFunction", "sort", "sorter")
+    # check_first sees sort missing and routes to the fallback.
+    assert stub.call_sync("sort", 5, 9, check_first=True) == 5
+
+
+def test_disappearance_retry_succeeds_after_reenable(runtime):
+    """The function vanishes, then an equivalent is re-enabled; the
+    stub's re-query + retry path succeeds transparently."""
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    stub = DCDOStub(client, loid)
+    client.call_sync(loid, "getVersion")  # warm the binding cache
+    runtime.sim.run_process(obj.disable_function("sort", "sorter"))
+
+    def scenario():
+        call = runtime.sim.spawn(stub.call("sort", [3, 1]))
+        # Re-enable after the first invocation has already failed (a
+        # round trip is ~3 ms) but before the stub's re-query lands.
+        yield runtime.sim.timeout(0.004)
+        yield from obj.enable_function("sort", "sorter")
+        result = yield call
+        return result
+
+    assert runtime.sim.run_process(scenario()) == [1, 3]
+    assert stub.disappearances == 1
+
+
+def test_disappearance_without_retry_or_fallback_raises(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid, retry_on_disappearance=False)
+    client.call_sync(loid, "disableFunction", "sort", "sorter")
+    with pytest.raises(MethodNotFound):
+        stub.call_sync("sort", [1])
+    assert stub.disappearances == 1
+
+
+def test_fallback_used_when_function_gone_for_good(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid, fallbacks={"sort": "compare"})
+    client.call_sync(loid, "disableFunction", "sort", "sorter")
+    # compare(min) of the two args stands in for the missing sort.
+    assert stub.call_sync("sort", 4, 2) == 2
+    assert stub.fallbacks_used == 1
+
+
+def test_missing_function_with_no_options_raises_clear_error(stub_setup):
+    __, loid, __, client = stub_setup
+    stub = DCDOStub(client, loid)
+    with pytest.raises(MethodNotFound):
+        stub.call_sync("never_existed")

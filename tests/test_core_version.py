@@ -1,0 +1,151 @@
+"""Unit + property tests for version identifiers and version trees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import VersionId, VersionTree
+
+version_parts = st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=6).map(
+    tuple
+)
+
+
+def test_parse_and_str_roundtrip():
+    version = VersionId.parse("3.2.1")
+    assert version.parts == (3, 2, 1)
+    assert str(version) == "3.2.1"
+
+
+def test_root_is_one():
+    assert VersionId.root() == VersionId((1,))
+
+
+def test_empty_version_rejected():
+    with pytest.raises(ValueError):
+        VersionId(())
+
+
+def test_non_positive_parts_rejected():
+    with pytest.raises(ValueError):
+        VersionId((1, 0))
+    with pytest.raises(ValueError):
+        VersionId((-1,))
+
+
+def test_parse_garbage_rejected():
+    with pytest.raises(ValueError):
+        VersionId.parse("1.x.3")
+
+
+def test_paper_derivation_examples():
+    """§3.5: 3.2 -> 3.2.1 and 3.2.0.4 allowed; 3.2 -> 3.3 not.
+
+    (0 parts are not representable here, so the paper's 3.2.0.4 maps
+    to any deeper descendant like 3.2.1.4.)
+    """
+    v32 = VersionId.parse("3.2")
+    assert VersionId.parse("3.2.1").derives_from(v32)
+    assert VersionId.parse("3.2.1.4").derives_from(v32)
+    assert not VersionId.parse("3.3").derives_from(v32)
+
+
+def test_derives_from_self():
+    version = VersionId.parse("1.2")
+    assert version.derives_from(version)
+
+
+def test_parent_chain():
+    version = VersionId.parse("1.2.3")
+    assert version.parent == VersionId.parse("1.2")
+    assert version.parent.parent == VersionId.parse("1")
+    assert version.parent.parent.parent is None
+
+
+def test_child_indexing():
+    assert VersionId.parse("2").child(3) == VersionId.parse("2.3")
+    with pytest.raises(ValueError):
+        VersionId.parse("2").child(0)
+
+
+def test_ordering_is_lexicographic():
+    assert VersionId.parse("1.2") < VersionId.parse("1.10")
+    assert VersionId.parse("1") < VersionId.parse("1.1")
+
+
+@given(version_parts)
+def test_property_derives_from_every_ancestor(parts):
+    version = VersionId(parts)
+    ancestor = version
+    while ancestor is not None:
+        assert version.derives_from(ancestor)
+        ancestor = ancestor.parent
+
+
+@given(version_parts, version_parts)
+def test_property_derivation_is_prefix_relation(a_parts, b_parts):
+    a, b = VersionId(a_parts), VersionId(b_parts)
+    assert a.derives_from(b) == (a_parts[: len(b_parts)] == b_parts)
+
+
+@given(version_parts, version_parts, version_parts)
+def test_property_derivation_transitive(a_parts, b_parts, c_parts):
+    a, b, c = VersionId(a_parts), VersionId(b_parts), VersionId(c_parts)
+    if a.derives_from(b) and b.derives_from(c):
+        assert a.derives_from(c)
+
+
+@given(version_parts, version_parts)
+def test_property_derivation_antisymmetric(a_parts, b_parts):
+    a, b = VersionId(a_parts), VersionId(b_parts)
+    if a.derives_from(b) and b.derives_from(a):
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# VersionTree
+# ----------------------------------------------------------------------
+
+
+def test_tree_roots_increment():
+    tree = VersionTree()
+    assert tree.new_root() == VersionId.parse("1")
+    assert tree.new_root() == VersionId.parse("2")
+
+
+def test_tree_derive_children_in_order():
+    tree = VersionTree()
+    root = tree.new_root()
+    assert tree.derive(root) == VersionId.parse("1.1")
+    assert tree.derive(root) == VersionId.parse("1.2")
+    assert tree.derive(VersionId.parse("1.1")) == VersionId.parse("1.1.1")
+
+
+def test_tree_derive_unknown_raises():
+    tree = VersionTree()
+    with pytest.raises(KeyError):
+        tree.derive(VersionId.parse("9"))
+
+
+def test_tree_contains_and_descendants():
+    tree = VersionTree()
+    root = tree.new_root()
+    child = tree.derive(root)
+    grandchild = tree.derive(child)
+    other_root = tree.new_root()
+    assert child in tree
+    assert tree.descendants(root) == {root, child, grandchild}
+    assert tree.descendants(other_root) == {other_root}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=30))
+def test_property_tree_versions_unique(choices):
+    """Deriving in any pattern never produces duplicate identifiers."""
+    tree = VersionTree()
+    known = [tree.new_root()]
+    for choice in choices:
+        if choice == 0:
+            known.append(tree.new_root())
+        else:
+            known.append(tree.derive(known[choice % len(known)]))
+    assert len(known) == len(set(known))

@@ -1,0 +1,176 @@
+"""Failure-injection tests: evolution and invocation under network
+faults.
+
+The layers under test are the retry/rebind machinery and the update
+policies; the faults come from :mod:`repro.net.faults`.
+"""
+
+import pytest
+
+from repro.core.policies import GeneralEvolutionPolicy, LazyUpdatePolicy, SingleVersionPolicy
+from repro.legion.errors import ObjectUnreachable
+from repro.net import DropRule, Partition
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+def test_invocation_survives_single_request_drop(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "sort", [1])  # warm binding
+    runtime.network.faults.add_drop_rule(
+        DropRule(predicate=lambda m: m.kind == "request", count=1)
+    )
+    start = runtime.sim.now
+    assert client.call_sync(loid, "sort", [2, 1]) == [1, 2]
+    # One dropped request costs one timeout from the schedule (~2 s),
+    # not a rebind (~30 s).
+    elapsed = runtime.sim.now - start
+    assert 1.0 <= elapsed <= 5.0
+    assert client.binding_cache.stale_stats.count == 0
+
+
+def test_invocation_survives_reply_drop(runtime):
+    """Dropping the reply re-executes on retry (at-most-once per
+    message, not per logical call) — the classic distributed ambiguity;
+    the client still gets an answer."""
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "sort", [1])
+    runtime.network.faults.add_drop_rule(
+        DropRule(predicate=lambda m: m.kind == "reply", count=1)
+    )
+    assert client.call_sync(loid, "sort", [3, 2]) == [2, 3]
+
+
+def test_unreachable_object_raises_after_rebind_fails(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "sort", [1])
+    # The object dies without the binding agent learning anything.
+    obj.deactivate()
+    with pytest.raises(ObjectUnreachable):
+        client.call_sync(loid, "sort", [1])
+    # The failure took two full timeout walks (stale discovery + the
+    # post-rebind attempt at the same dead incarnation).
+    assert client.binding_cache.stale_stats.count == 1
+
+
+def test_partition_heals_and_call_completes(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, __ = create_dcdo(runtime, manager, host_name="host00")
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "sort", [1])
+    record = manager.record(loid)
+    partition = runtime.network.faults.add_partition(
+        Partition(
+            {client.endpoint.address},
+            {record.obj.address},
+        )
+    )
+    outcome = {}
+
+    def caller():
+        outcome["result"] = yield from client.invoke(loid, "sort", [2, 1])
+        outcome["when"] = runtime.sim.now
+
+    def healer():
+        yield runtime.sim.timeout(3.0)
+        partition.heal(runtime.sim.now)
+
+    runtime.sim.spawn(caller())
+    runtime.sim.spawn(healer())
+    runtime.sim.run()
+    assert outcome["result"] == [1, 2]
+    assert outcome["when"] >= 3.0
+
+
+def test_lazy_update_with_manager_partitioned_keeps_serving(runtime):
+    """A lazy DCDO whose manager is unreachable must keep serving at
+    its current version (availability over freshness)."""
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(),
+    )
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host03")
+    runtime.network.faults.add_partition(
+        Partition({obj.address}, {manager.address})
+    )
+    assert client.call_sync(loid, "sort", [2, 1], timeout_schedule=(600.0,)) == [1, 2]
+
+
+def test_evolution_rpc_retries_through_drops(runtime):
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    version = manager.derive_version(manager.current_version)
+    manager.descriptor_of(version).set_exported("compare", "compare-asc", False)
+    manager.mark_instantiable(version)
+    # Drop the first applyConfiguration request.
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("method") == "applyConfiguration",
+            count=1,
+        )
+    )
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, version))
+    assert reached == version
+
+
+def test_component_fetch_retries_through_drops(runtime):
+    """An ICO data fetch surviving a dropped chunk of traffic."""
+    from repro.core.policies import GeneralEvolutionPolicy as GEP
+
+    manager = make_sorter_manager(
+        runtime, type_name="FetchRetry", evolution_policy=GEP()
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "compare-desc")
+    manager.descriptor_of(version).enable("compare", "compare-desc", replace_current=True)
+    manager.mark_instantiable(version)
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("method") == "fetchVariant",
+            count=1,
+        )
+    )
+    reached = runtime.sim.run_process(manager.evolve_instance(loid, version))
+    assert reached == version
+    client = runtime.make_client()
+    assert client.call_sync(loid, "sort", [1, 2]) == [2, 1]
+
+
+def test_proactive_update_with_one_unreachable_instance(runtime):
+    """Proactive propagation must not wedge the whole cut when one
+    instance is dark; the others still converge."""
+    from repro.core.policies import ProactiveUpdatePolicy
+
+    manager = make_sorter_manager(
+        runtime,
+        type_name="PartialFleet",
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ProactiveUpdatePolicy(),
+    )
+    loids = [create_dcdo(runtime, manager)[0] for __ in range(3)]
+    dark = manager.record(loids[1]).obj
+    dark.deactivate()
+    version = manager.derive_version(manager.current_version)
+    manager.descriptor_of(version).set_exported("compare", "compare-asc", False)
+    manager.mark_instantiable(version)
+    propagation = manager.set_current_version_async(version)
+    try:
+        runtime.sim.run(until=propagation)
+    except Exception:  # noqa: BLE001 - dark instance may surface an error
+        pass
+    runtime.sim.run()
+    assert manager.instance_version(loids[0]) == version
+    assert manager.instance_version(loids[2]) == version
+    assert manager.instance_version(loids[1]) != version

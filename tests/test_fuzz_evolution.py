@@ -1,0 +1,203 @@
+"""Randomized end-to-end fuzzing of the evolution machinery.
+
+A seeded fuzzer drives a live runtime through random version
+derivations, configurations, cuts, instance creations, evolutions,
+migrations, and client calls.  After every step the live DCDOs'
+DFMs must be internally consistent and callable functions must match
+their version descriptors.
+
+This complements the hypothesis property tests (which cover the pure
+descriptor algebra) by exercising the full networked path.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DCDOError, UnknownVersion
+from repro.core.policies import GeneralEvolutionPolicy
+from repro.core.validation import check_state_consistent
+from repro.legion.errors import LegionError, MethodNotFound
+from repro.workloads import synthetic_components
+from tests.conftest import make_sorter_manager
+
+STEPS = 60
+
+
+class EvolutionFuzzer:
+    """One fuzzing session against one runtime."""
+
+    def __init__(self, runtime, seed):
+        self.runtime = runtime
+        self.rng = random.Random(seed)
+        self.manager = make_sorter_manager(
+            runtime, evolution_policy=GeneralEvolutionPolicy()
+        )
+        self.client = runtime.make_client("host03")
+        self.loids = []
+        self.component_counter = 0
+        self.actions = [
+            self.act_create_instance,
+            self.act_derive_and_cut,
+            self.act_evolve_random_instance,
+            self.act_call_random_instance,
+            self.act_migrate_random_instance,
+            self.act_register_component,
+        ]
+
+    # ------------------------------------------------------------------
+    # Actions (all tolerate model-level rejections)
+    # ------------------------------------------------------------------
+
+    def act_create_instance(self):
+        if len(self.loids) >= 4:
+            return
+        loid = self.runtime.sim.run_process(self.manager.create_instance())
+        self.loids.append(loid)
+
+    def act_register_component(self):
+        self.component_counter += 1
+        component = synthetic_components(
+            1, self.rng.randint(1, 3), prefix=f"fz{self.component_counter}-"
+        )[0]
+        self.manager.register_component(component)
+
+    def act_derive_and_cut(self):
+        versions = [v for v in self.manager.versions() if self.manager.is_instantiable(v)]
+        if not versions:
+            return
+        parent = self.rng.choice(versions)
+        version = self.manager.derive_version(parent)
+        descriptor = self.manager.descriptor_of(version)
+        # Random configuration edits, each allowed to be rejected.
+        for __ in range(self.rng.randint(1, 4)):
+            self._random_edit(descriptor)
+        try:
+            self.manager.mark_instantiable(version)
+        except DCDOError:
+            return
+        if self.rng.random() < 0.7:
+            self.manager.set_current_version(version)
+
+    def _random_edit(self, descriptor):
+        choice = self.rng.random()
+        try:
+            if choice < 0.4:
+                registered = self.manager.registered_components()
+                component_id = self.rng.choice(registered)
+                if component_id in descriptor.component_ids:
+                    descriptor.remove_component(component_id)
+                else:
+                    self.manager.incorporate_into(
+                        descriptor_version(self.manager, descriptor), component_id
+                    )
+            elif choice < 0.8:
+                entries = [
+                    (entry.function, entry.component_id)
+                    for component_id in descriptor.component_ids
+                    for entry in descriptor.entries_in(component_id)
+                ]
+                if not entries:
+                    return
+                function, component_id = self.rng.choice(entries)
+                if descriptor.is_enabled(function, component_id):
+                    descriptor.disable(function, component_id)
+                else:
+                    descriptor.enable(function, component_id, replace_current=True)
+            else:
+                functions = descriptor.function_names()
+                if functions:
+                    descriptor.mark_mandatory(self.rng.choice(functions))
+        except DCDOError:
+            pass
+
+    def act_evolve_random_instance(self):
+        if not self.loids:
+            return
+        loid = self.rng.choice(self.loids)
+        targets = [v for v in self.manager.versions() if self.manager.is_instantiable(v)]
+        if not targets:
+            return
+        target = self.rng.choice(targets)
+        try:
+            self.runtime.sim.run_process(self.manager.evolve_instance(loid, target))
+        except (DCDOError, LegionError):
+            pass
+
+    def act_call_random_instance(self):
+        if not self.loids:
+            return
+        loid = self.rng.choice(self.loids)
+        obj = self.manager.record(loid).obj
+        interface = obj.dfm.exported_interface()
+        name = self.rng.choice(interface) if interface and self.rng.random() < 0.8 else "ghost_fn"
+        args = ([3, 1, 2],) if name == "sort" else (1, 2) if name == "compare" else ()
+        try:
+            self.client.call_sync(loid, name, *args, timeout_schedule=(600.0,))
+        except (MethodNotFound, DCDOError, LegionError):
+            pass
+
+    def act_migrate_random_instance(self):
+        if not self.loids:
+            return
+        loid = self.rng.choice(self.loids)
+        record = self.manager.record(loid)
+        others = [name for name in self.runtime.hosts if name != record.host.name]
+        try:
+            self.runtime.sim.run_process(
+                self.manager.migrate_instance(loid, self.rng.choice(others))
+            )
+        except (DCDOError, LegionError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self):
+        for loid in self.loids:
+            record = self.manager.record(loid)
+            if not record.active:
+                continue
+            obj = record.obj
+            check_state_consistent(obj.dfm)
+            version = self.manager.instance_version(loid)
+            assert version is not None
+            assert self.manager.is_instantiable(version)
+            # The live DFM's enabled/exported map matches the version
+            # descriptor the manager believes the instance reflects.
+            descriptor = self.manager.version_record(version).descriptor
+            assert obj.dfm.component_ids == descriptor.component_ids, loid
+            for component_id in descriptor.component_ids:
+                for entry in descriptor.entries_in(component_id):
+                    live = obj.dfm.entry(entry.function, entry.component_id)
+                    assert live is not None
+                    assert live.enabled == entry.enabled, (loid, entry)
+                    assert live.exported == entry.exported, (loid, entry)
+            # No leaked thread counts once the system is quiescent.
+            for component_id in obj.dfm.component_ids:
+                assert obj.dfm.active_threads_in(component_id) == 0
+
+    def run(self, steps):
+        for __ in range(steps):
+            action = self.rng.choice(self.actions)
+            action()
+            self.runtime.sim.run()  # quiesce
+            self.check_invariants()
+
+
+def descriptor_version(manager, descriptor):
+    """Find the version whose record holds this descriptor object."""
+    for version in manager.versions():
+        if manager.version_record(version).descriptor is descriptor:
+            return version
+    raise UnknownVersion("descriptor not in the DFM store")
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 91])
+def test_randomized_evolution_history_keeps_invariants(runtime, seed):
+    fuzzer = EvolutionFuzzer(runtime, seed)
+    fuzzer.run(STEPS)
+    # The session must have actually exercised the machinery.
+    assert fuzzer.manager.instances_created >= 1
+    assert len(fuzzer.manager.versions()) >= 2

@@ -1,0 +1,117 @@
+"""Randomized fault injection against live traffic.
+
+A seeded fuzzer runs client traffic and evolution operations while
+randomly dropping messages and partitioning hosts.  Whatever the fault
+pattern, the system must end every session in a consistent state:
+calls either succeeded or raised a *known* error type, live DFMs stay
+consistent, and no thread counts leak.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DCDOError
+from repro.core.policies import GeneralEvolutionPolicy
+from repro.core.validation import check_state_consistent
+from repro.legion.errors import LegionError
+from repro.net import DropRule, Partition, TransportError
+from repro.workloads import build_component_version, synthetic_components
+from tests.conftest import create_dcdo, make_sorter_manager
+
+STEPS = 40
+
+KNOWN_ERRORS = (DCDOError, LegionError, TransportError)
+
+
+class FaultFuzzer:
+    def __init__(self, runtime, seed):
+        self.runtime = runtime
+        self.rng = random.Random(seed)
+        self.manager = make_sorter_manager(
+            runtime, evolution_policy=GeneralEvolutionPolicy()
+        )
+        self.loid, self.obj = create_dcdo(runtime, self.manager)
+        self.clients = [runtime.make_client(f"host0{index}") for index in range(1, 4)]
+        self.partitions = []
+        self.component_counter = 0
+        self.calls_ok = 0
+        self.calls_failed = 0
+
+    def random_fault(self):
+        choice = self.rng.random()
+        faults = self.runtime.network.faults
+        if choice < 0.5:
+            kind = self.rng.choice(["request", "reply"])
+            faults.add_drop_rule(
+                DropRule(
+                    predicate=lambda m, kind=kind: m.kind == kind,
+                    count=self.rng.randint(1, 3),
+                )
+            )
+        else:
+            client = self.rng.choice(self.clients)
+            target = self.obj.address
+            if target is None:
+                return
+            partition = Partition({client.endpoint.address}, {target})
+            faults.add_partition(partition)
+            self.partitions.append(partition)
+
+    def heal_everything(self):
+        for partition in self.partitions:
+            partition.heal(self.runtime.sim.now)
+        self.partitions.clear()
+
+    def random_call(self):
+        client = self.rng.choice(self.clients)
+        try:
+            result = client.call_sync(
+                self.loid, "sort", [3, 1, 2], timeout_schedule=(2.0, 4.0)
+            )
+        except KNOWN_ERRORS:
+            self.calls_failed += 1
+        else:
+            self.calls_ok += 1
+            assert sorted(result) == [1, 2, 3]
+
+    def random_evolution(self):
+        self.component_counter += 1
+        extra = synthetic_components(
+            1, 2, prefix=f"ff{self.component_counter}-"
+        )
+        try:
+            version = build_component_version(self.manager, extra)
+            self.runtime.sim.run_process(
+                self.manager.evolve_instance(self.loid, version)
+            )
+        except KNOWN_ERRORS:
+            pass
+
+    def run(self, steps):
+        actions = [self.random_fault, self.random_call, self.random_call,
+                   self.random_evolution, self.heal_everything]
+        for __ in range(steps):
+            self.rng.choice(actions)()
+            self.runtime.sim.run()
+            self.check_invariants()
+        self.heal_everything()
+        self.runtime.sim.run()
+
+    def check_invariants(self):
+        if self.manager.record(self.loid).active:
+            check_state_consistent(self.obj.dfm)
+            for component_id in self.obj.dfm.component_ids:
+                assert self.obj.dfm.active_threads_in(component_id) == 0
+
+
+@pytest.mark.parametrize("seed", [3, 17, 44])
+def test_fault_fuzzing_keeps_system_consistent(runtime, seed):
+    fuzzer = FaultFuzzer(runtime, seed)
+    fuzzer.run(STEPS)
+    # After healing, the system serves again.
+    client = fuzzer.clients[0]
+    assert client.call_sync(fuzzer.loid, "sort", [2, 1], timeout_schedule=(60.0,)) == [1, 2]
+    # The fuzz session must have exercised both outcomes at least once
+    # across the seeds (not asserted per-seed; some seeds are gentle).
+    assert fuzzer.calls_ok + fuzzer.calls_failed > 0

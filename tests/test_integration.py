@@ -1,0 +1,244 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import pytest
+
+from repro.cluster import build_lan
+from repro.core import ComponentBuilder, ImplementationType, annotate_component
+from repro.core.manager import define_dcdo_type
+from repro.core.policies import (
+    GeneralEvolutionPolicy,
+    LazyUpdatePolicy,
+    ProactiveUpdatePolicy,
+    SingleVersionPolicy,
+)
+from repro.legion import LegionRuntime
+from repro.workloads import ClosedLoopClient, build_component_version, make_noop_manager
+
+
+def test_full_system_run_is_deterministic():
+    """Two identical runs produce identical simulated traces."""
+
+    def run_once():
+        runtime = LegionRuntime(build_lan(6, seed=99))
+        manager, __ = make_noop_manager(
+            runtime,
+            "Determinism",
+            component_count=3,
+            functions_per_component=5,
+            update_policy=ProactiveUpdatePolicy(),
+        )
+        loids = [runtime.sim.run_process(manager.create_instance()) for __ in range(3)]
+        client = runtime.make_client("host05")
+        for loid in loids:
+            client.call_sync(loid, "ping", 1)
+        from repro.workloads import build_component_version, synthetic_components
+
+        version = build_component_version(
+            manager, synthetic_components(1, 2, prefix="det-x")
+        )
+        manager.set_current_version(version)
+        return (
+            runtime.sim.now,
+            runtime.sim.processed_events,
+            runtime.network.stats.messages_delivered,
+            runtime.network.stats.bytes_delivered,
+        )
+
+    assert run_once() == run_once()
+
+
+def test_sustained_traffic_through_a_version_cut(centurion_runtime):
+    """A fleet keeps serving a continuous client load across a
+    proactive version cut; no call errors, latencies stay bounded."""
+    runtime = centurion_runtime
+    manager, __ = make_noop_manager(
+        runtime,
+        "LiveCut",
+        component_count=2,
+        functions_per_component=5,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ProactiveUpdatePolicy(),
+    )
+    loids = [
+        runtime.sim.run_process(manager.create_instance(host_name=f"centurion{i:02d}"))
+        for i in range(3)
+    ]
+    loops = []
+    for index, loid in enumerate(loids):
+        client = runtime.make_client(f"centurion{8 + index:02d}")
+        loop = ClosedLoopClient(client, loid, "ping", calls=None, think_time_s=0.02)
+        loops.append(loop)
+        runtime.sim.spawn(loop.run())
+    runtime.sim.run(until=runtime.sim.now + 1.0)
+
+    from repro.workloads import synthetic_components
+
+    extra = synthetic_components(1, 3, prefix="livecut-x")
+    for record in manager.active_instances():
+        variant = extra[0].variant_for_host(record.host)
+        record.host.cache.insert(variant.blob_id, variant.size_bytes)
+    version = build_component_version(manager, extra)
+    manager.set_current_version(version)
+
+    runtime.sim.run(until=runtime.sim.now + 1.0)
+    for loop in loops:
+        loop.stop()
+    runtime.sim.run()
+    for loop in loops:
+        assert loop.errors == []
+        assert max(loop.latencies) < 0.1
+    assert all(manager.instance_version(loid) == version for loid in loids)
+
+
+def test_heterogeneous_fleet_with_migration_and_evolution():
+    """Architecture variants + migration + lazy updates interplay."""
+    x86 = ImplementationType(architecture="x86-linux")
+    sparc = ImplementationType(architecture="sparc-solaris")
+    runtime = LegionRuntime(
+        build_lan(4, seed=13, architectures=("x86-linux", "sparc-solaris"))
+    )
+    manager = define_dcdo_type(
+        runtime,
+        "HetType",
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(check_on_migrate=True),
+    )
+    component = (
+        ComponentBuilder("het-core")
+        .function("arch_tag", lambda ctx: ctx.obj.host.architecture)
+        .variant(size_bytes=50_000, impl_type=x86)
+        .variant(size_bytes=55_000, impl_type=sparc)
+        .build()
+    )
+    manager.register_component(component)
+    version = manager.new_version()
+    manager.incorporate_into(version, "het-core")
+    manager.descriptor_of(version).enable("arch_tag", "het-core")
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+
+    loid = runtime.sim.run_process(manager.create_instance(host_name="host00"))
+    client = runtime.make_client("host02")
+    assert client.call_sync(loid, "arch_tag") == "x86-linux"
+
+    # Cut a new version while the object is up, then migrate: the
+    # on-migrate lazy check brings it to the new version on arrival.
+    extra = (
+        ComponentBuilder("het-extra")
+        .function("extra_fn", lambda ctx: "extra")
+        .variant(size_bytes=10_000, impl_type=x86)
+        .variant(size_bytes=11_000, impl_type=sparc)
+        .build()
+    )
+    manager.register_component(extra)
+    v2 = manager.derive_version(version)
+    manager.incorporate_into(v2, "het-extra")
+    manager.descriptor_of(v2).enable("extra_fn", "het-extra")
+    manager.mark_instantiable(v2)
+    manager.set_current_version(v2)
+    assert manager.instance_version(loid) == version  # lazy: not yet
+
+    runtime.sim.run_process(manager.migrate_instance(loid, "host01"))
+    runtime.sim.run()  # drain the post-migrate check
+    assert manager.instance_version(loid) == v2
+    client.binding_cache.invalidate(loid)
+    assert client.call_sync(loid, "arch_tag") == "sparc-solaris"
+    assert client.call_sync(loid, "extra_fn") == "extra"
+
+
+def test_dependency_chain_survives_multi_step_evolution(runtime):
+    """A three-function call chain, analyzer-annotated, evolves its
+    tail implementation twice without ever breaking mid-chain."""
+
+    def front(ctx):
+        middle_result = yield from ctx.call("middle")
+        return f"front({middle_result})"
+
+    def middle(ctx):
+        tail_result = yield from ctx.call("tail")
+        return f"middle({tail_result})"
+
+    chain = (
+        ComponentBuilder("chain")
+        .function("front", front)
+        .function("middle", middle)
+        .variant(size_bytes=30_000)
+        .build()
+    )
+    annotate_component(chain)
+    tail_v1 = (
+        ComponentBuilder("tail-v1")
+        .function("tail", lambda ctx: "t1")
+        .variant(size_bytes=10_000)
+        .build()
+    )
+    tail_v2 = (
+        ComponentBuilder("tail-v2")
+        .function("tail", lambda ctx: "t2")
+        .variant(size_bytes=10_000)
+        .build()
+    )
+    manager = define_dcdo_type(
+        runtime, "Chain", evolution_policy=GeneralEvolutionPolicy()
+    )
+    for component in (chain, tail_v1, tail_v2):
+        manager.register_component(component)
+    v1 = manager.new_version()
+    manager.incorporate_into(v1, "chain")
+    manager.incorporate_into(v1, "tail-v1")
+    descriptor = manager.descriptor_of(v1)
+    for name, comp in (("front", "chain"), ("middle", "chain"), ("tail", "tail-v1")):
+        descriptor.enable(name, comp)
+    manager.mark_instantiable(v1)
+    manager.set_current_version(v1)
+
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client()
+    assert client.call_sync(loid, "front") == "front(middle(t1))"
+
+    v2 = manager.derive_version(v1)
+    manager.incorporate_into(v2, "tail-v2")
+    descriptor = manager.descriptor_of(v2)
+    descriptor.enable("tail", "tail-v2", replace_current=True)
+    descriptor.remove_component("tail-v1")
+    manager.mark_instantiable(v2)
+    runtime.sim.run_process(manager.evolve_instance(loid, v2))
+    assert client.call_sync(loid, "front") == "front(middle(t2))"
+
+    # Direct disable of the (depended-on) tail is still vetoed.
+    from repro.core import DependencyViolation
+
+    with pytest.raises(DependencyViolation):
+        client.call_sync(loid, "disableFunction", "tail", "tail-v2")
+
+
+def test_many_instances_many_hosts_scales(centurion_runtime):
+    """A 16-node fleet of 16 instances all create, serve, and evolve."""
+    runtime = centurion_runtime
+    manager, __ = make_noop_manager(
+        runtime,
+        "Fleet16",
+        component_count=2,
+        functions_per_component=4,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=ProactiveUpdatePolicy(),
+    )
+    loids = [
+        runtime.sim.run_process(manager.create_instance(host_name=f"centurion{i:02d}"))
+        for i in range(16)
+    ]
+    client = runtime.make_client("centurion00")
+    for loid in loids:
+        assert client.call_sync(loid, "ping", 7) == (7,)
+    from repro.workloads import synthetic_components
+
+    extra = synthetic_components(1, 2, prefix="fleet16-x")
+    for record in manager.active_instances():
+        variant = extra[0].variant_for_host(record.host)
+        record.host.cache.insert(variant.blob_id, variant.size_bytes)
+    version = build_component_version(manager, extra)
+    manager.set_current_version(version)
+    assert all(manager.instance_version(loid) == version for loid in loids)
+    rows = manager.dcdo_table()
+    assert len(rows) == 16
+    assert all(row[3] for row in rows)  # all active

@@ -1,0 +1,134 @@
+"""Tests for the background-polling lazy variant and daemon scheduling."""
+
+import pytest
+
+from repro.core.policies import LazyUpdatePolicy, SingleVersionPolicy
+from repro.sim import Simulator
+from tests.conftest import create_dcdo, make_sorter_manager
+from tests.test_core_policies import swap_to_descending
+
+
+# ----------------------------------------------------------------------
+# Kernel: daemon scheduling
+# ----------------------------------------------------------------------
+
+
+def test_daemon_timeout_does_not_keep_run_alive():
+    sim = Simulator()
+    ticks = []
+
+    def poller():
+        while True:
+            yield sim.timeout(1.0, daemon=True)
+            ticks.append(sim.now)
+
+    sim.spawn(poller())
+    sim.run()  # must terminate despite the infinite poller
+    assert ticks == []
+
+
+def test_daemon_poller_advances_while_real_work_runs():
+    sim = Simulator()
+    ticks = []
+
+    def poller():
+        while True:
+            yield sim.timeout(1.0, daemon=True)
+            ticks.append(sim.now)
+
+    def real_work():
+        yield sim.timeout(3.5)
+
+    sim.spawn(poller())
+    sim.spawn(real_work())
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_daemon_timeout_fires_under_bounded_run():
+    sim = Simulator()
+    ticks = []
+
+    def poller():
+        while True:
+            yield sim.timeout(1.0, daemon=True)
+            ticks.append(sim.now)
+
+    sim.spawn(poller())
+    sim.run(until=2.5)
+    assert ticks == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Background lazy policy
+# ----------------------------------------------------------------------
+
+
+def test_background_lazy_updates_without_traffic(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(background_every_s=5.0),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    assert manager.instance_version(loid) != version
+    # No client calls at all; the background check catches up.
+    runtime.sim.run(until=runtime.sim.now + 6.0)
+    runtime.sim.run()
+    assert manager.instance_version(loid) == version
+
+
+def test_background_lazy_does_not_check_per_call(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        type_name="BgOnly",
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(background_every_s=1000.0),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    v1 = manager.current_version
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    client = runtime.make_client()
+    client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,))
+    # Calls alone do not trigger the update (no call-time checker).
+    assert manager.instance_version(loid) == v1
+
+
+def test_background_poller_stops_with_instance(runtime):
+    manager = make_sorter_manager(
+        runtime,
+        type_name="BgStop",
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(background_every_s=2.0),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    runtime.sim.run_process(manager.deactivate_instance(loid))
+    # An unbounded run terminates: the poller's sleeps are daemon and
+    # it exits at its next tick.
+    runtime.sim.run(until=runtime.sim.now + 3.0)
+    runtime.sim.run()
+
+
+def test_background_policy_validation():
+    with pytest.raises(ValueError):
+        LazyUpdatePolicy(background_every_s=0)
+
+
+def test_background_combines_with_call_time_checks(runtime):
+    """background + every_k_calls: both paths drive updates."""
+    manager = make_sorter_manager(
+        runtime,
+        type_name="BgCombo",
+        evolution_policy=SingleVersionPolicy(),
+        update_policy=LazyUpdatePolicy(every_k_calls=2, background_every_s=500.0),
+    )
+    loid, __ = create_dcdo(runtime, manager)
+    version = swap_to_descending(manager)
+    manager.set_current_version(version)
+    client = runtime.make_client()
+    client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,))
+    client.call_sync(loid, "sort", [1, 2], timeout_schedule=(600.0,))
+    assert manager.instance_version(loid) == version

@@ -1,0 +1,91 @@
+"""Tests for the networked context service and path-based incorporation."""
+
+import pytest
+
+from repro.legion.errors import UnknownObject
+from repro.net import RemoteError
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+def test_remote_lookup_resolves_registered_component(runtime):
+    manager = make_sorter_manager(runtime)
+    client = runtime.make_client("host02")
+    loid = client.lookup_path_sync("/components/Sorter/sorter")
+    assert loid == manager.component_ico("sorter")
+
+
+def test_remote_lookup_missing_path_raises(runtime):
+    make_sorter_manager(runtime)
+    client = runtime.make_client("host02")
+    with pytest.raises((UnknownObject, RemoteError)):
+        client.lookup_path_sync("/components/Sorter/no-such-component")
+
+
+def test_remote_lookup_pays_a_round_trip(runtime):
+    make_sorter_manager(runtime)
+    client = runtime.make_client("host02")
+    start = runtime.sim.now
+    client.lookup_path_sync("/components/Sorter/sorter")
+    elapsed = runtime.sim.now - start
+    assert 0 < elapsed < 0.01
+    assert runtime.context_service.lookups_served == 1
+
+
+def test_remote_bind_then_lookup(runtime):
+    from repro.legion import bind_path
+    from repro.legion.loid import mint_loid
+
+    make_sorter_manager(runtime)
+    client = runtime.make_client("host02")
+    loid = mint_loid(runtime.domain, "Custom")
+    runtime.sim.run_process(bind_path(client.endpoint, "/custom/thing", loid))
+    assert client.lookup_path_sync("/custom/thing") == loid
+    assert runtime.context_service.binds_served == 1
+
+
+def test_classes_are_bound_in_namespace(runtime):
+    manager = make_sorter_manager(runtime)
+    client = runtime.make_client("host02")
+    assert client.lookup_path_sync("/classes/Sorter") == manager.loid
+
+
+def test_incorporate_component_by_path(runtime):
+    """A DCDO pulls a component knowing only its global name (§2.3)."""
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host02")
+    component_id = client.call_sync(
+        loid,
+        "incorporateComponentByPath",
+        "/components/Sorter/compare-desc",
+        timeout_schedule=(120.0,),
+    )
+    assert component_id == "compare-desc"
+    assert "compare-desc" in obj.dfm.component_ids
+
+
+def test_incorporate_by_unknown_path_fails_cleanly(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    client = runtime.make_client("host02")
+    with pytest.raises(Exception):
+        client.call_sync(
+            loid,
+            "incorporateComponentByPath",
+            "/components/Sorter/ghost",
+            timeout_schedule=(120.0,),
+        )
+    assert "ghost" not in obj.dfm.component_ids
+
+
+def test_get_interface_detailed(runtime):
+    manager = make_sorter_manager(runtime)
+    loid, obj = create_dcdo(runtime, manager)
+    obj.dfm.mark_mandatory("sort")
+    client = runtime.make_client("host02")
+    detailed = client.call_sync(loid, "getInterfaceDetailed")
+    by_name = {row["function"]: row for row in detailed}
+    assert by_name["sort"]["component"] == "sorter"
+    assert by_name["sort"]["signature"] == "Integer[] sort(Integer[])"
+    assert by_name["sort"]["marking"] == "mandatory"
+    assert by_name["compare"]["marking"] == "fully-dynamic"

@@ -1,0 +1,174 @@
+"""Unit tests for the RPC layer, binding agent, and binding caches."""
+
+import pytest
+
+from repro.legion import BindingAgent, BindingCache
+from repro.legion.binding import Binding, StaleBindingStats
+from repro.legion.errors import UnknownObject
+from repro.legion.loid import mint_loid
+from repro.net import Network
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# BindingAgent
+# ----------------------------------------------------------------------
+
+
+def make_agent():
+    sim = Simulator()
+    network = Network(sim)
+    return sim, network, BindingAgent(network)
+
+
+def test_register_and_resolve():
+    __, __, agent = make_agent()
+    loid = mint_loid("d", "T")
+    binding = agent.register(loid, "hostA/addr")
+    assert binding.incarnation == 1
+    assert agent.resolve_local(loid) == binding
+    assert agent.current_address(loid) == "hostA/addr"
+
+
+def test_reregistration_bumps_incarnation():
+    __, __, agent = make_agent()
+    loid = mint_loid("d", "T")
+    first = agent.register(loid, "a1")
+    second = agent.register(loid, "a2")
+    assert second.incarnation == first.incarnation + 1
+
+
+def test_unregister_forgets():
+    __, __, agent = make_agent()
+    loid = mint_loid("d", "T")
+    agent.register(loid, "a")
+    agent.unregister(loid)
+    with pytest.raises(UnknownObject):
+        agent.resolve_local(loid)
+    assert agent.current_address(loid) is None
+
+
+def test_agent_serves_resolutions_over_the_network():
+    sim, network, agent = make_agent()
+    loid = mint_loid("d", "T")
+    agent.register(loid, "somewhere")
+    from repro.net import Endpoint
+
+    client = Endpoint(network, "client")
+
+    def resolve():
+        binding = yield from client.request(
+            BindingAgent.ADDRESS, {"op": "resolve", "loid": loid}
+        )
+        return binding
+
+    binding = sim.run_process(resolve())
+    assert binding.address == "somewhere"
+    assert agent.resolutions_served == 1
+
+
+# ----------------------------------------------------------------------
+# BindingCache
+# ----------------------------------------------------------------------
+
+
+def test_cache_hit_and_miss_counters():
+    cache = BindingCache()
+    loid = mint_loid("d", "T")
+    assert cache.get(loid) is None
+    assert cache.misses == 1
+    cache.put(Binding(loid, "a", 1))
+    assert cache.get(loid).address == "a"
+    assert cache.hits == 1
+
+
+def test_cache_keeps_newest_incarnation():
+    cache = BindingCache()
+    loid = mint_loid("d", "T")
+    cache.put(Binding(loid, "new", 3))
+    cache.put(Binding(loid, "old", 2))  # stale write is ignored
+    assert cache.get(loid).address == "new"
+
+
+def test_cache_invalidate():
+    cache = BindingCache()
+    loid = mint_loid("d", "T")
+    cache.put(Binding(loid, "a", 1))
+    cache.invalidate(loid)
+    assert loid not in cache
+    assert len(cache) == 0
+
+
+def test_stale_stats_mean():
+    stats = StaleBindingStats()
+    assert stats.mean() is None
+    stats.record(10.0)
+    stats.record(20.0)
+    assert stats.mean() == 15.0
+    assert stats.count == 2
+
+
+# ----------------------------------------------------------------------
+# MethodInvoker behaviour (through the runtime fixture)
+# ----------------------------------------------------------------------
+
+
+def test_invoker_counts_invocations_and_rebinds(runtime):
+    from tests.conftest import make_counter_class
+
+    klass = make_counter_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance(host_name="host00"))
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "inc")
+    assert client.invoker.stats.invocations == 1
+    assert client.invoker.stats.rebinds == 0
+    runtime.sim.run_process(klass.migrate_instance(loid, "host01"))
+    client.call_sync(loid, "get")
+    assert client.invoker.stats.rebinds == 1
+    assert client.invoker.stats.retries >= 3  # walked the schedule
+
+
+def test_invoker_binding_cache_shared_across_calls(runtime):
+    from tests.conftest import make_counter_class
+
+    klass = make_counter_class(runtime)
+    loid = runtime.sim.run_process(klass.create_instance())
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "inc")
+    resolutions_before = runtime.binding_agent.resolutions_served
+    for __ in range(5):
+        client.call_sync(loid, "get")
+    # Warm cache: no further binding-agent traffic.
+    assert runtime.binding_agent.resolutions_served == resolutions_before
+
+
+def test_application_exception_propagates_with_type(runtime):
+    from tests.conftest import make_counter_class
+
+    def explode(ctx):
+        raise ValueError("application-level failure")
+
+    klass = make_counter_class(runtime, name="Exploder")
+    loid = runtime.sim.run_process(klass.create_instance())
+    klass.record(loid).obj.register_method("explode", explode)
+    client = runtime.make_client()
+    with pytest.raises(ValueError, match="application-level failure"):
+        client.call_sync(loid, "explode")
+
+
+def test_custom_timeout_schedule_respected(runtime):
+    from repro.legion.errors import ObjectUnreachable
+    from tests.conftest import make_counter_class
+
+    klass = make_counter_class(runtime, name="Timeouter")
+    loid = runtime.sim.run_process(klass.create_instance())
+    obj = klass.record(loid).obj
+    client = runtime.make_client("host03")
+    client.call_sync(loid, "inc")
+    obj.deactivate()
+    start = runtime.sim.now
+    with pytest.raises(ObjectUnreachable):
+        client.call_sync(loid, "get", timeout_schedule=(0.5, 0.5))
+    # Two rounds of a 1 s schedule (plus resolution traffic) is far
+    # below the default ~60 s double walk.
+    assert runtime.sim.now - start < 10.0

@@ -1,0 +1,183 @@
+"""Detail-level tests for the network layer: accounting, dedup, timing."""
+
+import pytest
+
+from repro.net import Endpoint, Message, Network
+from repro.net.message import HEADER_BYTES, next_message_id
+from repro.sim import Simulator
+
+
+def make_net(**kwargs):
+    sim = Simulator()
+    return sim, Network(sim, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+
+
+def test_message_ids_are_unique_and_increasing():
+    first = next_message_id()
+    second = next_message_id()
+    assert second > first
+
+
+def test_wire_bytes_include_header():
+    message = Message(source="a", destination="b", payload=None, size_bytes=100)
+    assert message.wire_bytes == 100 + HEADER_BYTES
+
+
+def test_port_counters_track_traffic():
+    sim, net = make_net()
+    port_a = net.attach("a")
+    port_b = net.attach("b")
+    net.send(Message(source="a", destination="b", payload=None, size_bytes=1000))
+    sim.run()
+    assert port_a.messages_sent == 1
+    assert port_a.bytes_sent == 1000 + HEADER_BYTES
+    assert port_b.messages_received == 1
+    assert port_b.bytes_received == 1000 + HEADER_BYTES
+
+
+def test_network_bytes_delivered_accumulates():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    for __ in range(3):
+        net.send(Message(source="a", destination="b", payload=None, size_bytes=100))
+    sim.run()
+    assert net.stats.bytes_delivered == 3 * (100 + HEADER_BYTES)
+
+
+def test_transfer_time_formula():
+    __, net = make_net(latency_s=0.001, bandwidth_bps=1_000_000)
+    assert net.transfer_time(1_000_000) == pytest.approx(1.001)
+    assert net.transfer_time(0) == pytest.approx(0.001)
+
+
+def test_port_transmission_time():
+    sim, net = make_net(bandwidth_bps=2_000_000)
+    port = net.attach("a")
+    assert port.transmission_time(2_000_000) == pytest.approx(1.0)
+
+
+def test_invalid_network_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, latency_s=-1)
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        net.attach("x", bandwidth_bps=0)
+
+
+# ----------------------------------------------------------------------
+# Endpoint behaviour
+# ----------------------------------------------------------------------
+
+
+def test_duplicate_request_message_served_once():
+    """At-most-once per message id: a duplicated request (same id) is
+    not re-executed."""
+    sim, net = make_net()
+    served = []
+
+    def handler(message):
+        served.append(message.message_id)
+        return ("ok", 0)
+        yield  # pragma: no cover
+
+    client_port = net.attach("client")
+    Endpoint(net, "server", request_handler=handler)
+    request = Message(
+        source="client", destination="server", payload={"x": 1}, kind="request"
+    )
+    duplicate = Message(
+        source="client",
+        destination="server",
+        payload={"x": 1},
+        kind="request",
+    )
+    object.__setattr__(duplicate, "message_id", request.message_id) if False else None
+    # Simulate a duplicate by re-sending an identical message object's
+    # content with the same id:
+    duplicate.message_id = request.message_id
+    net.send(request)
+    net.send(duplicate)
+    sim.run()
+    assert served == [request.message_id]
+
+
+def test_endpoint_close_is_idempotent():
+    __, net = make_net()
+    endpoint = Endpoint(net, "solo")
+    endpoint.close()
+    endpoint.close()
+    assert endpoint.is_closed
+
+
+def test_closed_endpoint_fails_pending_requests():
+    sim, net = make_net()
+    client = Endpoint(net, "client")
+    outcome = {}
+
+    def caller():
+        try:
+            yield from client.request("nowhere", None, timeout_s=100.0)
+        except Exception as error:  # noqa: BLE001
+            outcome["error"] = error
+
+    sim.spawn(caller())
+    sim.run(until=1.0)
+    client.close()
+    sim.run()
+    assert "error" in outcome
+
+
+def test_reply_to_abandoned_request_is_dropped():
+    """A reply arriving after its request timed out is ignored (no
+    crash, no spurious delivery)."""
+    sim, net = make_net()
+
+    def slow_handler(message):
+        yield sim.timeout(3.0)
+        return ("late", 0)
+
+    client = Endpoint(net, "client")
+    Endpoint(net, "server", request_handler=slow_handler)
+    outcome = {}
+
+    def caller():
+        from repro.net import RequestTimeout
+
+        try:
+            yield from client.request("server", None, timeout_s=1.0)
+        except RequestTimeout as error:
+            outcome["timeout"] = error
+
+    sim.spawn(caller())
+    sim.run()
+    assert "timeout" in outcome  # and the late reply was swallowed
+
+
+def test_request_handler_replacement_takes_effect():
+    sim, net = make_net()
+
+    def v1(message):
+        return ("v1", 0)
+        yield  # pragma: no cover
+
+    def v2(message):
+        return ("v2", 0)
+        yield  # pragma: no cover
+
+    client = Endpoint(net, "client")
+    server = Endpoint(net, "server", request_handler=v1)
+
+    def scenario():
+        first = yield from client.request("server", None)
+        server.set_request_handler(v2)
+        second = yield from client.request("server", None)
+        return (first, second)
+
+    assert sim.run_process(scenario()) == ("v1", "v2")

@@ -1,0 +1,157 @@
+"""Tests for metrics primitives and system reports."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, Timer, collect_system_report, render_report
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# Metrics primitives
+# ----------------------------------------------------------------------
+
+
+def test_counter_increments():
+    counter = Counter("calls")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").increment(-1)
+
+
+def test_gauge_tracks_peak():
+    gauge = Gauge("threads")
+    gauge.adjust(3)
+    gauge.adjust(-1)
+    gauge.adjust(1)
+    assert gauge.value == 3
+    assert gauge.peak == 3
+
+
+def test_timer_statistics():
+    timer = Timer("latency")
+    for sample in (1.0, 2.0, 3.0, 4.0):
+        timer.record(sample)
+    assert timer.count == 4
+    assert timer.mean() == 2.5
+    assert timer.percentile(0.0) == 1.0
+    assert timer.percentile(1.0) == 4.0
+    assert timer.percentile(0.5) in (2.0, 3.0)
+
+
+def test_timer_empty_statistics():
+    timer = Timer("empty")
+    assert timer.mean() is None
+    assert timer.percentile(0.5) is None
+
+
+def test_timer_rejects_bad_inputs():
+    timer = Timer("bad")
+    with pytest.raises(ValueError):
+        timer.record(-1)
+    timer.record(1)
+    with pytest.raises(ValueError):
+        timer.percentile(2)
+
+
+def test_timer_measure_uses_simulated_time():
+    sim = Simulator()
+    timer = Timer("work", sim=sim)
+
+    def body():
+        yield sim.timeout(2.5)
+        return "done"
+
+    def proc():
+        result = yield from timer.measure(body())
+        return result
+
+    assert sim.run_process(proc()) == "done"
+    assert timer.samples == [2.5]
+
+
+def test_timer_measure_without_sim_raises():
+    timer = Timer("no-sim")
+    with pytest.raises(RuntimeError):
+        next(timer.measure(iter(())))
+
+
+def test_registry_get_or_create_and_snapshot():
+    sim = Simulator()
+    registry = MetricsRegistry(sim=sim)
+    registry.counter("a").increment()
+    registry.gauge("b").set(7)
+    registry.timer("c").record(1.0)
+    assert registry.counter("a") is registry.counter("a")
+    snapshot = registry.snapshot()
+    assert snapshot["a"] == 1
+    assert snapshot["b"] == {"value": 7, "peak": 7}
+    assert snapshot["c"] == {"count": 1, "mean": 1.0}
+    assert len(registry) == 3
+
+
+def test_registry_type_conflicts_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+# ----------------------------------------------------------------------
+# System reports
+# ----------------------------------------------------------------------
+
+
+def test_system_report_covers_dcdo_fleet(runtime):
+    from tests.conftest import create_dcdo, make_sorter_manager
+
+    manager = make_sorter_manager(runtime)
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client()
+    client.call_sync(loid, "sort", [2, 1])
+    report = collect_system_report(runtime)
+
+    assert report.at == runtime.sim.now
+    assert report.network["messages_delivered"] > 0
+    assert report.total_active_objects >= 1
+
+    object_info = report.objects[str(loid)]
+    assert object_info["active"]
+    assert object_info["version"] == "1"
+    assert object_info["components"] == ["compare-asc", "sorter"]
+    assert object_info["dynamic_calls"] >= 2  # sort + nested compares
+
+    type_info = report.types["Sorter"]
+    assert type_info["instances"] == 1
+    assert type_info["current_version"] == "1"
+    assert "compare-desc" in type_info["components"]
+
+
+def test_system_report_counts_evolutions(runtime):
+    from repro.core.policies import GeneralEvolutionPolicy
+    from tests.conftest import create_dcdo, make_sorter_manager
+
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    version = manager.derive_version(manager.current_version)
+    manager.descriptor_of(version).set_exported("compare", "compare-asc", False)
+    manager.mark_instantiable(version)
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    report = collect_system_report(runtime)
+    assert report.types["Sorter"]["evolutions"] == 1
+    assert report.objects[str(loid)]["version"] == str(version)
+
+
+def test_render_report_is_readable(runtime):
+    from tests.conftest import create_dcdo, make_sorter_manager
+
+    manager = make_sorter_manager(runtime)
+    create_dcdo(runtime, manager)
+    text = render_report(collect_system_report(runtime))
+    assert "system report at" in text
+    assert "type Sorter" in text
+    assert "host host00" in text

@@ -1,0 +1,121 @@
+"""Tests for the tracing subsystem and its runtime hooks."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.sim import Simulator
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+# ----------------------------------------------------------------------
+# Tracer primitives
+# ----------------------------------------------------------------------
+
+
+def test_record_and_query():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.record("cat-a", "subject-1", key="v1")
+
+    def advance():
+        yield sim.timeout(5.0)
+        tracer.record("cat-b", "subject-1", key="v2")
+
+    sim.run_process(advance())
+    assert len(tracer) == 2
+    assert [event.at for event in tracer.events] == [0.0, 5.0]
+    assert len(tracer.in_category("cat-a")) == 1
+    assert len(tracer.about("subject-1")) == 2
+    assert tracer.between(1.0, 10.0)[0].detail("key") == "v2"
+
+
+def test_capacity_drops_and_counts():
+    tracer = Tracer(Simulator(), capacity=2)
+    for index in range(5):
+        tracer.record("cat", f"s{index}")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
+
+
+def test_event_rendering():
+    tracer = Tracer(Simulator())
+    tracer.record("evolved", "obj#1", to_version="1.1")
+    text = tracer.render_timeline()
+    assert "evolved" in text
+    assert "to_version=1.1" in text
+
+
+# ----------------------------------------------------------------------
+# Runtime hooks
+# ----------------------------------------------------------------------
+
+
+def test_untraced_runtime_records_nothing(runtime):
+    manager = make_sorter_manager(runtime)
+    create_dcdo(runtime, manager)  # must not blow up without a tracer
+    assert runtime.tracer is None
+
+
+def test_full_lifecycle_is_traced(runtime):
+    from repro.core.policies import GeneralEvolutionPolicy
+
+    runtime.tracer = Tracer(runtime.sim)
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, obj = create_dcdo(runtime, manager)
+
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "compare-desc")
+    descriptor = manager.descriptor_of(version)
+    descriptor.enable("compare", "compare-desc", replace_current=True)
+    descriptor.remove_component("compare-asc")
+    manager.mark_instantiable(version)
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+
+    tracer = runtime.tracer
+    assert len(tracer.in_category("version-instantiable")) >= 2  # v1 + v1.1
+    assert len(tracer.in_category("current-version-set")) == 1
+    assert len(tracer.in_category("instance-created")) == 1
+
+    evolved = tracer.in_category("evolved")
+    assert len(evolved) == 1
+    assert evolved[0].detail("from_version") == "1"
+    assert evolved[0].detail("to_version") == str(version)
+    assert evolved[0].detail("added") == 1
+    assert evolved[0].detail("removed") == 1
+
+    incorporations = tracer.in_category("component-incorporated")
+    # Two at creation (bootstrap) + one during evolution.
+    assert len(incorporations) == 3
+    assert sum(1 for event in incorporations if event.detail("bootstrap")) == 2
+
+    removed = tracer.in_category("component-removed")
+    assert [event.detail("component") for event in removed] == ["compare-asc"]
+
+
+def test_migration_is_traced(runtime):
+    runtime.tracer = Tracer(runtime.sim)
+    manager = make_sorter_manager(runtime)
+    loid, __ = create_dcdo(runtime, manager)
+    source = manager.record(loid).host.name
+    target = next(name for name in runtime.hosts if name != source)
+    runtime.sim.run_process(manager.migrate_instance(loid, target))
+    migrations = runtime.tracer.in_category("instance-migrated")
+    assert len(migrations) == 1
+    assert migrations[0].detail("source") == source
+    assert migrations[0].detail("target") == target
+    assert migrations[0].subject == str(loid)
+
+
+def test_trace_timestamps_are_simulated_time(runtime):
+    runtime.tracer = Tracer(runtime.sim)
+    manager = make_sorter_manager(runtime)
+    before = runtime.sim.now
+    create_dcdo(runtime, manager)
+    created = runtime.tracer.in_category("instance-created")[0]
+    # Creation takes >1 simulated second (process spawn).
+    assert created.at >= before + 1.0

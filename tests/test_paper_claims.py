@@ -1,0 +1,241 @@
+"""Sentence-level claims from the paper, each pinned by a test.
+
+Every test quotes the sentence it verifies; together they document how
+faithfully the model's semantics (not just its performance) follow the
+paper.
+"""
+
+import pytest
+
+from repro.core import ComponentBuilder, Dependency, DependencyViolation
+from repro.core.manager import define_dcdo_type
+from repro.core.policies import GeneralEvolutionPolicy
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+def test_version_ids_unique_only_within_a_type(runtime):
+    """§2.1: "Version identifiers are unique only within a particular
+    object type, they are not necessarily globally unique across
+    types." — two managers both have a version 1."""
+    manager_a = make_sorter_manager(runtime, type_name="TypeA")
+    manager_b = make_sorter_manager(runtime, type_name="TypeB")
+    assert manager_a.current_version == manager_b.current_version
+    assert manager_a.current_version is not None
+
+
+def test_same_version_instances_are_functionally_equivalent(runtime):
+    """§2.1: "If two DCDOs of the same type are both of version 1.2.3,
+    then their implementations are the same — that is, the same
+    components are incorporated into the two objects, and the DFMs of
+    the objects are functionally equivalent to one another."""
+    manager = make_sorter_manager(runtime)
+    __, obj_a = create_dcdo(runtime, manager)
+    __, obj_b = create_dcdo(runtime, manager)
+    assert obj_a.version == obj_b.version
+    assert obj_a.dfm.component_ids == obj_b.dfm.component_ids
+    assert obj_a.dfm.to_descriptor().functionally_equivalent(obj_b.dfm.to_descriptor())
+
+
+def test_manager_version_pair_identifies_interface(runtime):
+    """§2.4: distinguishing instantiable from configurable versions
+    "allows the <DCDO Manager, Version Id> pair to uniquely identify
+    an object's interface and implementation" — every instance created
+    at a version exposes the identical interface."""
+    manager = make_sorter_manager(runtime)
+    client = runtime.make_client()
+    interfaces = set()
+    for __ in range(3):
+        loid, __obj = create_dcdo(runtime, manager)
+        interfaces.add(tuple(client.call_sync(loid, "getInterface")))
+    assert len(interfaces) == 1
+
+
+def test_component_private_data_isolated(runtime):
+    """§2: "Implementation components may also contain a set of
+    internal data structures, but these data structures must be
+    accessed from outside the component by calling the component's
+    exported dynamic functions." — two components in one DCDO have
+    disjoint private state."""
+
+    def writer(ctx):
+        ctx.component_state["secret"] = "from-writer"
+        return True
+
+    def reader(ctx):
+        return ctx.component_state.get("secret")
+
+    comp_a = ComponentBuilder("comp-a").function("write_a", writer).build()
+    comp_b = ComponentBuilder("comp-b").function("read_b", reader).build()
+    manager = define_dcdo_type(runtime, "Isolation")
+    manager.register_component(comp_a)
+    manager.register_component(comp_b)
+    version = manager.new_version()
+    manager.incorporate_into(version, "comp-a")
+    manager.incorporate_into(version, "comp-b")
+    descriptor = manager.descriptor_of(version)
+    descriptor.enable("write_a", "comp-a")
+    descriptor.enable("read_b", "comp-b")
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client()
+    assert client.call_sync(loid, "write_a") is True
+    # comp-b's functions cannot see comp-a's internal data.
+    assert client.call_sync(loid, "read_b") is None
+
+
+def test_type_c_dependency_as_access_guard(runtime):
+    """§3.2: "a function F1 may require that a security function F2 be
+    enabled to restrict access to F1.  In this case F1 may not call
+    F2, but still requires that it be present." — a Type C dependency
+    with no call relationship still vetoes disabling the guard."""
+    guarded = (
+        ComponentBuilder("guarded")
+        .function("sensitive", lambda ctx: "data")
+        .build()
+    )
+    security = (
+        ComponentBuilder("security")
+        .function("authorize", lambda ctx: True)
+        .build()
+    )
+    manager = define_dcdo_type(runtime, "Guarded")
+    manager.register_component(guarded)
+    manager.register_component(security)
+    version = manager.new_version()
+    manager.incorporate_into(version, "guarded")
+    manager.incorporate_into(version, "security")
+    descriptor = manager.descriptor_of(version)
+    descriptor.enable("sensitive", "guarded")
+    descriptor.enable("authorize", "security")
+    descriptor.add_dependency(
+        Dependency("sensitive", "authorize", required_component="security")
+    )
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client()
+    with pytest.raises(DependencyViolation):
+        client.call_sync(loid, "disableFunction", "authorize", "security")
+    # Disabling the guarded function first releases the guard.
+    client.call_sync(loid, "disableFunction", "sensitive", "guarded")
+    client.call_sync(loid, "disableFunction", "authorize", "security")
+
+
+def test_adding_functions_does_not_break_existing_clients(runtime):
+    """§3.1: "adding functions to a public interface ... do[es] not
+    cause problems of this type; clients' calls will not fail"."""
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client()
+    client.call_sync(loid, "getInterface")  # client snapshot
+    extra = ComponentBuilder("extra").function("brand_new", lambda ctx: 1).build()
+    manager.register_component(extra)
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "extra")
+    manager.descriptor_of(version).enable("brand_new", "extra")
+    manager.mark_instantiable(version)
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    # Old invocations built against the old interface still succeed.
+    assert client.call_sync(loid, "sort", [2, 1]) == [1, 2]
+
+
+def test_changing_implementation_with_same_signature_does_not_fail_calls(runtime):
+    """§3.1: "changing the implementation of a function while keeping
+    its signature the same do[es] not cause problems of this type" —
+    the call succeeds; only behaviour (sort order) changes."""
+    manager = make_sorter_manager(runtime, evolution_policy=GeneralEvolutionPolicy())
+    loid, __ = create_dcdo(runtime, manager)
+    client = runtime.make_client()
+    assert client.call_sync(loid, "sort", [2, 1, 3]) == [1, 2, 3]
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "compare-desc")
+    descriptor = manager.descriptor_of(version)
+    descriptor.enable("compare", "compare-desc", replace_current=True)
+    manager.mark_instantiable(version)
+    runtime.sim.run_process(manager.evolve_instance(loid, version))
+    # No failure — but reversed output, exactly the §3.2 sort/compare
+    # behavioral-dependency motivation.
+    assert client.call_sync(loid, "sort", [2, 1, 3]) == [3, 2, 1]
+
+
+def test_thread_can_proceed_inside_deactivated_function(runtime):
+    """§3.2: "there is no reason why a thread cannot proceed inside a
+    deactivated function ... it only matters what the status of the
+    function is at the time the call is initiated"."""
+
+    def long_fn(ctx):
+        yield ctx.work(5.0)
+        return "completed"
+
+    comp = ComponentBuilder("longrun").function("long_fn", long_fn).build()
+    manager = define_dcdo_type(runtime, "LongRun")
+    manager.register_component(comp)
+    version = manager.new_version()
+    manager.incorporate_into(version, "longrun")
+    manager.descriptor_of(version).enable("long_fn", "longrun")
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    loid, obj = create_dcdo(runtime, manager)
+    client_a = runtime.make_client("host01")
+    client_b = runtime.make_client("host02")
+    outcome = {}
+
+    def worker():
+        outcome["result"] = yield from client_a.invoke(
+            loid, "long_fn", timeout_schedule=(60.0,)
+        )
+
+    def disabler():
+        yield runtime.sim.timeout(1.0)
+        yield from client_b.invoke(loid, "disableFunction", "long_fn", "longrun")
+
+    runtime.sim.spawn(worker())
+    runtime.sim.spawn(disabler())
+    runtime.sim.run()
+    # The in-flight thread completed despite the mid-flight disable...
+    assert outcome["result"] == "completed"
+    # ...but new calls are disallowed.
+    from repro.legion.errors import MethodNotFound
+
+    with pytest.raises(MethodNotFound):
+        client_a.call_sync(loid, "long_fn")
+
+
+def test_mandatory_inherited_by_derived_versions(runtime):
+    """§3.2: "an implementation of a mandatory function must be present
+    in any instantiable version of the DFM descriptor that is derived
+    from a version in which the function is marked mandatory"."""
+    from repro.core import MandatoryViolation
+
+    manager = make_sorter_manager(runtime)
+    v2 = manager.derive_version(manager.current_version)
+    manager.descriptor_of(v2).mark_mandatory("sort")
+    manager.mark_instantiable(v2)
+    # A child of v2 without an enabled sort cannot become instantiable.
+    v3 = manager.derive_version(v2)
+    descriptor = manager.descriptor_of(v3)
+    assert descriptor.marking("sort").value == "mandatory"  # inherited
+    with pytest.raises(MandatoryViolation):
+        descriptor.disable("sort", "sorter")
+
+
+def test_permanent_freezes_implementation_in_derived_versions(runtime):
+    """§3.2: "Once a DCDO evolves to a version that contains a
+    permanent function F implemented in component C, component C's
+    implementation of function F will be present in all derived
+    versions of the type"."""
+    from repro.core import PermanenceViolation
+
+    manager = make_sorter_manager(runtime)
+    v2 = manager.derive_version(manager.current_version)
+    manager.descriptor_of(v2).mark_permanent("compare")
+    manager.mark_instantiable(v2)
+    v3 = manager.derive_version(v2)
+    descriptor = manager.descriptor_of(v3)
+    manager.incorporate_into(v3, "compare-desc")
+    descriptor = manager.descriptor_of(v3)
+    with pytest.raises(PermanenceViolation):
+        descriptor.enable("compare", "compare-desc", replace_current=True)
+    with pytest.raises(PermanenceViolation):
+        descriptor.remove_component("compare-asc")

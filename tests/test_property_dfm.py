@@ -1,0 +1,203 @@
+"""Property-based tests: DFM / descriptor invariants under random
+operation sequences (hypothesis).
+
+Invariants checked after every accepted operation:
+
+- at most one enabled implementation per function name;
+- markings are monotone (never weakened);
+- a permanent pin always refers to an incorporated component whose
+  implementation of the function is enabled (once consistent).
+
+Dependency closure is deliberately NOT a per-operation invariant on
+descriptors — they are staging areas (§2.4); it IS guaranteed whenever
+``validate_instantiable`` passes, which the last property checks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ComponentBuilder,
+    DCDOError,
+    Dependency,
+    DFMDescriptor,
+    Marking,
+)
+from repro.core.dependency import check_dependencies
+
+COMPONENT_IDS = ("ca", "cb", "cc")
+FUNCTIONS = ("f1", "f2", "f3")
+
+
+def build_component(component_id, function_names):
+    builder = ComponentBuilder(component_id)
+    for name in function_names:
+        builder.function(name, lambda ctx: name)
+    return builder.build()
+
+
+# Each operation is a tagged tuple decoded by apply_operation.
+operations = st.one_of(
+    st.tuples(st.just("incorporate"), st.sampled_from(COMPONENT_IDS)),
+    st.tuples(st.just("remove"), st.sampled_from(COMPONENT_IDS)),
+    st.tuples(
+        st.just("enable"),
+        st.sampled_from(FUNCTIONS),
+        st.sampled_from(COMPONENT_IDS),
+        st.booleans(),  # replace_current
+    ),
+    st.tuples(
+        st.just("disable"), st.sampled_from(FUNCTIONS), st.sampled_from(COMPONENT_IDS)
+    ),
+    st.tuples(st.just("mark_mandatory"), st.sampled_from(FUNCTIONS)),
+    st.tuples(st.just("mark_permanent"), st.sampled_from(FUNCTIONS)),
+    st.tuples(
+        st.just("add_dependency"),
+        st.sampled_from(FUNCTIONS),
+        st.sampled_from(FUNCTIONS),
+        st.sampled_from((None,) + COMPONENT_IDS),
+        st.sampled_from((None,) + COMPONENT_IDS),
+    ),
+    st.tuples(
+        st.just("set_exported"),
+        st.sampled_from(FUNCTIONS),
+        st.sampled_from(COMPONENT_IDS),
+        st.booleans(),
+    ),
+)
+
+
+def apply_operation(descriptor, operation):
+    """Apply one random operation; DCDO errors mean 'rejected', which
+    is fine — the point is that accepted operations keep invariants."""
+    kind = operation[0]
+    try:
+        if kind == "incorporate":
+            descriptor.incorporate(
+                build_component(operation[1], FUNCTIONS), ico_loid=f"ico:{operation[1]}"
+            )
+        elif kind == "remove":
+            descriptor.remove_component(operation[1])
+        elif kind == "enable":
+            descriptor.enable(operation[1], operation[2], replace_current=operation[3])
+        elif kind == "disable":
+            descriptor.disable(operation[1], operation[2])
+        elif kind == "mark_mandatory":
+            descriptor.mark_mandatory(operation[1])
+        elif kind == "mark_permanent":
+            descriptor.mark_permanent(operation[1])
+        elif kind == "add_dependency":
+            descriptor.add_dependency(
+                Dependency(
+                    dependent_function=operation[1],
+                    required_function=operation[2],
+                    dependent_component=operation[3],
+                    required_component=operation[4],
+                )
+            )
+        elif kind == "set_exported":
+            descriptor.set_exported(operation[1], operation[2], operation[3])
+    except DCDOError:
+        return False
+    return True
+
+
+def assert_invariants(descriptor, marking_history):
+    # At most one enabled implementation per function.
+    for function in FUNCTIONS:
+        assert len(descriptor.enabled_components_of(function)) <= 1, function
+    # Markings are monotone.
+    for function in FUNCTIONS:
+        current = descriptor.marking(function)
+        previous = marking_history.get(function, Marking.FULLY_DYNAMIC)
+        assert current.at_least(previous), (function, previous, current)
+        marking_history[function] = current
+    # Permanent pins point at enabled implementations of incorporated
+    # components.
+    for function, marking in descriptor.markings_items():
+        if marking is Marking.PERMANENT:
+            pinned = descriptor.pin(function)
+            assert pinned is not None
+            if pinned in descriptor.component_ids:
+                assert descriptor.is_enabled(function, pinned)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=40))
+def test_random_operation_sequences_preserve_invariants(sequence):
+    descriptor = DFMDescriptor()
+    marking_history = {}
+    for operation in sequence:
+        apply_operation(descriptor, operation)
+        assert_invariants(descriptor, marking_history)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=30))
+def test_clone_equals_original_and_diverges_safely(sequence):
+    descriptor = DFMDescriptor()
+    for operation in sequence:
+        apply_operation(descriptor, operation)
+    clone = descriptor.clone()
+    assert descriptor.functionally_equivalent(clone)
+    # Mutating the clone never affects the original.
+    apply_operation(clone, ("incorporate", "ca"))
+    apply_operation(clone, ("enable", "f1", "ca", True))
+    snapshot = {
+        function: descriptor.enabled_components_of(function) for function in FUNCTIONS
+    }
+    for function in FUNCTIONS:
+        assert descriptor.enabled_components_of(function) == snapshot[function]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=30), st.lists(operations, max_size=30))
+def test_diff_apply_reaches_target_state(base_ops, extra_ops):
+    """diff(a, b) carries everything needed to reconstruct b's
+    enabled/exported map from a (the property evolution relies on)."""
+    from repro.core import diff_descriptors
+
+    base = DFMDescriptor()
+    for operation in base_ops:
+        apply_operation(base, operation)
+    target = base.clone()
+    for operation in extra_ops:
+        apply_operation(target, operation)
+    diff = diff_descriptors(base, target)
+    # Reconstruct: start from base, apply the diff structurally.
+    rebuilt = base.clone()
+    for component_id in diff.components_to_remove:
+        rebuilt._entries = {
+            key: entry
+            for key, entry in rebuilt._entries.items()
+            if entry.component_id != component_id
+        }
+        rebuilt._component_refs.pop(component_id, None)
+    for ref in diff.components_to_add:
+        rebuilt._component_refs[ref.component_id] = ref
+        for key, entry in diff.target._entries.items():
+            if entry.component_id == ref.component_id:
+                rebuilt._entries[key] = entry
+    for key, entry in diff.target._entries.items():
+        rebuilt._entries[key] = entry
+    assert rebuilt.component_ids == target.component_ids
+    assert rebuilt._entries == target._entries
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=30))
+def test_validate_instantiable_accepts_only_consistent_states(sequence):
+    """If validate_instantiable passes, the §3.2 invariants hold."""
+    descriptor = DFMDescriptor()
+    for operation in sequence:
+        apply_operation(descriptor, operation)
+    try:
+        descriptor.validate_instantiable()
+    except DCDOError:
+        return  # rejection is always allowed
+    for function, marking in descriptor.markings_items():
+        if marking is not Marking.FULLY_DYNAMIC:
+            assert descriptor.enabled_components_of(function)
+    check_dependencies(
+        descriptor.dependencies, descriptor.is_enabled, descriptor.enabled_components_of
+    )

@@ -1,0 +1,119 @@
+"""Property-based tests for the simulation kernel and primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DeterministicRNG, Queue, Semaphore, Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays)
+def test_timeouts_fire_in_nondecreasing_time_order(delay_list):
+    sim = Simulator()
+    fired = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delay_list:
+        sim.spawn(proc(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+    assert sim.now == max(delay_list)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays)
+def test_same_schedule_is_deterministic(delay_list):
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(tag, delay):
+            yield sim.timeout(delay)
+            trace.append((tag, sim.now))
+
+        for index, delay in enumerate(delay_list):
+            sim.spawn(proc(index, delay))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=50))
+def test_queue_preserves_fifo_under_any_put_pattern(items):
+    sim = Simulator()
+    queue = Queue(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            queue.put_nowait(item)
+            yield sim.timeout(0.5)
+
+    def consumer():
+        for __ in items:
+            received.append((yield queue.get()))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=1, max_size=12),
+)
+def test_semaphore_never_exceeds_capacity(permits, work_times):
+    sim = Simulator()
+    semaphore = Semaphore(sim, permits=permits)
+    concurrent = {"now": 0, "max": 0}
+
+    def worker(work):
+        yield semaphore.acquire()
+        concurrent["now"] += 1
+        concurrent["max"] = max(concurrent["max"], concurrent["now"])
+        yield sim.timeout(work)
+        concurrent["now"] -= 1
+        semaphore.release()
+
+    for work in work_times:
+        sim.spawn(worker(work))
+    sim.run()
+    assert concurrent["max"] <= permits
+    assert concurrent["now"] == 0
+    assert semaphore.available == permits
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(), st.text(min_size=1, max_size=10))
+def test_rng_streams_reproducible_for_any_seed_and_name(seed, name):
+    a = DeterministicRNG(seed=seed)
+    b = DeterministicRNG(seed=seed)
+    assert [a.uniform(name, 0, 1) for __ in range(3)] == [
+        b.uniform(name, 0, 1) for __ in range(3)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000_000))
+def test_download_time_model_is_monotone_in_size(size):
+    from repro.cluster import Calibration
+
+    calibration = Calibration()
+    smaller = calibration.download_time(size)
+    larger = calibration.download_time(size + calibration.download_chunk_bytes)
+    assert larger > smaller
+    assert smaller >= calibration.download_setup_s

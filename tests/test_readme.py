@@ -1,0 +1,36 @@
+"""The README's quickstart snippet must actually run.
+
+Extracts the first python code block from README.md and executes it,
+so documentation drift fails CI instead of confusing users.
+"""
+
+import pathlib
+import re
+
+
+def test_readme_quickstart_executes(capsys):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README must contain a python quickstart block"
+    code = blocks[0]
+    namespace = {}
+    exec(compile(code, str(readme), "exec"), namespace)  # noqa: S102
+    output = capsys.readouterr().out
+    assert "Hello, world!" in output
+
+
+def test_readme_mentions_every_package():
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    for package in sorted(p.name for p in src.iterdir() if p.is_dir() and p.name != "__pycache__"):
+        assert f"repro.{package}" in text, f"README should document repro.{package}"
+
+
+def test_design_experiment_ids_have_benchmarks():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    design = (root / "DESIGN.md").read_text()
+    bench_names = {p.name for p in (root / "benchmarks").glob("test_*.py")}
+    for bench in re.findall(r"`benchmarks/(test_\w+\.py)`", design):
+        assert bench in bench_names, f"DESIGN.md references missing {bench}"

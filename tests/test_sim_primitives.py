@@ -1,0 +1,274 @@
+"""Unit tests for queues, semaphores, signals, and the RNG."""
+
+import pytest
+
+from repro.sim import (
+    DeterministicRNG,
+    Queue,
+    QueueEmpty,
+    QueueFull,
+    Semaphore,
+    Signal,
+    Simulator,
+)
+from repro.sim.errors import SimulationError
+
+
+# ----------------------------------------------------------------------
+# Queue
+# ----------------------------------------------------------------------
+
+
+def test_queue_fifo_order():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put_nowait("a")
+    queue.put_nowait("b")
+    assert queue.get_nowait() == "a"
+    assert queue.get_nowait() == "b"
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    queue = Queue(sim)
+
+    def consumer():
+        item = yield queue.get()
+        return (sim.now, item)
+
+    def producer():
+        yield sim.timeout(5)
+        queue.put_nowait("late")
+
+    sim.spawn(producer())
+    assert sim.run_process(consumer()) == (5.0, "late")
+
+
+def test_queue_blocked_getters_fifo():
+    sim = Simulator()
+    queue = Queue(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield queue.get()
+        got.append((tag, item))
+
+    def producer():
+        yield sim.timeout(1)
+        queue.put_nowait(1)
+        queue.put_nowait(2)
+
+    sim.spawn(consumer("first"))
+    sim.spawn(consumer("second"))
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_queue_capacity_put_nowait_raises():
+    sim = Simulator()
+    queue = Queue(sim, capacity=1)
+    queue.put_nowait("x")
+    assert queue.is_full
+    with pytest.raises(QueueFull):
+        queue.put_nowait("y")
+
+
+def test_queue_get_nowait_empty_raises():
+    sim = Simulator()
+    with pytest.raises(QueueEmpty):
+        Queue(sim).get_nowait()
+
+
+def test_queue_put_blocks_until_space():
+    sim = Simulator()
+    queue = Queue(sim, capacity=1)
+    queue.put_nowait("first")
+
+    def producer():
+        yield queue.put("second")
+        return sim.now
+
+    def consumer():
+        yield sim.timeout(3)
+        queue.get_nowait()
+
+    sim.spawn(consumer())
+    assert sim.run_process(producer()) == 3.0
+    assert queue.get_nowait() == "second"
+
+
+def test_queue_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Queue(sim, capacity=0)
+
+
+def test_queue_len_tracks_items():
+    sim = Simulator()
+    queue = Queue(sim)
+    assert len(queue) == 0
+    queue.put_nowait(1)
+    assert len(queue) == 1
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+
+
+def test_semaphore_serializes_critical_section():
+    sim = Simulator()
+    semaphore = Semaphore(sim, permits=1)
+    trace = []
+
+    def worker(tag):
+        yield semaphore.acquire()
+        trace.append((tag, "in", sim.now))
+        yield sim.timeout(2)
+        trace.append((tag, "out", sim.now))
+        semaphore.release()
+
+    sim.spawn(worker("a"))
+    sim.spawn(worker("b"))
+    sim.run()
+    assert trace == [("a", "in", 0.0), ("a", "out", 2.0), ("b", "in", 2.0), ("b", "out", 4.0)]
+
+
+def test_semaphore_counts_permits():
+    sim = Simulator()
+    semaphore = Semaphore(sim, permits=2)
+    entered = []
+
+    def worker(tag):
+        yield semaphore.acquire()
+        entered.append((tag, sim.now))
+        yield sim.timeout(1)
+        semaphore.release()
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_semaphore_over_release_raises():
+    sim = Simulator()
+    semaphore = Semaphore(sim, permits=1)
+    with pytest.raises(SimulationError, match="released more"):
+        semaphore.release()
+
+
+def test_semaphore_invalid_permits():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, permits=0)
+
+
+def test_semaphore_held_releases_on_exception():
+    sim = Simulator()
+    semaphore = Semaphore(sim, permits=1)
+
+    def failing_body():
+        yield sim.timeout(1)
+        raise RuntimeError("body failed")
+
+    def proc():
+        try:
+            yield from semaphore.held()(failing_body())
+        except RuntimeError:
+            pass
+        return semaphore.available
+
+    assert sim.run_process(proc()) == 1
+
+
+# ----------------------------------------------------------------------
+# Signal
+# ----------------------------------------------------------------------
+
+
+def test_signal_broadcasts_to_all_waiters():
+    sim = Simulator()
+    signal = Signal(sim)
+    woken = []
+
+    def waiter(tag):
+        value = yield signal.wait()
+        woken.append((tag, value))
+
+    def firer():
+        yield sim.timeout(1)
+        signal.fire("go")
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.spawn(firer())
+    sim.run()
+    assert sorted(woken) == [("a", "go"), ("b", "go")]
+
+
+def test_signal_rearms_after_fire():
+    sim = Simulator()
+    signal = Signal(sim)
+    values = []
+
+    def waiter():
+        values.append((yield signal.wait()))
+        values.append((yield signal.wait()))
+
+    def firer():
+        yield sim.timeout(1)
+        signal.fire(1)
+        yield sim.timeout(1)
+        signal.fire(2)
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert values == [1, 2]
+    assert signal.fire_count == 2
+
+
+# ----------------------------------------------------------------------
+# DeterministicRNG
+# ----------------------------------------------------------------------
+
+
+def test_rng_same_seed_same_sequence():
+    a = DeterministicRNG(seed=42)
+    b = DeterministicRNG(seed=42)
+    assert [a.uniform("x", 0, 1) for _ in range(5)] == [b.uniform("x", 0, 1) for _ in range(5)]
+
+
+def test_rng_streams_are_independent_of_creation_order():
+    a = DeterministicRNG(seed=1)
+    b = DeterministicRNG(seed=1)
+    a.stream("first")
+    value_a = a.uniform("second", 0, 1)
+    value_b = b.uniform("second", 0, 1)
+    assert value_a == value_b
+
+
+def test_rng_different_seeds_differ():
+    a = DeterministicRNG(seed=1)
+    b = DeterministicRNG(seed=2)
+    assert a.uniform("x", 0, 1) != b.uniform("x", 0, 1)
+
+
+def test_rng_stream_identity():
+    rng = DeterministicRNG(seed=3)
+    assert rng.stream("net") is rng.stream("net")
+
+
+def test_rng_jitter_within_bounds():
+    rng = DeterministicRNG(seed=4)
+    for _ in range(100):
+        value = rng.jitter("j", 100.0, 0.25)
+        assert 75.0 <= value <= 125.0
+
+
+def test_rng_jitter_fraction_validation():
+    rng = DeterministicRNG(seed=5)
+    with pytest.raises(ValueError):
+        rng.jitter("j", 1.0, 1.5)

@@ -1,0 +1,180 @@
+"""Tests for workload generators, traffic loops, and the bench harness."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_table, micros, millis, seconds
+from repro.workloads import (
+    ClosedLoopClient,
+    build_component_version,
+    make_noop_manager,
+    run_clients,
+    synthetic_components,
+)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def test_synthetic_components_shape():
+    components = synthetic_components(3, 4, prefix="t")
+    assert len(components) == 3
+    assert all(len(component.functions) == 4 for component in components)
+    # Names are globally unique across components.
+    names = [name for component in components for name in component.functions]
+    assert len(names) == len(set(names))
+
+
+def test_synthetic_components_validation():
+    with pytest.raises(ValueError):
+        synthetic_components(0, 1)
+    with pytest.raises(ValueError):
+        synthetic_components(1, 0)
+
+
+def test_make_noop_manager_is_ready(runtime):
+    manager, components = make_noop_manager(
+        runtime, "Ready", component_count=2, functions_per_component=3
+    )
+    assert manager.current_version is not None
+    assert manager.is_instantiable(manager.current_version)
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client()
+    assert client.call_sync(loid, "ping", 42) == (42,)
+
+
+def test_build_component_version_enables_everything(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Enabler", component_count=1, functions_per_component=2
+    )
+    extra = synthetic_components(1, 3, prefix="extra")
+    version = build_component_version(manager, extra)
+    descriptor = manager.version_record(version).descriptor
+    for name in extra[0].functions:
+        assert descriptor.is_enabled(name, extra[0].component_id)
+
+
+def test_build_component_version_derives_from_current(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Deriver", component_count=1, functions_per_component=1
+    )
+    current = manager.current_version
+    version = build_component_version(manager, synthetic_components(1, 1, prefix="d"))
+    assert version.derives_from(current)
+
+
+# ----------------------------------------------------------------------
+# Traffic
+# ----------------------------------------------------------------------
+
+
+def test_closed_loop_client_collects_latencies(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Traffic", component_count=1, functions_per_component=1
+    )
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client("host03")
+    loop = ClosedLoopClient(client, loid, "ping", calls=10)
+    run_clients(runtime, [loop])
+    assert loop.completed_calls == 10
+    assert loop.errors == []
+    assert 0 < loop.mean_latency() < 0.05
+
+
+def test_closed_loop_client_think_time_spreads_calls(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Thinker", component_count=1, functions_per_component=1
+    )
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client("host03")
+    loop = ClosedLoopClient(client, loid, "ping", calls=5, think_time_s=1.0)
+    start = runtime.sim.now
+    run_clients(runtime, [loop])
+    assert runtime.sim.now - start >= 5.0
+
+
+def test_closed_loop_client_records_errors(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Erroring", component_count=1, functions_per_component=1
+    )
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client("host03")
+    loop = ClosedLoopClient(client, loid, "no_such_fn", calls=2)
+    run_clients(runtime, [loop])
+    assert loop.completed_calls == 0
+    assert len(loop.errors) == 2
+    assert loop.mean_latency() is None
+
+
+def test_closed_loop_client_stop(runtime):
+    manager, __ = make_noop_manager(
+        runtime, "Stopper", component_count=1, functions_per_component=1
+    )
+    loid = runtime.sim.run_process(manager.create_instance())
+    client = runtime.make_client("host03")
+    loop = ClosedLoopClient(client, loid, "ping", calls=None, think_time_s=0.1)
+    runtime.sim.spawn(loop.run())
+    runtime.sim.run(until=runtime.sim.now + 2.0)
+    loop.stop()
+    runtime.sim.run()
+    assert loop.completed_calls > 5
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def test_experiment_result_tracks_failures():
+    result = ExperimentResult(experiment_id="X", title="test")
+    result.add("good", "1", "1", ok=True)
+    result.add("bad", "1", "2", ok=False)
+    assert not result.all_ok
+    assert [row.label for row in result.failures()] == ["bad"]
+
+
+def test_format_table_renders_all_rows():
+    result = ExperimentResult(experiment_id="X", title="demo")
+    result.add("metric-a", "10", "11", "s", ok=True)
+    result.add("metric-b", "20", "99", "us", ok=False)
+    text = format_table(result)
+    assert "X: demo" in text
+    assert "metric-a" in text
+    assert "NO" in text  # the failed row is flagged
+
+
+def test_formatters():
+    assert seconds(1.23456) == "1.235"
+    assert micros(12.5e-6) == "12.5"
+    assert millis(0.00331) == "3.31"
+
+
+# ----------------------------------------------------------------------
+# Experiment smoke runs (fast configurations are exercised fully in
+# benchmarks/; here we just pin the public contract)
+# ----------------------------------------------------------------------
+
+
+def test_run_e1_returns_consistent_result():
+    from repro.bench.experiments import run_e1
+
+    result = run_e1(seed=3)
+    assert result.experiment_id == "E1"
+    assert result.all_ok, [row.label for row in result.failures()]
+    assert result.extra["leaf_cost_s"] < 20e-6
+
+
+def test_run_e4_seed_changes_samples_not_shape():
+    from repro.bench.experiments import run_e4
+
+    first = run_e4(seed=1)
+    second = run_e4(seed=2)
+    assert first.all_ok and second.all_ok
+    assert first.extra["discovery_times_s"] != second.extra["discovery_times_s"]
+
+
+def test_run_e4_is_deterministic_per_seed():
+    from repro.bench.experiments import run_e4
+
+    assert run_e4(seed=5).extra == run_e4(seed=5).extra
