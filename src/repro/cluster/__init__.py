@@ -12,14 +12,16 @@ and are documented against the sentence of the paper they reproduce.
 
 from repro.cluster.calibration import Calibration
 from repro.cluster.filecache import FileCache
-from repro.cluster.host import Host, HostProcess
+from repro.cluster.host import CrashPlan, Host, HostDown, HostProcess
 from repro.cluster.testbed import Testbed, build_centurion, build_lan, build_wan
 from repro.cluster.vault import Vault
 
 __all__ = [
     "Calibration",
+    "CrashPlan",
     "FileCache",
     "Host",
+    "HostDown",
     "HostProcess",
     "Testbed",
     "Vault",

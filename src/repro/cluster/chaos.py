@@ -1,0 +1,282 @@
+"""Randomized chaos harness: crashes, partitions, and drops under load.
+
+Building blocks for fault-tolerance tests and drills:
+
+- :func:`crash_host` — a machine-level :meth:`Host.crash` plus the
+  runtime-level reconciliation the machine cannot do itself: flipping
+  the dead host's :class:`InstanceRecord`s inactive and deactivating
+  the objects (including any class object / DCDO Manager homed there).
+- :class:`ChaosCoordinator` — wires a :class:`CrashPlan`'s hooks to
+  that reconciliation, and on restart recovers dead managers from
+  their journals and rebuilds crash-lost instances.
+- :class:`ChaosSchedule` — a seeded, deterministic fault scenario
+  (host outages, prefix partitions, drop rules) generated from one
+  integer seed, so every chaos test run is reproducible.
+- :func:`drive_to_convergence` — the heal phase: repair what is
+  repairable and re-propagate until every surviving DCDO reaches the
+  manager's current version.
+
+Layering note: this module orchestrates *across* layers (cluster +
+core), so core imports stay inside functions to keep the cluster
+package importable on its own.
+"""
+
+import random
+
+from repro.cluster.host import CrashPlan
+from repro.net import DropRule, PrefixPartition
+
+
+def crash_host(runtime, host):
+    """Fail-stop ``host`` and reconcile the runtime's object tables.
+
+    Returns the LOIDs of instances that died.  Class objects homed on
+    the host are deactivated too — their recovery (journal replay) is a
+    separate, explicit act.
+    """
+    host.crash()
+    died = []
+    for class_object in runtime.classes():
+        for loid in class_object.instance_loids():
+            record = class_object.record(loid)
+            if record.host is host and record.active:
+                record.active = False
+                record.process = None
+                if record.obj is not None:
+                    record.obj.deactivate()
+                died.append(loid)
+        if class_object.host is host and class_object.is_active:
+            class_object.deactivate()
+    return died
+
+
+class ChaosCoordinator:
+    """Runs crash/restart reconciliation for a fleet under test.
+
+    Parameters
+    ----------
+    runtime:
+        The Legion runtime under chaos.
+    journals:
+        ``type_name -> ManagerJournal`` for every manager that should
+        be recoverable; a manager without a journal stays dead until
+        its own host returns and someone rebuilds it by hand.
+    auto_recover:
+        When True (default), a host restart triggers recovery of dead
+        journaled managers (homed on the restarting host) and of the
+        crash-lost instances the live managers know about.
+    """
+
+    def __init__(self, runtime, journals=None, auto_recover=True):
+        self.runtime = runtime
+        self.journals = dict(journals or {})
+        self.auto_recover = auto_recover
+        self.crash_plan = CrashPlan(
+            runtime.sim, on_crash=self._on_crash, on_restart=self._on_restart
+        )
+        self.crash_log = []
+        self.recovery_log = []
+        self._recovering = set()
+
+    def _on_crash(self, host):
+        died = crash_host(self.runtime, host)
+        self.crash_log.append((self.runtime.sim.now, host.name, died))
+
+    def _on_restart(self, host):
+        if self.auto_recover:
+            yield from self.recover_on(host)
+
+    def recover_on(self, host):
+        """Generator: bring back what can come back after ``host`` boots.
+
+        Dead journaled managers are recovered first (homed on the
+        restarting host), then every live manager's crash-lost
+        instances on now-up hosts are rebuilt.
+        """
+        from repro.core.recovery import recover_manager
+
+        for type_name, journal in self.journals.items():
+            if type_name in self._recovering:
+                continue
+            try:
+                manager = self.runtime.class_of(type_name)
+            except Exception:
+                manager = None
+            if manager is not None and manager.is_active:
+                continue
+            self._recovering.add(type_name)
+            try:
+                manager = yield from recover_manager(
+                    self.runtime, journal, host_name=host.name
+                )
+                self.recovery_log.append(
+                    (self.runtime.sim.now, "manager", type_name)
+                )
+            finally:
+                self._recovering.discard(type_name)
+        yield from self.recover_instances()
+
+    def recover_instances(self):
+        """Generator: rebuild crash-lost instances on hosts that are up."""
+        from repro.legion.errors import LegionError
+        from repro.net import TransportError
+
+        for class_object in self.runtime.classes():
+            if not class_object.is_active:
+                continue
+            for loid in class_object.instance_loids():
+                record = class_object.record(loid)
+                if record.active or not record.host.is_up:
+                    continue
+                try:
+                    yield from class_object.recover_instance(loid)
+                    self.recovery_log.append(
+                        (self.runtime.sim.now, "instance", loid)
+                    )
+                except (ValueError, LegionError, TransportError):
+                    # Already recovered concurrently, or still
+                    # unreachable: a later pass will retry.
+                    continue
+
+
+class ChaosSchedule:
+    """A deterministic fault scenario generated from one seed.
+
+    Attributes
+    ----------
+    crashes:
+        ``(host_name, crash_at, restart_at)`` outages.
+    partitions:
+        ``(prefixes_a, prefixes_b, start, end)`` prefix partitions.
+    drops:
+        ``(count, start, end)`` bounded random-drop windows.
+    """
+
+    def __init__(self, crashes=(), partitions=(), drops=()):
+        self.crashes = list(crashes)
+        self.partitions = list(partitions)
+        self.drops = list(drops)
+        #: Simulated time :meth:`install` rebased the offsets onto.
+        self.installed_at = None
+
+    @classmethod
+    def generate(
+        cls,
+        seed,
+        host_names,
+        duration_s=120.0,
+        max_crashes=2,
+        max_partitions=1,
+        max_drops=2,
+        protect=(),
+    ):
+        """Roll a scenario: every draw comes from ``random.Random(seed)``.
+
+        ``protect`` names hosts exempt from crashing (they may still be
+        partitioned) — e.g. a host whose manager has no journal.
+        """
+        rng = random.Random(seed)
+        host_names = list(host_names)
+        eligible = [name for name in host_names if name not in protect]
+        crashes = []
+        if eligible and max_crashes > 0:
+            victims = rng.sample(
+                eligible, k=rng.randint(1, min(max_crashes, len(eligible)))
+            )
+            for name in victims:
+                crash_at = rng.uniform(1.0, duration_s * 0.4)
+                restart_at = crash_at + rng.uniform(5.0, duration_s * 0.4)
+                crashes.append((name, crash_at, restart_at))
+        partitions = []
+        for __ in range(rng.randint(0, max_partitions)):
+            if len(host_names) < 2:
+                break
+            shuffled = list(host_names)
+            rng.shuffle(shuffled)
+            cut = rng.randint(1, len(shuffled) - 1)
+            start = rng.uniform(0.0, duration_s * 0.5)
+            end = start + rng.uniform(2.0, duration_s * 0.4)
+            partitions.append(
+                (
+                    [f"{name}/" for name in shuffled[:cut]],
+                    [f"{name}/" for name in shuffled[cut:]],
+                    start,
+                    end,
+                )
+            )
+        drops = []
+        for __ in range(rng.randint(0, max_drops)):
+            start = rng.uniform(0.0, duration_s * 0.6)
+            drops.append((rng.randint(1, 4), start, start + rng.uniform(1.0, 20.0)))
+        return cls(crashes=crashes, partitions=partitions, drops=drops)
+
+    @property
+    def heal_time(self):
+        """Time by which every fault has cleared (absolute once
+        installed; an offset from install before that)."""
+        times = [0.0]
+        times += [restart_at for __, __, restart_at in self.crashes]
+        times += [end for __, __, __, end in self.partitions]
+        times += [end for __, __, end in self.drops]
+        return max(times) + (self.installed_at or 0.0)
+
+    def install(self, runtime, coordinator):
+        """Arm the scenario on ``runtime`` via ``coordinator``'s plan.
+
+        Generated times are *offsets*; they are rebased onto the
+        current simulated time here, so a scenario can be installed on
+        a testbed that has already been running.
+        """
+        base = self.installed_at = runtime.sim.now
+        for name, crash_at, restart_at in self.crashes:
+            coordinator.crash_plan.schedule_outage(
+                runtime.host(name), base + crash_at, base + restart_at
+            )
+        for prefixes_a, prefixes_b, start, end in self.partitions:
+            runtime.network.faults.add_partition(
+                PrefixPartition(
+                    prefixes_a, prefixes_b, start=base + start, end=base + end
+                )
+            )
+        for count, start, end in self.drops:
+            runtime.network.faults.add_drop_rule(
+                DropRule(count=count, start=base + start, end=base + end)
+            )
+
+    def __repr__(self):
+        return (
+            f"<ChaosSchedule crashes={len(self.crashes)} "
+            f"partitions={len(self.partitions)} drops={len(self.drops)}>"
+        )
+
+
+def drive_to_convergence(
+    runtime, type_name, journal=None, retry_policy=None, max_rounds=8
+):
+    """Generator: repair and re-propagate until the fleet converges.
+
+    Meant for *after* faults heal.  Each round: recover the manager
+    from its journal if it is dead, rebuild crash-lost instances on
+    up hosts, then run the ack-tracked propagation of the current
+    version.  Returns the final :class:`PropagationTracker` (check
+    ``all_acked``).
+    """
+    from repro.core.recovery import recover_manager
+
+    tracker = None
+    for __ in range(max_rounds):
+        manager = runtime.class_of(type_name)
+        if not manager.is_active:
+            if journal is None:
+                raise RuntimeError(
+                    f"manager for {type_name!r} is dead and no journal was given"
+                )
+            manager = yield from recover_manager(runtime, journal)
+        coordinator = ChaosCoordinator(runtime, auto_recover=False)
+        yield from coordinator.recover_instances()
+        tracker = yield from manager.propagate_version(
+            manager.current_version, retry_policy=retry_policy
+        )
+        if tracker.all_acked:
+            return tracker
+    return tracker

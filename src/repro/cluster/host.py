@@ -12,8 +12,18 @@ process charges the calibrated ``process_spawn_s``.
 import itertools
 
 from repro.cluster.filecache import FileCache
+from repro.sim.errors import SimulationError
 
 _process_counter = itertools.count(1)
+
+
+class HostDown(SimulationError):
+    """An operation was attempted on a crashed host."""
+
+    def __init__(self, host_name, operation):
+        super().__init__(f"host {host_name!r} is down ({operation})")
+        self.host_name = host_name
+        self.operation = operation
 
 
 class HostProcess:
@@ -64,8 +74,14 @@ class Host:
         self._cpu_factor = cpu_factor
         self._rng = rng
         self._processes = {}
+        self._network = None
+        self._up = True
+        self._incarnation = 1
         self.cache = FileCache(name=f"{name}.cache")
         self.processes_spawned = 0
+        self.crash_count = 0
+        self.last_crash_at = None
+        self.last_restart_at = None
 
     @property
     def sim(self):
@@ -92,6 +108,69 @@ class Host:
         """Mapping of pid -> live :class:`HostProcess`."""
         return dict(self._processes)
 
+    @property
+    def is_up(self):
+        """False between :meth:`crash` and :meth:`restart`."""
+        return self._up
+
+    @property
+    def incarnation(self):
+        """Monotonic boot counter; bumps on every :meth:`restart`."""
+        return self._incarnation
+
+    def attach_network(self, network):
+        """Wire the fabric in so a crash can sever this host's endpoints."""
+        self._network = network
+
+    def process_for(self, loid):
+        """The live process backing ``loid``, or None."""
+        for process in self._processes.values():
+            if process.owner_loid == loid:
+                return process
+        return None
+
+    # ------------------------------------------------------------------
+    # Crash faults
+    # ------------------------------------------------------------------
+
+    def crash(self):
+        """Fail-stop the host *now*: every process dies, every endpoint
+        attached under ``{name}/`` is closed, all in-flight and future
+        traffic to this host is lost.  Idempotent while down.
+
+        This is the machine-level act only — object-table bookkeeping
+        (deactivating :class:`InstanceRecord`s, rebinding) belongs to
+        the runtime layer (see :mod:`repro.cluster.chaos`).
+        """
+        if not self._up:
+            return
+        self._up = False
+        self.crash_count += 1
+        self.last_crash_at = self._sim.now
+        for process in list(self._processes.values()):
+            process.alive = False
+        self._processes.clear()
+        if self._network is not None:
+            self._network.close_endpoints_with_prefix(f"{self._name}/")
+            self._network.count("host.crashes")
+
+    def restart(self):
+        """Boot the host again under a new incarnation.
+
+        Memory is gone: the process table starts empty and nothing is
+        reattached to the fabric — recovery code reactivates objects
+        explicitly (fresh endpoints, fresh addresses).  The file cache
+        and vault survive, like a real disk across a reboot.
+        """
+        if self._up:
+            raise SimulationError(f"host {self._name!r} is already up")
+        self._up = True
+        self._incarnation += 1
+        self.last_restart_at = self._sim.now
+        if self._network is not None:
+            self._network.count("host.restarts")
+        return self._incarnation
+
     def _jitter(self, value):
         if self._rng is None:
             return value
@@ -113,7 +192,12 @@ class Host:
         Charges the calibrated process-creation cost and returns the
         new :class:`HostProcess`.  Drive with ``yield from``.
         """
+        if not self._up:
+            raise HostDown(self._name, "spawn_process")
         yield self.cpu_work(self._jitter(self._calibration.process_spawn_s))
+        if not self._up:
+            # Crashed while the spawn was in flight.
+            raise HostDown(self._name, "spawn_process")
         process = HostProcess(self, owner_loid)
         self._processes[process.pid] = process
         self.processes_spawned += 1
@@ -123,4 +207,70 @@ class Host:
         self._processes.pop(process.pid, None)
 
     def __repr__(self):
-        return f"<Host {self._name} arch={self._architecture} procs={len(self._processes)}>"
+        state = "up" if self._up else "down"
+        return (
+            f"<Host {self._name} arch={self._architecture} "
+            f"procs={len(self._processes)} {state} inc={self._incarnation}>"
+        )
+
+
+class CrashPlan:
+    """Declarative schedule of host crashes and restarts.
+
+    Mirrors :class:`~repro.net.faults.FaultPlan` for machine faults:
+    tests declare *when* hosts die and come back, then run the
+    simulation.  Each entry becomes a simulator process, so crashes
+    interleave with whatever workload is running.
+
+    ``on_crash`` / ``on_restart`` hooks (``hook(host)``; a generator
+    return value is driven to completion) let higher layers reconcile —
+    e.g. the chaos harness deactivates the dead host's object records
+    on crash and replays the manager journal on restart.
+    """
+
+    def __init__(self, sim, on_crash=None, on_restart=None):
+        self._sim = sim
+        self._on_crash = on_crash
+        self._on_restart = on_restart
+        self.crashes_fired = 0
+        self.restarts_fired = 0
+
+    def schedule_crash(self, host, at):
+        """Crash ``host`` at simulated time ``at``."""
+        if at < self._sim.now:
+            raise ValueError(f"cannot schedule a crash in the past ({at} < {self._sim.now})")
+        return self._sim.spawn(
+            self._fire(host, at, crash=True), name=f"crash:{host.name}@{at:g}"
+        )
+
+    def schedule_restart(self, host, at):
+        """Restart ``host`` at simulated time ``at``."""
+        if at < self._sim.now:
+            raise ValueError(f"cannot schedule a restart in the past ({at} < {self._sim.now})")
+        return self._sim.spawn(
+            self._fire(host, at, crash=False), name=f"restart:{host.name}@{at:g}"
+        )
+
+    def schedule_outage(self, host, crash_at, restart_at):
+        """Crash then restart ``host`` (restart must come after crash)."""
+        if restart_at <= crash_at:
+            raise ValueError(
+                f"restart_at must be after crash_at ({restart_at} <= {crash_at})"
+            )
+        self.schedule_crash(host, crash_at)
+        self.schedule_restart(host, restart_at)
+
+    def _fire(self, host, at, crash):
+        yield self._sim.timeout(at - self._sim.now)
+        if crash:
+            host.crash()
+            self.crashes_fired += 1
+            hook = self._on_crash
+        else:
+            host.restart()
+            self.restarts_fired += 1
+            hook = self._on_restart
+        if hook is not None:
+            result = hook(host)
+            if result is not None and hasattr(result, "__next__"):
+                yield from result

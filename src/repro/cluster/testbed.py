@@ -61,6 +61,7 @@ class Testbed:
             cpu_factor=cpu_factor,
             rng=self.rng,
         )
+        host.attach_network(self.network)
         self.hosts[name] = host
         self.vaults[name] = Vault(host)
         return host

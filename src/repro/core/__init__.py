@@ -59,6 +59,13 @@ from repro.core.functions import FunctionDef, Marking
 from repro.core.ico import ImplementationComponentObject
 from repro.core.impltype import NATIVE, ImplementationType
 from repro.core.manager import DCDOManager, VersionRecord, define_dcdo_type
+from repro.core.recovery import (
+    Delivery,
+    DeliveryStatus,
+    ManagerJournal,
+    PropagationTracker,
+    recover_manager,
+)
 from repro.core.stub import DCDOStub, InterfaceCache
 from repro.core.version import VersionId, VersionTree
 
@@ -79,6 +86,8 @@ __all__ = [
     "DFMDescriptor",
     "DFMEntry",
     "Dependency",
+    "Delivery",
+    "DeliveryStatus",
     "DependencyViolation",
     "DescriptorEntry",
     "DynamicCallContext",
@@ -92,11 +101,13 @@ __all__ = [
     "ImplementationType",
     "IncompatibleImplementationType",
     "IncorporatedComponent",
+    "ManagerJournal",
     "MandatoryViolation",
     "Marking",
     "MarkingConflict",
     "NATIVE",
     "PermanenceViolation",
+    "PropagationTracker",
     "RemoveMode",
     "RemovePolicy",
     "UnknownVersion",
@@ -108,6 +119,7 @@ __all__ = [
     "annotate_component",
     "check_closure",
     "define_dcdo_type",
+    "recover_manager",
     "derive_structural_dependencies",
     "diff_descriptors",
 ]

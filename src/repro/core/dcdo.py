@@ -109,6 +109,13 @@ class DCDO(LegionObject):
         self._update_checker = None
         self._thread_exit = Signal(runtime.sim, name=f"{loid}.thread-exit")
         self.evolutions_applied = 0
+        #: version id -> how many times a diff targeting it was actually
+        #: applied (the chaos invariant asserts every count is 1).
+        self.applications_by_version = {}
+        #: deliveries suppressed by idempotence (already at / already
+        #: applying the target) — at-least-once redundancy made visible.
+        self.duplicate_deliveries = 0
+        self._applying = {}
         self._register_dcdo_interface()
 
     # ------------------------------------------------------------------
@@ -395,12 +402,46 @@ class DCDO(LegionObject):
         callers therefore never observe a window where a function that
         exists in both versions has no enabled implementation.
 
-        The operation is idempotent: managers retry the management RPC
-        on timeouts, and a duplicate application of the same diff (or
-        one racing a slow first application) is a no-op per step.
+        The operation is idempotent keyed by the target version id:
+        managers deliver at-least-once (retries on timeouts, redelivery
+        after a manager recovery), so a duplicate of an already-applied
+        diff returns immediately, and a duplicate racing a slow first
+        application waits for it rather than interleaving half-applied
+        steps.  Per-version application counters make the exactly-once
+        *effect* checkable from outside.
         """
-        if diff.target_version is not None and self._version == diff.target_version:
-            return str(self._version)
+        target = diff.target_version
+        while target is not None:
+            if self._version == target:
+                self.duplicate_deliveries += 1
+                self._network_count("dcdo.duplicate_deliveries")
+                return str(self._version)
+            in_flight = self._applying.get(target)
+            if in_flight is None:
+                break
+            # Another delivery of this same version is mid-application:
+            # wait for its outcome, then re-check (it may have failed,
+            # in which case this duplicate becomes the applier).
+            self.duplicate_deliveries += 1
+            self._network_count("dcdo.duplicate_deliveries")
+            yield in_flight
+        if target is not None:
+            gate = self._applying[target] = self.sim.event(
+                name=f"{self.loid}.applying:{target}"
+            )
+        try:
+            result = yield from self._apply_configuration_body(diff)
+        finally:
+            if target is not None:
+                self._applying.pop(target, None)
+                if not gate.triggered:
+                    gate.succeed(None)
+        return result
+
+    def _network_count(self, name):
+        self.runtime.network.count(name)
+
+    def _apply_configuration_body(self, diff):
         for ref in diff.components_to_add:
             if ref.component_id in self.dfm.component_ids:
                 continue  # duplicate delivery: already incorporated
@@ -419,6 +460,9 @@ class DCDO(LegionObject):
         from_version = self._version
         if diff.target_version is not None:
             self._version = diff.target_version
+            self.applications_by_version[diff.target_version] = (
+                self.applications_by_version.get(diff.target_version, 0) + 1
+            )
         self.evolutions_applied += 1
         self.runtime.trace(
             "evolved",

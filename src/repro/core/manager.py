@@ -27,9 +27,19 @@ from repro.core.errors import (
 from repro.core.ico import ImplementationComponentObject
 from repro.core.policies.evolution import SingleVersionPolicy
 from repro.core.policies.update import ExplicitUpdatePolicy
+from repro.core.recovery import DeliveryStatus, PropagationTracker
 from repro.core.version import VersionTree
-from repro.legion.klass import ClassObject
+from repro.legion.errors import LegionError, UnknownObject
+from repro.legion.klass import ClassObject, InstanceRecord
 from repro.legion.loid import mint_loid
+from repro.net import RetryPolicy, TransportError
+
+#: Spacing for at-least-once propagation deliveries: patient enough to
+#: ride out a host outage plus stale-binding rediscovery, bounded so a
+#: permanently dead instance is eventually marked FAILED.
+DEFAULT_PROPAGATION_RETRY = RetryPolicy(
+    base_s=1.0, multiplier=2.0, max_backoff_s=60.0, max_attempts=6
+)
 
 
 @dataclass
@@ -55,6 +65,13 @@ class DCDOManager(ClassObject):
         When instances are updated (default: explicit).
     remove_policy:
         Removal policy installed on created instances.
+    journal:
+        Optional :class:`~repro.core.recovery.ManagerJournal`; when
+        attached, every durable decision is write-ahead logged so the
+        manager can be rebuilt after a crash (see
+        :func:`~repro.core.recovery.recover_manager`).
+    propagation_retry_policy:
+        Spacing/limits for at-least-once propagation deliveries.
     """
 
     def __init__(
@@ -67,6 +84,8 @@ class DCDOManager(ClassObject):
         evolution_policy=None,
         update_policy=None,
         remove_policy=None,
+        journal=None,
+        propagation_retry_policy=None,
     ):
         super().__init__(
             runtime,
@@ -84,8 +103,45 @@ class DCDOManager(ClassObject):
         self._components = {}
         self._instance_versions = {}
         self._instance_impl_types = {}
+        self._propagations = {}
+        self._journal = None
+        self.propagation_retry_policy = (
+            propagation_retry_policy or DEFAULT_PROPAGATION_RETRY
+        )
         self.evolutions_performed = 0
         self._register_manager_methods()
+        if journal is not None:
+            self.attach_journal(journal)
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead journal)
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self):
+        """The attached :class:`ManagerJournal`, or None."""
+        return self._journal
+
+    def attach_journal(self, journal):
+        """Start write-ahead logging to ``journal``.
+
+        Records identity metadata (type name, home host, policy
+        objects) so :func:`~repro.core.recovery.recover_manager` can
+        rebuild an equivalent manager from the journal alone.
+        """
+        self._journal = journal
+        journal.meta.setdefault("type_name", self.type_name)
+        journal.meta["host_name"] = self._host.name
+        journal.meta["evolution_policy"] = self.evolution_policy
+        journal.meta["update_policy"] = self.update_policy
+        journal.meta["remove_policy"] = self._remove_policy
+
+    def _journal_append(self, kind, **data):
+        if self._journal is not None:
+            self._journal.append(kind, **data)
+
+    def _count(self, name, amount=1):
+        self._runtime.network.count(name, amount)
 
     # ------------------------------------------------------------------
     # Component registration (ICOs)
@@ -109,6 +165,9 @@ class DCDOManager(ClassObject):
             f"/components/{self.type_name}/{component.component_id}", loid
         )
         self._components[component.component_id] = (component, loid)
+        self._journal_append(
+            "component", component=component, ico_loid=loid, host_name=host.name
+        )
         return loid
 
     def component_ico(self, component_id):
@@ -152,6 +211,7 @@ class DCDOManager(ClassObject):
         """Create a fresh root version with an empty descriptor."""
         version = self._version_tree.new_root()
         self._dfm_store[version] = VersionRecord(version=version, descriptor=DFMDescriptor())
+        self._journal_append("version-created", version=version, parent=None)
         return version
 
     def derive_version(self, parent):
@@ -164,6 +224,7 @@ class DCDOManager(ClassObject):
             descriptor=parent_record.descriptor.clone(),
             parent=parent,
         )
+        self._journal_append("version-created", version=version, parent=parent)
         return version
 
     def descriptor_of(self, version, allow_instantiable=False):
@@ -200,6 +261,16 @@ class DCDOManager(ClassObject):
             return
         record.descriptor.validate_instantiable()
         record.instantiable = True
+        # The frozen descriptor is the durable artefact: a journal
+        # replay restores instantiable versions byte-for-byte, while
+        # still-configurable descriptors are in-memory scratch state
+        # and are lost with the crash.
+        self._journal_append(
+            "version-instantiable",
+            version=version,
+            parent=record.parent,
+            descriptor=record.descriptor.clone(),
+        )
         self._runtime.trace(
             "version-instantiable",
             self.loid,
@@ -222,6 +293,7 @@ class DCDOManager(ClassObject):
                 f"version {version} must be instantiable before becoming current"
             )
         self._current_version = version
+        self._journal_append("current-version", version=version)
         self._runtime.trace(
             "current-version-set",
             self.loid,
@@ -243,6 +315,7 @@ class DCDOManager(ClassObject):
                 f"version {version} must be instantiable before becoming current"
             )
         self._current_version = version
+        self._journal_append("current-version", version=version)
         propagation = self.update_policy.on_new_current_version(self)
         if propagation is None:
             return None
@@ -317,6 +390,12 @@ class DCDOManager(ClassObject):
     def _instance_created(self, record):
         self._instance_versions[record.loid] = self._current_version
         self._instance_impl_types[record.loid] = record.obj.implementation_type
+        self._journal_append(
+            "instance", loid=record.loid, host_name=record.host.name
+        )
+        self._journal_append(
+            "instance-version", loid=record.loid, version=self._current_version
+        )
         self.update_policy.on_instance_created(self, record)
 
     def _notify_migrated(self, record):
@@ -378,6 +457,7 @@ class DCDOManager(ClassObject):
                 timeout_schedule=(60.0, 120.0, 600.0),
             )
             self._instance_versions[loid] = target_version
+            self._journal_append("instance-version", loid=loid, version=target_version)
             if record.active:
                 record.version_tag = str(target_version)
             self.evolutions_performed += 1
@@ -401,6 +481,332 @@ class DCDOManager(ClassObject):
                 continue
             results[loid] = yield from self.try_evolve_instance(loid, target_version)
         return results
+
+    # ------------------------------------------------------------------
+    # Ack-tracked, at-least-once propagation
+    # ------------------------------------------------------------------
+
+    def propagate_version(self, version, loids=None, retry_policy=None):
+        """Generator: reliably push ``version`` to its instances.
+
+        The fault-tolerant counterpart of :meth:`update_all_instances`:
+        each instance gets a tracked delivery (PENDING → ACKED/FAILED),
+        deliveries run concurrently, failures are retried with backoff
+        per the retry policy, and every state change is journaled —
+        so a manager crash mid-propagation resumes from exactly the
+        outstanding deliveries.  At-least-once delivery is safe because
+        :meth:`DCDO.apply_configuration` is idempotent keyed by the
+        target version id.
+
+        Calling again for the same version re-arms FAILED deliveries
+        and admits instances created since — the convergence loop after
+        faults heal.  Returns the :class:`PropagationTracker`.
+        """
+        record = self.version_record(version)
+        if not record.instantiable:
+            raise VersionNotInstantiable(
+                f"cannot propagate configurable version {version}"
+            )
+        if loids is None:
+            loids = self.instance_loids()
+        tracker = self._propagations.get(version)
+        if tracker is None:
+            tracker = PropagationTracker(version, loids)
+            tracker.started_at = self._runtime.sim.now
+            self._propagations[version] = tracker
+            self._journal_append(
+                "propagation-started", version=version, loids=list(loids)
+            )
+        else:
+            tracker.rearm(loids)
+        policy = retry_policy or self.propagation_retry_policy
+        workers = [
+            self._runtime.sim.spawn(
+                self._deliver(tracker, loid, policy), name=f"deliver:{version}:{loid}"
+            )
+            for loid in tracker.pending_loids()
+        ]
+        if workers:
+            from repro.sim.events import AllOf
+
+            yield AllOf(self._runtime.sim, workers)
+        if not self.is_active:
+            # We crashed while deliveries were in flight; the journal
+            # still shows the propagation open, so recovery resumes it.
+            return tracker
+        tracker.complete = True
+        tracker.completed_at = self._runtime.sim.now
+        self._journal_append("propagation-complete", version=version)
+        self._runtime.trace("propagation-complete", self.loid, **tracker.summary())
+        return tracker
+
+    def _deliver(self, tracker, loid, policy):
+        """Process body: drive one delivery to ack or exhaustion."""
+        sim = self._runtime.sim
+        started = sim.now
+        delivery = tracker.delivery(loid)
+        attempts = 0
+        while True:
+            if not self.is_active:
+                # Manager crashed: abandon quietly, leaving the
+                # delivery PENDING in the journal for recovery.
+                return False
+            attempts += 1
+            delivery.attempts += 1
+            try:
+                yield from self.evolve_instance(loid, tracker.version)
+            except UnknownObject as error:
+                # Deleted instance: it can never converge; no retry.
+                tracker.fail(loid, error)
+                self._journal_append(
+                    "propagation-failed", version=tracker.version, loid=loid
+                )
+                self._count("propagation.deliveries_failed")
+                return False
+            except (LegionError, TransportError, RuntimeError) as error:
+                if isinstance(error, RuntimeError) and self.is_active:
+                    # A real bug, not the "our invoker vanished because
+                    # we crashed mid-delivery" case — don't mask it.
+                    raise
+                delivery.last_error = error
+                if not self.is_active:
+                    return False
+                if not policy.should_retry(attempts, started, sim.now):
+                    tracker.fail(loid, error)
+                    self._journal_append(
+                        "propagation-failed", version=tracker.version, loid=loid
+                    )
+                    self._count("propagation.deliveries_failed")
+                    return False
+                self._count("propagation.retries")
+                yield sim.timeout(policy.backoff_s(attempts))
+                continue
+            tracker.ack(loid, sim.now)
+            self._journal_append(
+                "propagation-ack", version=tracker.version, loid=loid
+            )
+            self._count("propagation.acks")
+            return True
+
+    def propagation(self, version):
+        """The :class:`PropagationTracker` for ``version``, or None."""
+        return self._propagations.get(version)
+
+    def propagation_status(self):
+        """Summaries of every propagation, newest last."""
+        return [tracker.summary() for tracker in self._propagations.values()]
+
+    def resume_propagations(self, retry_policy=None):
+        """Generator: finish propagations a crash interrupted.
+
+        Only journaled-but-incomplete propagations run; acked
+        deliveries are never repeated (the acceptance condition: no
+        version re-derivation, no double application).
+        """
+        for version in list(self._propagations):
+            tracker = self._propagations[version]
+            if tracker.complete:
+                continue
+            yield from self.propagate_version(version, retry_policy=retry_policy)
+
+    # ------------------------------------------------------------------
+    # Journal replay (crash recovery)
+    # ------------------------------------------------------------------
+
+    def restore_from_journal(self, journal):
+        """Generator: rebuild durable state by replaying ``journal``.
+
+        Called on a *fresh* manager object before activation (see
+        :func:`~repro.core.recovery.recover_manager`).  Live instance
+        objects and ICOs are re-linked from the runtime where they
+        survived; ICOs whose host died are re-created here.
+        """
+        for entry in journal.replay():
+            yield from self._restore_entry(entry)
+        # Implementation types are derived state: recompute from the
+        # instances that are still alive.
+        for record in self._instances.values():
+            if record.obj is not None:
+                self._instance_impl_types[record.loid] = (
+                    record.obj.implementation_type
+                )
+
+    def _restore_entry(self, entry):
+        kind, data = entry.kind, entry.data
+        if kind == "component":
+            yield from self._restore_component(
+                data["component"], data["ico_loid"], data.get("host_name")
+            )
+        elif kind == "version-created":
+            self._version_tree.restore(data["version"])
+            # No descriptor: a configurable version's edits died with
+            # the manager's memory.  The id is reserved; the contents
+            # must be re-derived by the operator.
+        elif kind == "version-instantiable":
+            version = data["version"]
+            self._version_tree.restore(version)
+            self._dfm_store[version] = VersionRecord(
+                version=version,
+                descriptor=data["descriptor"].clone(),
+                instantiable=True,
+                parent=data.get("parent"),
+            )
+        elif kind == "current-version":
+            self._current_version = data["version"]
+        elif kind == "instance":
+            self._restore_instance(data["loid"], data.get("host_name"))
+        elif kind == "instance-version":
+            self._instance_versions[data["loid"]] = data["version"]
+        elif kind == "propagation-started":
+            tracker = PropagationTracker(data["version"], data["loids"])
+            self._propagations[data["version"]] = tracker
+        elif kind == "propagation-ack":
+            self._propagations[data["version"]].ack(data["loid"])
+        elif kind == "propagation-failed":
+            self._propagations[data["version"]].fail(data["loid"])
+        elif kind == "propagation-complete":
+            self._propagations[data["version"]].complete = True
+        else:
+            raise ValueError(f"unknown journal entry kind {kind!r}")
+        return
+        yield  # pragma: no cover - uniform generator shape
+
+    def _restore_component(self, component, ico_loid, host_name):
+        """Re-link (or re-create) the ICO serving ``component``."""
+        self._components[component.component_id] = (component, ico_loid)
+        obj = self._runtime.live_object(ico_loid)
+        if obj is not None and obj.is_active:
+            return
+        # The ICO died with its host.  The component metadata (code on
+        # disk) survives in the journal, so serve it again — from the
+        # original host if it is back up, else from the manager's.
+        host = None
+        if host_name is not None and host_name in self._runtime.hosts:
+            candidate = self._runtime.host(host_name)
+            if candidate.is_up:
+                host = candidate
+        host = host or self._host
+        ico = ImplementationComponentObject(
+            self._runtime, ico_loid, host, component=component
+        )
+        yield from ico.activate()
+        self._runtime.attach_object(ico)
+        self._runtime.context_space.bind(
+            f"/components/{self.type_name}/{component.component_id}", ico_loid
+        )
+
+    def _restore_instance(self, loid, host_name):
+        """Rebuild the :class:`InstanceRecord` for a journaled instance."""
+        obj = self._runtime.live_object(loid)
+        host = (
+            self._runtime.host(host_name)
+            if host_name in self._runtime.hosts
+            else self._host
+        )
+        if obj is not None:
+            host = obj.host
+        process = host.process_for(loid) if host.is_up else None
+        active = obj is not None and obj.is_active and process is not None
+        self._instances[loid] = InstanceRecord(
+            loid=loid,
+            obj=obj,
+            host=host,
+            process=process,
+            active=active,
+            version_tag=str(obj.version) if active and obj.version else None,
+        )
+
+    def write_checkpoint(self):
+        """Compact the journal: snapshot state, truncate the tail.
+
+        The checkpoint is expressed as an equivalent minimal entry
+        list, so replay needs no second code path.
+        """
+        if self._journal is None:
+            raise ValueError("no journal attached")
+        from repro.core.recovery import JournalEntry
+
+        entries = []
+        for component_id in sorted(self._components):
+            component, ico_loid = self._components[component_id]
+            ico = self._runtime.live_object(ico_loid)
+            entries.append(
+                JournalEntry(
+                    "component",
+                    {
+                        "component": component,
+                        "ico_loid": ico_loid,
+                        "host_name": ico.host.name if ico is not None else None,
+                    },
+                )
+            )
+        for version in sorted(
+            self._version_tree.known_versions, key=lambda v: v.parts
+        ):
+            record = self._dfm_store.get(version)
+            if record is not None and record.instantiable:
+                entries.append(
+                    JournalEntry(
+                        "version-instantiable",
+                        {
+                            "version": version,
+                            "parent": record.parent,
+                            "descriptor": record.descriptor.clone(),
+                        },
+                    )
+                )
+            else:
+                entries.append(
+                    JournalEntry(
+                        "version-created",
+                        {"version": version, "parent": version.parent},
+                    )
+                )
+        if self._current_version is not None:
+            entries.append(
+                JournalEntry("current-version", {"version": self._current_version})
+            )
+        for loid, record in self._instances.items():
+            entries.append(
+                JournalEntry(
+                    "instance", {"loid": loid, "host_name": record.host.name}
+                )
+            )
+            version = self._instance_versions.get(loid)
+            if version is not None:
+                entries.append(
+                    JournalEntry(
+                        "instance-version", {"loid": loid, "version": version}
+                    )
+                )
+        for version, tracker in self._propagations.items():
+            loids = [entry.loid for entry in tracker.deliveries()]
+            entries.append(
+                JournalEntry(
+                    "propagation-started", {"version": version, "loids": loids}
+                )
+            )
+            for delivery in tracker.deliveries():
+                if delivery.status is DeliveryStatus.ACKED:
+                    entries.append(
+                        JournalEntry(
+                            "propagation-ack",
+                            {"version": version, "loid": delivery.loid},
+                        )
+                    )
+                elif delivery.status is DeliveryStatus.FAILED:
+                    entries.append(
+                        JournalEntry(
+                            "propagation-failed",
+                            {"version": version, "loid": delivery.loid},
+                        )
+                    )
+            if tracker.complete:
+                entries.append(
+                    JournalEntry("propagation-complete", {"version": version})
+                )
+        self._journal.write_checkpoint(entries)
+        return len(entries)
 
     # ------------------------------------------------------------------
     # Exported manager interface
@@ -453,6 +859,8 @@ def define_dcdo_type(
     update_policy=None,
     remove_policy=None,
     host_name=None,
+    journal=None,
+    propagation_retry_policy=None,
 ):
     """Define a DCDO type in ``runtime`` and return its manager.
 
@@ -471,6 +879,8 @@ def define_dcdo_type(
             evolution_policy=evolution_policy,
             update_policy=update_policy,
             remove_policy=remove_policy,
+            journal=journal,
+            propagation_retry_policy=propagation_retry_policy,
         )
 
     return runtime.define_class(type_name, class_factory=factory, host_name=host_name)

@@ -27,6 +27,7 @@ from repro.core.policies.update import (
     ExplicitUpdatePolicy,
     LazyUpdatePolicy,
     ProactiveUpdatePolicy,
+    ReliableUpdatePolicy,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "LazyUpdatePolicy",
     "NoUpdatePolicy",
     "ProactiveUpdatePolicy",
+    "ReliableUpdatePolicy",
     "SingleVersionPolicy",
     "UpdatePolicy",
 ]

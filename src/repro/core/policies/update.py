@@ -51,6 +51,32 @@ class ProactiveUpdatePolicy(UpdatePolicy):
                 yield from manager.try_evolve_instance(loid)
 
 
+class ReliableUpdatePolicy(UpdatePolicy):
+    """Proactive propagation with acks, retries, and journaling.
+
+    Where :class:`ProactiveUpdatePolicy` fires one best-effort update
+    wave, this routes through the manager's ack-tracked, at-least-once
+    :meth:`~repro.core.manager.DCDOManager.propagate_version` protocol:
+    per-instance delivery state, backoff-spaced retries, and journal
+    entries that let a recovered manager resume mid-wave.  The policy
+    the chaos harness (and any deployment that cares about convergence
+    under faults) should use.
+    """
+
+    name = "reliable"
+
+    def __init__(self, retry_policy=None):
+        self.retry_policy = retry_policy
+
+    def on_new_current_version(self, manager):
+        return self._propagate(manager, manager.current_version)
+
+    def _propagate(self, manager, version):
+        yield from manager.propagate_version(
+            version, retry_policy=self.retry_policy
+        )
+
+
 class ExplicitUpdatePolicy(UpdatePolicy):
     """§3.4: "the DCDO Manager relies on other objects to call to the
     manager in order to evolve them to the new current version".

@@ -1,0 +1,263 @@
+"""Manager durability and crash recovery.
+
+The DCDO Manager is a single per-type coordinator (§2.4), so its crash
+mid-evolution would otherwise turn the §3.1 hazards into *permanent*
+divergence.  This module gives it a durability story:
+
+- :class:`ManagerJournal` — a write-ahead log plus checkpoint of the
+  DFM store and DCDO table.  The journal object lives *outside* the
+  manager (like a file on the host's disk), so it survives the manager
+  object's death.  Every durable decision — component registered,
+  version created or frozen, current version set, instance created or
+  evolved, propagation started/acked — is appended before the manager
+  acts on it.
+- :class:`PropagationTracker` / :class:`Delivery` — per-instance
+  delivery state for the ack-tracked, at-least-once evolution
+  propagation protocol.  Acks are journaled, so a recovered manager
+  resumes exactly the deliveries still outstanding, never re-deriving
+  the version and never double-applying an update (application is
+  idempotent, keyed by version id, on the DCDO side).
+- :func:`recover_manager` — rebuild a crashed manager from its
+  journal: replay, re-link live instances and ICOs, reactivate under a
+  new binding incarnation, swap into the runtime, and resume
+  propagation.
+
+What is deliberately *not* durable: configurable (not-yet-instantiable)
+versions.  Their descriptors are mutable in-memory scratch state; a
+crash loses the edits, exactly as a real manager would lose an
+uncommitted working copy.  The version *identifiers* are journaled so
+a recovered manager never re-issues an id.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DeliveryStatus(enum.Enum):
+    """Where one instance stands in a propagation."""
+
+    PENDING = "pending"
+    ACKED = "acked"
+    FAILED = "failed"
+
+
+@dataclass
+class Delivery:
+    """Ack-tracking state for one instance in one propagation."""
+
+    loid: object
+    status: DeliveryStatus = DeliveryStatus.PENDING
+    attempts: int = 0
+    acked_at: float = None
+    last_error: object = None
+
+
+class PropagationTracker:
+    """Delivery state for pushing one version to a set of instances.
+
+    At-least-once semantics: a delivery stays PENDING until the
+    instance's evolution RPC returns (ACKED) or the retry policy gives
+    up (FAILED).  ``rearm`` re-opens FAILED deliveries and admits newly
+    created instances, so calling the propagation again after faults
+    heal finishes the job.
+    """
+
+    def __init__(self, version, loids=()):
+        self.version = version
+        self.complete = False
+        self.started_at = None
+        self.completed_at = None
+        self._deliveries = {}
+        for loid in loids:
+            self._deliveries[loid] = Delivery(loid)
+
+    def delivery(self, loid):
+        """Get-or-create the :class:`Delivery` for ``loid``."""
+        entry = self._deliveries.get(loid)
+        if entry is None:
+            entry = self._deliveries[loid] = Delivery(loid)
+        return entry
+
+    def deliveries(self):
+        """All deliveries, in admission order."""
+        return list(self._deliveries.values())
+
+    def rearm(self, loids=()):
+        """Re-open the propagation: admit ``loids``, retry failures."""
+        self.complete = False
+        self.completed_at = None
+        for loid in loids:
+            self.delivery(loid)
+        for entry in self._deliveries.values():
+            if entry.status is DeliveryStatus.FAILED:
+                entry.status = DeliveryStatus.PENDING
+
+    def ack(self, loid, now=None):
+        """Mark ``loid`` delivered."""
+        entry = self.delivery(loid)
+        entry.status = DeliveryStatus.ACKED
+        entry.acked_at = now
+
+    def fail(self, loid, error=None):
+        """Mark ``loid`` given up on (until the next rearm)."""
+        entry = self.delivery(loid)
+        entry.status = DeliveryStatus.FAILED
+        entry.last_error = error
+
+    def pending_loids(self):
+        """LOIDs still awaiting delivery."""
+        return [
+            entry.loid
+            for entry in self._deliveries.values()
+            if entry.status is DeliveryStatus.PENDING
+        ]
+
+    def count(self, status):
+        """Number of deliveries in ``status``."""
+        return sum(1 for entry in self._deliveries.values() if entry.status is status)
+
+    @property
+    def all_acked(self):
+        """True when every admitted delivery has been acked."""
+        return all(
+            entry.status is DeliveryStatus.ACKED
+            for entry in self._deliveries.values()
+        )
+
+    def summary(self):
+        """Plain-dict view for reports and assertions."""
+        return {
+            "version": str(self.version),
+            "complete": self.complete,
+            "pending": self.count(DeliveryStatus.PENDING),
+            "acked": self.count(DeliveryStatus.ACKED),
+            "failed": self.count(DeliveryStatus.FAILED),
+        }
+
+    def __repr__(self):
+        s = self.summary()
+        return (
+            f"<PropagationTracker v{s['version']} pending={s['pending']} "
+            f"acked={s['acked']} failed={s['failed']} complete={s['complete']}>"
+        )
+
+
+@dataclass
+class JournalEntry:
+    """One write-ahead record: a kind tag plus its payload."""
+
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return f"<JournalEntry {self.kind} {self.data}>"
+
+
+class ManagerJournal:
+    """Simulated durable storage for one DCDO Manager.
+
+    A checkpoint (a compacted entry list) plus a tail of appended
+    entries; :meth:`replay` returns both in order.  ``meta`` records
+    identity facts (type name, policies) the recovery path needs before
+    any entry is replayed — set once at attach time.
+
+    Durability is simulated by object lifetime: the journal is owned by
+    the test/harness (the "disk"), not by the manager object that dies.
+    """
+
+    def __init__(self, name=None):
+        self.name = name
+        self.meta = {}
+        self._checkpoint = []
+        self._entries = []
+        self.appends = 0
+        self.checkpoints = 0
+
+    @property
+    def entries(self):
+        """Entries appended since the last checkpoint."""
+        return list(self._entries)
+
+    def append(self, kind, **data):
+        """Append one write-ahead entry."""
+        self._entries.append(JournalEntry(kind, dict(data)))
+        self.appends += 1
+
+    def write_checkpoint(self, entries):
+        """Replace the checkpoint with ``entries``; truncate the log."""
+        self._checkpoint = list(entries)
+        self._entries = []
+        self.checkpoints += 1
+
+    def replay(self):
+        """All durable entries in application order."""
+        return list(self._checkpoint) + list(self._entries)
+
+    def __len__(self):
+        return len(self._checkpoint) + len(self._entries)
+
+    def __repr__(self):
+        return (
+            f"<ManagerJournal {self.name or '?'} checkpoint={len(self._checkpoint)} "
+            f"tail={len(self._entries)}>"
+        )
+
+
+def recover_manager(
+    runtime,
+    journal,
+    host_name=None,
+    evolution_policy=None,
+    update_policy=None,
+    remove_policy=None,
+    resume=True,
+):
+    """Generator: rebuild a crashed DCDO Manager from its journal.
+
+    Constructs a fresh manager (the class LOID is deterministic, so it
+    *is* the same object identity), replays the journal into it,
+    re-links still-live instances and ICOs, reactivates it — new
+    endpoint, bumped binding incarnation — swaps it into the runtime's
+    registries, and (by default) resumes any propagation the crash
+    interrupted.  Returns the recovered manager.
+
+    Policies default to the ones recorded in the journal's ``meta``
+    (policy objects are code, which survives a crash on disk); pass
+    explicit policies to override.
+    """
+    from repro.core.manager import DCDOManager
+
+    type_name = journal.meta.get("type_name")
+    if type_name is None:
+        raise ValueError("journal records no manager metadata; nothing to recover")
+    if host_name is not None:
+        host = runtime.host(host_name)
+    else:
+        host = journal.meta.get("host_name")
+        host = runtime.host(host) if host in runtime.hosts else None
+        if host is None or not host.is_up:
+            host = next(h for h in runtime.hosts.values() if h.is_up)
+    if not host.is_up:
+        from repro.cluster.host import HostDown
+
+        raise HostDown(host.name, "recover_manager")
+    started = runtime.sim.now
+    manager = DCDOManager(
+        runtime,
+        type_name,
+        host,
+        evolution_policy=evolution_policy or journal.meta.get("evolution_policy"),
+        update_policy=update_policy or journal.meta.get("update_policy"),
+        remove_policy=remove_policy or journal.meta.get("remove_policy"),
+    )
+    yield from manager.restore_from_journal(journal)
+    manager.attach_journal(journal)
+    yield from manager.activate()
+    runtime.adopt_class(manager)
+    runtime.network.count("manager.recoveries")
+    runtime.network.metrics.timer("manager.recovery_time_s").record(
+        runtime.sim.now - started
+    )
+    if resume:
+        yield from manager.resume_propagations()
+    return manager

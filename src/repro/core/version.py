@@ -104,6 +104,22 @@ class VersionTree:
         self._known.add(child)
         return child
 
+    def restore(self, version):
+        """Re-admit a version id replayed from a journal.
+
+        Advances the root/child allocation counters past it, so a
+        recovered tree never re-issues an id the crashed manager
+        already handed out.
+        """
+        self._known.add(version)
+        if version.depth == 1:
+            self._roots = max(self._roots, version.parts[0])
+        else:
+            parent = version.parent
+            self._children[parent] = max(
+                self._children.get(parent, 0), version.parts[-1]
+            )
+
     def __contains__(self, version):
         return version in self._known
 

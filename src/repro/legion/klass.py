@@ -251,6 +251,62 @@ class ClassObject(LegionObject):
         self._runtime.attach_object(obj)
         return binding
 
+    def recover_instance(self, loid, host_name=None):
+        """Generator: bring back an instance lost to a host crash.
+
+        Unlike :meth:`activate_instance`, this tolerates a missing OPR:
+        a crash (as opposed to a clean deactivation) captured nothing,
+        so the instance rebuilds from its implementation at its
+        recorded version and loses volatile state — fail-stop
+        semantics.  If the vault does hold an OPR (a deactivation or
+        checkpoint preceded the crash), state is restored from it.
+
+        Returns the new binding.
+        """
+        lock = self.management_lock(loid)
+        yield lock.acquire()
+        try:
+            record = self.record(loid)
+            if record.active:
+                raise ValueError(f"instance {loid} is already active")
+            target_host = (
+                self._runtime.host(host_name) if host_name else record.host
+            )
+            vault = self._runtime.vault_of(record.host)
+            opr = None
+            if vault.holds(loid):
+                opr = yield from vault.load(loid)
+                if target_host is not record.host:
+                    yield from self._transfer_opr(record.host, target_host, opr)
+                    vault.discard(loid)
+            record.host = target_host
+            process = yield from target_host.spawn_process(loid)
+            obj, version_tag = yield from self._build_instance(loid, target_host)
+            if opr is not None:
+                obj.restore_state(opr.state)
+                obj.state_bytes = opr.size_bytes
+                calibration = self.calibration
+                yield self.sim.timeout(
+                    calibration.state_fixed_s
+                    + opr.size_bytes / calibration.state_restore_bps
+                )
+            binding = yield from obj.activate()
+            record.obj = obj
+            record.process = process
+            record.active = True
+            record.version_tag = version_tag
+            self._runtime.attach_object(obj)
+        finally:
+            lock.release()
+        self._runtime.network.count("instance.recoveries")
+        self._runtime.trace(
+            "instance-recovered",
+            loid,
+            host=record.host.name,
+            from_opr=opr is not None,
+        )
+        return binding
+
     def _transfer_opr(self, source_host, target_host, opr):
         """Generator: move an OPR between vaults over the network."""
         yield self.sim.timeout(self._runtime.network.transfer_time(opr.size_bytes))

@@ -44,13 +44,19 @@ class MethodInvoker:
         Cost model (timeout schedule, marshalling cost, payload size).
     rng:
         Optional RNG for timeout jitter.
+    retry_policy:
+        Optional :class:`~repro.net.retry.RetryPolicy`; when set,
+        attempts against one address are spaced with the policy's
+        backoff instead of being fired back-to-back.  None (the
+        default) preserves the calibrated stale-binding timings.
     """
 
-    def __init__(self, endpoint, binding_cache, calibration, rng=None):
+    def __init__(self, endpoint, binding_cache, calibration, rng=None, retry_policy=None):
         self._endpoint = endpoint
         self._cache = binding_cache
         self._calibration = calibration
         self._rng = rng
+        self.retry_policy = retry_policy
         self.stats = InvokeStats()
 
     @property
@@ -93,6 +99,7 @@ class MethodInvoker:
         args=(),
         payload_bytes=None,
         timeout_schedule=None,
+        retry_policy=None,
     ):
         """Generator: invoke ``method`` on the object named ``loid``.
 
@@ -109,7 +116,10 @@ class MethodInvoker:
         timeouts; callers invoking operations known to run long (e.g.
         management-plane evolution calls) pass a generous schedule so a
         slow server is not mistaken for a dead one and re-executed.
+        ``retry_policy`` overrides the invoker-wide policy for backoff
+        spacing between attempts (see the constructor).
         """
+        retry_policy = retry_policy or self.retry_policy
         payload_bytes = (
             self._calibration.method_message_bytes if payload_bytes is None else payload_bytes
         )
@@ -127,7 +137,7 @@ class MethodInvoker:
         for stale_round in range(2):
             try:
                 result = yield from self._attempt_at(
-                    binding, request, payload_bytes, timeout_schedule
+                    binding, request, payload_bytes, timeout_schedule, retry_policy
                 )
                 return result
             except RequestTimeout:
@@ -144,13 +154,20 @@ class MethodInvoker:
                     raise ObjectUnreachable(loid, self._endpoint.sim.now - started)
                 binding = fresh
 
-    def _attempt_at(self, binding, request, payload_bytes, timeout_schedule=None):
+    def _attempt_at(
+        self, binding, request, payload_bytes, timeout_schedule=None, retry_policy=None
+    ):
         """Generator: walk the timeout schedule against one address."""
         schedule = self._timeout_schedule(timeout_schedule)
         last_error = None
         for index, timeout_s in enumerate(schedule):
             if index > 0:
                 self.stats.retries += 1
+                if retry_policy is not None:
+                    backoff = retry_policy.backoff_s(index)
+                    if backoff > 0:
+                        self._endpoint.network.count("retry.backoff_waits")
+                        yield self._endpoint.sim.timeout(backoff)
             try:
                 reply = yield from self._endpoint.request(
                     binding.address,

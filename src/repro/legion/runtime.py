@@ -183,6 +183,10 @@ class LegionRuntime:
         self.context_space.bind(f"/classes/{type_name}", class_object.loid)
         return class_object
 
+    def classes(self):
+        """All defined class objects, in definition order."""
+        return list(self._classes.values())
+
     def class_of(self, type_name):
         """Return the class object for ``type_name``."""
         class_object = self._classes.get(type_name)
@@ -190,9 +194,28 @@ class LegionRuntime:
             raise UnknownObject(f"no class {type_name!r} defined")
         return class_object
 
+    def adopt_class(self, class_object):
+        """Swap in a recovered class object for its type.
+
+        Used by crash recovery: the replacement shares the crashed
+        manager's deterministic class LOID, so from every client's view
+        it *is* the same object, back at a new address under a new
+        binding incarnation.
+        """
+        self._classes[class_object.type_name] = class_object
+        self._objects[class_object.loid] = class_object
+        self.context_space.bind(
+            f"/classes/{class_object.type_name}", class_object.loid
+        )
+        return class_object
+
     def attach_object(self, obj):
         """Register a live object so the runtime can find it by LOID."""
         self._objects[obj.loid] = obj
+
+    def live_object(self, loid):
+        """The attached object for ``loid``, or None (recovery helper)."""
+        return self._objects.get(loid)
 
     def find_object(self, loid):
         """Return the live object for ``loid`` (runtime-internal uses).

@@ -11,9 +11,10 @@ tests can exercise timeout/retry behaviour in the layers above.
 """
 
 from repro.net.fabric import Network, NetworkStats
-from repro.net.faults import DropRule, FaultPlan, Partition
+from repro.net.faults import DropRule, FaultPlan, Partition, PrefixPartition
 from repro.net.link import Port
 from repro.net.message import Message, next_message_id
+from repro.net.retry import DEFAULT_REQUEST_RETRY, RetryPolicy
 from repro.net.transport import (
     Endpoint,
     RemoteError,
@@ -22,6 +23,7 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "DEFAULT_REQUEST_RETRY",
     "DropRule",
     "Endpoint",
     "FaultPlan",
@@ -30,8 +32,10 @@ __all__ = [
     "NetworkStats",
     "Partition",
     "Port",
+    "PrefixPartition",
     "RemoteError",
     "RequestTimeout",
     "TransportError",
+    "RetryPolicy",
     "next_message_id",
 ]

@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 
 from repro.net.faults import FaultPlan
 from repro.net.link import Port
+from repro.obs.metrics import MetricsRegistry
 
 # 100 Mbps expressed in bytes per second.
 DEFAULT_BANDWIDTH_BPS = 100e6 / 8
@@ -57,6 +58,10 @@ class Network:
         self._latency_s = latency_s
         self._default_bandwidth_bps = bandwidth_bps
         self._ports = {}
+        # Endpoints register themselves so crash tooling can find and
+        # kill everything attached for a given host prefix; the fabric
+        # itself never calls into them during delivery.
+        self._endpoints = {}
         # Wide-area topology: address prefixes map to sites, and pairs
         # of sites may override the propagation latency.  Everything
         # not assigned lives in the default site (the LAN case).
@@ -64,6 +69,7 @@ class Network:
         self._intersite_latency = {}
         self.faults = FaultPlan()
         self.stats = NetworkStats()
+        self.metrics = MetricsRegistry(sim)
 
     @property
     def sim(self):
@@ -104,6 +110,52 @@ class Network:
     def knows(self, address):
         """True if a port is attached at ``address``."""
         return address in self._ports
+
+    def count(self, name, amount=1):
+        """Bump the fabric-wide counter ``name`` (metrics convenience)."""
+        self.metrics.counter(name).increment(amount)
+
+    def count_value(self, name):
+        """Current value of the fabric-wide counter ``name`` (0 if unused)."""
+        return self.metrics.counter(name).value
+
+    # ------------------------------------------------------------------
+    # Endpoint registry (crash-fault support)
+    # ------------------------------------------------------------------
+
+    def register_endpoint(self, endpoint):
+        """Track a live endpoint so crash tooling can close it by prefix."""
+        self._endpoints[endpoint.address] = endpoint
+
+    def unregister_endpoint(self, endpoint):
+        """Forget a closing endpoint (idempotent)."""
+        self._endpoints.pop(endpoint.address, None)
+
+    def endpoints_with_prefix(self, prefix):
+        """All live endpoints whose address starts with ``prefix``."""
+        return [
+            endpoint
+            for address, endpoint in self._endpoints.items()
+            if address.startswith(prefix)
+        ]
+
+    def addresses_with_prefix(self, prefix):
+        """All attached addresses starting with ``prefix`` (ports, not endpoints)."""
+        return [address for address in self._ports if address.startswith(prefix)]
+
+    def close_endpoints_with_prefix(self, prefix):
+        """Close every endpoint on ``prefix`` (a crashing host's addresses).
+
+        Returns the closed endpoints.  Bare ports attached without an
+        endpoint (rare, test-only) are detached too, so nothing keeps
+        receiving on behalf of a dead host.
+        """
+        closed = self.endpoints_with_prefix(prefix)
+        for endpoint in closed:
+            endpoint.close()
+        for address in self.addresses_with_prefix(prefix):
+            self.detach(address)
+        return closed
 
     # ------------------------------------------------------------------
     # Wide-area topology (the paper's setting is a wide-area system;

@@ -82,6 +82,57 @@ class Partition:
         return crosses
 
 
+class PrefixPartition:
+    """A bidirectional partition between two address-*prefix* groups.
+
+    Where :class:`Partition` enumerates exact addresses, this matches
+    by prefix — the natural unit when isolating whole hosts, whose
+    endpoints mint fresh ``host/loid@counter`` addresses on every
+    restart and so cannot be enumerated up front.
+    """
+
+    def __init__(self, prefixes_a, prefixes_b, start=0.0, end=None):
+        self._prefixes_a = tuple(prefixes_a)
+        self._prefixes_b = tuple(prefixes_b)
+        if not self._prefixes_a or not self._prefixes_b:
+            raise ValueError("both prefix groups must be non-empty")
+        for a in self._prefixes_a:
+            for b in self._prefixes_b:
+                if a.startswith(b) or b.startswith(a):
+                    raise ValueError(
+                        f"prefix groups overlap: {a!r} vs {b!r}"
+                    )
+        self._start = start
+        self._end = end
+        self.blocked = 0
+
+    def heal(self, now):
+        """End the partition at time ``now``."""
+        self._end = now
+
+    def _side(self, address):
+        if any(address.startswith(p) for p in self._prefixes_a):
+            return "a"
+        if any(address.startswith(p) for p in self._prefixes_b):
+            return "b"
+        return None
+
+    def blocks(self, message, now):
+        """True if the partition severs this message's path at ``now``."""
+        if now < self._start:
+            return False
+        if self._end is not None and now >= self._end:
+            return False
+        source = self._side(message.source)
+        destination = self._side(message.destination)
+        crosses = (
+            source is not None and destination is not None and source != destination
+        )
+        if crosses:
+            self.blocked += 1
+        return crosses
+
+
 class FaultPlan:
     """The set of active faults consulted by the fabric."""
 

@@ -1,0 +1,116 @@
+"""Reusable retry policies: exponential backoff with jitter.
+
+A :class:`RetryPolicy` is pure arithmetic — it owns no clock and sends
+nothing.  Callers (the transport's multi-attempt ``request``, the
+invoker's schedule walk, the DCDO Manager's propagation push) ask it
+how long to wait before the next attempt and whether another attempt
+is still worth making, then do the waiting themselves on the simulator
+clock.  Keeping the policy passive makes one implementation reusable
+across layers and keeps runs deterministic: jitter draws come from the
+caller-supplied named RNG stream, never from global randomness.
+"""
+
+
+class RetryPolicy:
+    """Exponential backoff with optional jitter, cap, and deadline.
+
+    Parameters
+    ----------
+    base_s:
+        Backoff before the second attempt (the first attempt is always
+        immediate).
+    multiplier:
+        Growth factor per subsequent attempt.
+    max_backoff_s:
+        Ceiling on any single backoff.
+    max_attempts:
+        Total attempts allowed, or ``None`` for unlimited (bounded by
+        ``deadline_s`` instead).
+    deadline_s:
+        Give up once this much time has elapsed since the first
+        attempt, or ``None`` for no deadline.
+    jitter_fraction:
+        Each backoff is perturbed by up to ±this fraction of itself.
+    rng:
+        A :class:`~repro.sim.DeterministicRNG`; required when
+        ``jitter_fraction`` is non-zero.
+    stream:
+        RNG stream name for jitter draws.
+    """
+
+    def __init__(
+        self,
+        base_s=0.1,
+        multiplier=2.0,
+        max_backoff_s=5.0,
+        max_attempts=4,
+        deadline_s=None,
+        jitter_fraction=0.0,
+        rng=None,
+        stream="retry",
+    ):
+        if base_s < 0:
+            raise ValueError(f"base_s must be >= 0, got {base_s}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if max_backoff_s < 0:
+            raise ValueError(f"max_backoff_s must be >= 0, got {max_backoff_s}")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1 or None, got {max_attempts}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0 or None, got {deadline_s}")
+        if not 0 <= jitter_fraction < 1:
+            raise ValueError(f"jitter_fraction must be in [0, 1), got {jitter_fraction}")
+        if jitter_fraction > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.base_s = base_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.max_attempts = max_attempts
+        self.deadline_s = deadline_s
+        self.jitter_fraction = jitter_fraction
+        self._rng = rng
+        self._stream = stream
+
+    def backoff_s(self, attempt):
+        """Backoff to wait after ``attempt`` failed attempts (>= 1).
+
+        Grows geometrically from ``base_s``, capped at
+        ``max_backoff_s``, with jitter applied last so the cap bounds
+        the nominal value (jitter may nudge slightly above it).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        nominal = min(self.base_s * self.multiplier ** (attempt - 1), self.max_backoff_s)
+        if self.jitter_fraction == 0 or nominal == 0:
+            return nominal
+        return self._rng.jitter(self._stream, nominal, self.jitter_fraction)
+
+    def should_retry(self, attempts_made, started, now):
+        """True if another attempt is allowed.
+
+        ``attempts_made`` attempts have already been made; ``started``
+        is when the first began.  Deadline accounting is against *now*,
+        before the next backoff, so a caller may slightly overshoot the
+        deadline by one backoff — matching how real retry loops behave.
+        """
+        if self.max_attempts is not None and attempts_made >= self.max_attempts:
+            return False
+        if self.deadline_s is not None and now - started >= self.deadline_s:
+            return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"<RetryPolicy base={self.base_s:g}s x{self.multiplier:g} "
+            f"cap={self.max_backoff_s:g}s attempts={self.max_attempts} "
+            f"deadline={self.deadline_s}>"
+        )
+
+
+#: Spacing used by a bare multi-attempt ``Endpoint.request`` when the
+#: caller supplies no policy: quick first retry, doubling, short cap —
+#: the per-attempt reply timeout remains the dominant cost.
+DEFAULT_REQUEST_RETRY = RetryPolicy(
+    base_s=0.1, multiplier=2.0, max_backoff_s=2.0, max_attempts=None
+)

@@ -12,7 +12,10 @@ perform simulated work and nested calls.  Remote exceptions propagate
 back to the caller as :class:`RemoteError`.
 """
 
+from collections import OrderedDict
+
 from repro.net.message import Message
+from repro.net.retry import DEFAULT_REQUEST_RETRY
 from repro.sim.errors import SimulationError
 
 
@@ -70,7 +73,20 @@ class Endpoint:
         Per-attempt reply timeout for :meth:`request`.
     max_attempts:
         Number of send attempts before :class:`RequestTimeout`.
+    retry_policy:
+        Spacing between attempts of a multi-attempt :meth:`request`
+        (defaults to :data:`~repro.net.retry.DEFAULT_REQUEST_RETRY`);
+        its attempt/deadline limits are not consulted — the request's
+        own ``max_attempts`` bounds the loop.
+    dedupe_ttl_s:
+        How long a served request id is remembered for duplicate
+        suppression after its reply went out.  Entries are evicted
+        lazily so the table stays bounded under heavy traffic.
     """
+
+    #: Hard cap on remembered request ids; beyond it the oldest
+    #: completed entries are evicted even if their TTL has not expired.
+    SEEN_REQUEST_LIMIT = 4096
 
     def __init__(
         self,
@@ -80,6 +96,8 @@ class Endpoint:
         oneway_handler=None,
         default_timeout_s=5.0,
         max_attempts=1,
+        retry_policy=None,
+        dedupe_ttl_s=60.0,
     ):
         self._network = network
         self._sim = network.sim
@@ -89,10 +107,15 @@ class Endpoint:
         self._oneway_handler = oneway_handler
         self._default_timeout_s = default_timeout_s
         self._max_attempts = max_attempts
+        self._retry_policy = retry_policy or DEFAULT_REQUEST_RETRY
+        self._dedupe_ttl_s = dedupe_ttl_s
         self._pending_replies = {}
-        self._seen_requests = set()
+        # message_id -> completion time (None while still being served);
+        # insertion-ordered so TTL/size eviction walks the oldest first.
+        self._seen_requests = OrderedDict()
         self._closed = False
         self.requests_served = 0
+        network.register_endpoint(self)
         self._receive_loop = self._sim.spawn(self._run(), name=f"endpoint:{address}")
 
     @property
@@ -128,6 +151,7 @@ class Endpoint:
         if self._closed:
             return
         self._closed = True
+        self._network.unregister_endpoint(self)
         self._network.detach(self._address)
         if self._receive_loop.is_alive:
             self._receive_loop.interrupt("endpoint closed")
@@ -155,7 +179,15 @@ class Endpoint:
         )
         return self._network.send(message)
 
-    def request(self, destination, payload, size_bytes=0, timeout_s=None, max_attempts=None):
+    def request(
+        self,
+        destination,
+        payload,
+        size_bytes=0,
+        timeout_s=None,
+        max_attempts=None,
+        retry_policy=None,
+    ):
         """Generator: send a request and wait for its reply.
 
         Usage from a process::
@@ -163,9 +195,12 @@ class Endpoint:
             reply = yield from endpoint.request("other", {"op": "ping"})
 
         Retries up to ``max_attempts`` times with a fresh message per
-        attempt (the correlation table accepts a reply to any attempt).
-        Raises :class:`RequestTimeout` when attempts are exhausted and
-        :class:`RemoteError` when the remote handler raised.
+        attempt (the correlation table accepts a reply to any attempt);
+        attempts after the first are spaced by the retry policy's
+        backoff, so a fleet of timed-out callers does not re-fire in
+        lockstep.  Raises :class:`RequestTimeout` when attempts are
+        exhausted and :class:`RemoteError` when the remote handler
+        raised.
         """
         if self._closed:
             raise TransportError(f"endpoint {self._address!r} is closed")
@@ -173,8 +208,12 @@ class Endpoint:
         max_attempts = self._max_attempts if max_attempts is None else max_attempts
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        policy = retry_policy or self._retry_policy
         started = self._sim.now
         for attempt in range(1, max_attempts + 1):
+            if self._closed:
+                # Closed while backing off (e.g. our host crashed).
+                raise TransportError(f"endpoint {self._address!r} is closed")
             message = Message(
                 source=self._address,
                 destination=destination,
@@ -195,6 +234,12 @@ class Endpoint:
                 if isinstance(reply.payload, _ErrorReply):
                     raise RemoteError(destination, reply.payload.cause)
                 return reply.payload
+            if attempt < max_attempts:
+                self._network.count("retry.request_attempts")
+                backoff = policy.backoff_s(attempt)
+                if backoff > 0:
+                    self._network.count("retry.backoff_waits")
+                    yield self._sim.timeout(backoff)
         raise RequestTimeout(destination, max_attempts, self._sim.now - started)
 
     # ------------------------------------------------------------------
@@ -236,26 +281,56 @@ class Endpoint:
 
     def _serve_request(self, message):
         if message.message_id in self._seen_requests:
-            # Duplicate of a request we are already serving (a retry
-            # racing our reply); at-most-once execution drops it.
+            # Duplicate of a request we served or are still serving (a
+            # retry racing our reply); at-most-once execution drops it.
+            self._network.count("transport.duplicate_requests")
             return
-        self._seen_requests.add(message.message_id)
+        self._evict_seen_requests()
+        self._seen_requests[message.message_id] = None
         if self._request_handler is None:
-            reply = message.reply_to(_ErrorReply(TransportError("no request handler")))
-            self._network.send(reply)
+            self._reply(message, _ErrorReply(TransportError("no request handler")))
             return
         try:
             result = yield from self._request_handler(message)
         except Exception as exc:  # noqa: BLE001 - marshalled to caller
-            if self._closed:
-                return
-            self._network.send(message.reply_to(_ErrorReply(exc)))
-            return
-        if self._closed:
+            self._reply(message, _ErrorReply(exc))
             return
         payload, reply_size = result if isinstance(result, tuple) else (result, 0)
-        self.requests_served += 1
-        self._network.send(message.reply_to(payload, size_bytes=reply_size))
+        if self._reply(message, payload, size_bytes=reply_size):
+            self.requests_served += 1
+
+    def _reply(self, message, payload, size_bytes=0):
+        """Send a reply unless we closed mid-service; True if it went out.
+
+        A crashed/closed endpoint must not keep talking from a detached
+        address — the fabric would reject the unknown source.  The
+        served-request id stays remembered either way, stamped with the
+        completion time so TTL eviction can reclaim it.
+        """
+        if message.message_id in self._seen_requests:
+            self._seen_requests[message.message_id] = self._sim.now
+        if self._closed:
+            return False
+        self._network.send(message.reply_to(payload, size_bytes=size_bytes))
+        return True
+
+    def _evict_seen_requests(self):
+        """Drop remembered request ids that are expired or over the cap.
+
+        Entries are insertion-ordered and only completed entries (a
+        non-``None`` completion time) are evictable; an in-flight entry
+        halts the walk since everything after it is newer.
+        """
+        now = self._sim.now
+        while self._seen_requests:
+            done = next(iter(self._seen_requests.values()))
+            if done is None:
+                break
+            expired = now - done > self._dedupe_ttl_s
+            over_cap = len(self._seen_requests) >= self.SEEN_REQUEST_LIMIT
+            if not (expired or over_cap):
+                break
+            self._seen_requests.popitem(last=False)
 
     def __repr__(self):
         state = "closed" if self._closed else "open"

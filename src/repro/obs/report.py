@@ -17,6 +17,11 @@ class SystemReport:
     hosts: dict = field(default_factory=dict)
     objects: dict = field(default_factory=dict)
     types: dict = field(default_factory=dict)
+    #: Fleet-wide fault/recovery counters (crashes, retries, acks, …)
+    #: from the network's :class:`~repro.obs.metrics.MetricsRegistry`.
+    faults: dict = field(default_factory=dict)
+    #: Per-type propagation delivery state (ack-tracked waves).
+    propagations: dict = field(default_factory=dict)
 
     @property
     def total_active_objects(self):
@@ -72,7 +77,12 @@ def collect_system_report(runtime):
             entry["versions"] = [str(version) for version in class_object.versions()]
             entry["evolutions"] = class_object.evolutions_performed
             entry["components"] = class_object.registered_components()
+        if hasattr(class_object, "propagation_status"):
+            status = class_object.propagation_status()
+            if status:
+                report.propagations[type_name] = status
         report.types[type_name] = entry
+    report.faults = runtime.network.metrics.snapshot()
     return report
 
 
@@ -89,9 +99,21 @@ def render_report(report):
         if "current_version" in entry:
             detail += f", current v{entry['current_version']}, {entry['evolutions']} evolutions"
         lines.append(detail)
+    for type_name, waves in sorted(report.propagations.items()):
+        for wave in waves:
+            state = "complete" if wave["complete"] else "open"
+            lines.append(
+                f"  propagation {type_name} v{wave['version']}: {state}, "
+                f"{wave['acked']} acked / {wave['pending']} pending / "
+                f"{wave['failed']} failed"
+            )
     for name, host in sorted(report.hosts.items()):
         lines.append(
             f"  host {name}: {host['processes']} procs, "
             f"cache {host['cache_entries']} entries / {host['cache_bytes']} B"
         )
+    if report.faults:
+        lines.append("fault/recovery counters:")
+        for name, value in sorted(report.faults.items()):
+            lines.append(f"  {name}: {value}")
     return "\n".join(lines)

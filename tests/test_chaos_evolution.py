@@ -1,0 +1,232 @@
+"""Chaos tests: evolution propagation under randomized fault schedules.
+
+The acceptance invariant, checked across many seeded scenarios: after
+all faults heal and the convergence loop runs, every surviving DCDO
+reflects the latest instantiable version, with each configuration
+applied exactly once per live object (at-least-once delivery, idempotent
+application → exactly-once effect).  A dedicated test crashes the
+manager mid-propagation and shows journal recovery finishing the wave
+without re-deriving the version or double-applying.
+"""
+
+import pytest
+
+from repro.cluster import build_lan
+from repro.cluster.chaos import (
+    ChaosCoordinator,
+    ChaosSchedule,
+    crash_host,
+    drive_to_convergence,
+)
+from repro.core import DeliveryStatus, ManagerJournal, recover_manager
+from repro.core.policies import ReliableUpdatePolicy
+from repro.legion import LegionRuntime
+from repro.net import PrefixPartition, RetryPolicy
+
+from tests.conftest import create_dcdo, make_sorter_manager
+
+# Tight-ish retry policy so chaos runs converge in bounded sim time.
+FAST_RETRY = RetryPolicy(
+    base_s=1.0, multiplier=2.0, max_backoff_s=30.0, max_attempts=8
+)
+
+
+def build_fleet(sim_seed=7, hosts=5, instances=4):
+    """A LAN runtime + journaled sorter manager + instances spread out.
+
+    The manager lives on host00 (the default), so schedules that crash
+    host00 exercise manager recovery; instances land one per host.
+    """
+    runtime = LegionRuntime(build_lan(hosts, seed=sim_seed))
+    journal = ManagerJournal(name="Sorter")
+    manager = make_sorter_manager(
+        runtime,
+        update_policy=ReliableUpdatePolicy(retry_policy=FAST_RETRY),
+        journal=journal,
+        propagation_retry_policy=FAST_RETRY,
+    )
+    host_names = list(runtime.hosts)
+    loids = []
+    for index in range(instances):
+        loid, __ = create_dcdo(
+            runtime, manager, host_name=host_names[index % len(host_names)]
+        )
+        loids.append(loid)
+    return runtime, manager, journal, loids
+
+
+def derive_v2(manager):
+    """Derive the descending-sort version from the current version."""
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "compare-desc")
+    manager.descriptor_of(version).enable(
+        "compare", "compare-desc", replace_current=True
+    )
+    manager.mark_instantiable(version)
+    return version
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_chaos_schedule_converges_exactly_once(seed):
+    """Across 20 seeded fault schedules: all survivors converge to the
+    latest version and no object applies it more than once."""
+    runtime, manager, journal, loids = build_fleet(sim_seed=100 + seed)
+    original_objs = {loid: manager.record(loid).obj for loid in loids}
+    coordinator = ChaosCoordinator(runtime, journals={"Sorter": journal})
+    schedule = ChaosSchedule.generate(
+        seed, list(runtime.hosts), duration_s=120.0
+    )
+    schedule.install(runtime, coordinator)
+    v2 = derive_v2(manager)
+
+    def scenario():
+        # New current version lands just before the first fault can
+        # fire (crashes are scheduled at t >= 1.0).
+        yield runtime.sim.timeout(0.5)
+        manager.set_current_version_async(v2)
+        heal = schedule.heal_time + 1.0
+        if runtime.sim.now < heal:
+            yield runtime.sim.timeout(heal - runtime.sim.now)
+        tracker = yield from drive_to_convergence(
+            runtime, "Sorter", journal=journal, retry_policy=FAST_RETRY
+        )
+        return tracker
+
+    tracker = runtime.sim.run_process(scenario())
+    runtime.sim.run()
+
+    assert tracker is not None and tracker.all_acked, (
+        f"seed {seed}: propagation did not converge: {tracker.summary()}"
+    )
+    manager_now = runtime.class_of("Sorter")
+    assert manager_now.is_active
+    assert manager_now.current_version == v2
+    for loid in loids:
+        assert manager_now.instance_version(loid) == v2, (
+            f"seed {seed}: {loid} not at latest version in the DCDO table"
+        )
+        record = manager_now.record(loid)
+        assert record.active, f"seed {seed}: {loid} not recovered"
+        obj = record.obj
+        assert obj.version == v2, f"seed {seed}: {loid} object at {obj.version}"
+        applied = obj.applications_by_version.get(v2, 0)
+        # A rebuilt (crash-recovered) object may legitimately have been
+        # *built* at v2 rather than evolved to it — zero applications.
+        assert applied <= 1, (
+            f"seed {seed}: {loid} applied v2 {applied} times (duplicate)"
+        )
+        if obj is original_objs[loid]:
+            assert applied == 1, (
+                f"seed {seed}: surviving {loid} applied v2 {applied} times"
+            )
+
+
+def test_manager_crash_mid_propagation_resumes_from_journal():
+    """Crash the manager with one delivery still pending; the journal
+    recovery must finish that delivery only — same version ids, no
+    re-derivation, no double application."""
+    runtime, manager, journal, loids = build_fleet()
+    class_loid = manager.loid
+    v1 = manager.current_version
+    v2 = derive_v2(manager)
+    all_versions = set(manager.versions())
+    # Cut the manager's host off from host03 so that instance's
+    # delivery cannot ack before the crash.
+    runtime.network.faults.add_partition(
+        PrefixPartition(["host00/"], ["host03/"], start=0.0, end=200.0)
+    )
+    blocked_loid = loids[3]
+
+    def scenario():
+        yield runtime.sim.timeout(1.0)
+        manager.set_current_version_async(v2)
+        # Wait for the three reachable deliveries (host00-02) to ack.
+        for __ in range(120):
+            tracker = manager.propagation(v2)
+            if tracker and tracker.count(DeliveryStatus.ACKED) >= 3:
+                break
+            yield runtime.sim.timeout(1.0)
+        tracker = manager.propagation(v2)
+        assert tracker.count(DeliveryStatus.ACKED) == 3
+        assert tracker.delivery(blocked_loid).status is DeliveryStatus.PENDING
+        acked_before = {
+            d.loid
+            for d in tracker.deliveries()
+            if d.status is DeliveryStatus.ACKED
+        }
+        crash_host(runtime, runtime.host("host00"))
+        # Restart well after the partition heals, then recover from
+        # the journal (recovery resumes open propagations itself).
+        yield runtime.sim.timeout(300.0 - runtime.sim.now)
+        runtime.host("host00").restart()
+        recovered = yield from recover_manager(runtime, journal)
+        return recovered, acked_before
+
+    recovered, acked_before = runtime.sim.run_process(scenario())
+    runtime.sim.run()
+
+    # Same identity, same version tree: nothing was re-derived.
+    assert recovered is runtime.class_of("Sorter")
+    assert recovered.loid == class_loid
+    assert set(recovered.versions()) == all_versions
+    assert recovered.current_version == v2
+    tracker = recovered.propagation(v2)
+    assert tracker.complete and tracker.all_acked
+    # The blocked instance got exactly one application, post-recovery.
+    blocked_obj = recovered.record(blocked_loid).obj
+    assert blocked_obj.version == v2
+    assert blocked_obj.applications_by_version.get(v2) == 1
+    assert blocked_obj.duplicate_deliveries == 0
+    # Already-acked survivors (host01/02) were not re-delivered.
+    for loid in loids[1:3]:
+        assert loid in acked_before
+        obj = recovered.record(loid).obj
+        assert obj.applications_by_version.get(v2) == 1
+        assert obj.duplicate_deliveries == 0
+    # The co-located instance died with the manager's host; recovering
+    # it rebuilds straight at its journaled version — no re-application.
+    runtime.sim.run_process(recovered.recover_instance(loids[0]))
+    obj0 = recovered.record(loids[0]).obj
+    assert obj0.version == v2
+    assert obj0.applications_by_version.get(v2, 0) == 0
+    assert recovered.instance_version(loids[0]) == v2
+    # Recovery is visible in the fleet metrics.
+    snapshot = runtime.network.metrics.snapshot()
+    assert snapshot.get("manager.recoveries") == 1
+    assert snapshot.get("host.crashes") == 1
+    assert snapshot.get("host.restarts") == 1
+
+
+def test_coordinator_auto_recovers_manager_and_instances():
+    """A scheduled outage of the manager's host heals hands-free: the
+    coordinator recovers the manager from its journal and rebuilds the
+    co-located instance on restart."""
+    runtime, manager, journal, loids = build_fleet(instances=3)
+    coordinator = ChaosCoordinator(runtime, journals={"Sorter": journal})
+    coordinator.crash_plan.schedule_outage(
+        runtime.host("host00"), crash_at=5.0, restart_at=40.0
+    )
+    runtime.sim.run(until=100.0)
+
+    recovered = runtime.class_of("Sorter")
+    assert recovered is not manager  # a fresh object, same identity
+    assert recovered.loid == manager.loid
+    assert recovered.is_active
+    kinds = [(kind, what) for __, kind, what in coordinator.recovery_log]
+    assert ("manager", "Sorter") in kinds
+    assert ("instance", loids[0]) in kinds
+    assert coordinator.crash_log and coordinator.crash_log[0][1] == "host00"
+    record = recovered.record(loids[0])
+    assert record.active and record.obj.version == manager.current_version
+
+
+def test_chaos_schedule_is_deterministic():
+    """Same seed → identical schedule; different seed → (almost surely)
+    a different one."""
+    names = [f"host{i:02d}" for i in range(5)]
+    a = ChaosSchedule.generate(3, names)
+    b = ChaosSchedule.generate(3, names)
+    assert (a.crashes, a.partitions, a.drops) == (b.crashes, b.partitions, b.drops)
+    c = ChaosSchedule.generate(4, names)
+    assert (a.crashes, a.partitions, a.drops) != (c.crashes, c.partitions, c.drops)
+    assert a.heal_time > 0.0

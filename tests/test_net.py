@@ -5,11 +5,14 @@ import pytest
 from repro.net import (
     DropRule,
     Endpoint,
+    FaultPlan,
     Message,
     Network,
     Partition,
+    PrefixPartition,
     RemoteError,
     RequestTimeout,
+    TransportError,
 )
 from repro.net.message import HEADER_BYTES
 from repro.sim import Simulator
@@ -405,3 +408,183 @@ def test_requests_served_counter():
 
     sim.run_process(proc())
     assert server.requests_served == 2
+
+
+# ----------------------------------------------------------------------
+# Fault-plan edge cases
+# ----------------------------------------------------------------------
+
+
+def _msg(source, destination):
+    return Message(source=source, destination=destination, payload=None)
+
+
+def test_overlapping_partitions_heal_independently():
+    plan = FaultPlan()
+    ab = plan.add_partition(Partition(["a"], ["b"]))
+    ac = plan.add_partition(Partition(["a"], ["c"]))
+    assert plan.swallows(_msg("a", "b"), now=1.0)
+    assert plan.swallows(_msg("a", "c"), now=1.0)
+    ab.heal(1.0)
+    # "a" is still cut off from "c" by the partition that remains.
+    assert not plan.swallows(_msg("a", "b"), now=1.0)
+    assert plan.swallows(_msg("a", "c"), now=1.0)
+    assert ac.blocked == 2
+
+
+def test_partition_swallow_preserves_drop_rule_budget():
+    plan = FaultPlan()
+    partition = plan.add_partition(Partition(["a"], ["b"]))
+    rule = plan.add_drop_rule(DropRule(count=1))
+    # The partition swallows first; the drop-rule budget is untouched.
+    assert plan.swallows(_msg("a", "b"), now=0.0)
+    assert partition.blocked == 1
+    assert rule.dropped == 0
+    # The budget is still available for unpartitioned traffic...
+    assert plan.swallows(_msg("a", "c"), now=0.0)
+    assert rule.dropped == 1
+    # ...and is exhausted afterwards.
+    assert not plan.swallows(_msg("a", "c"), now=0.0)
+
+
+def test_heal_at_current_time_unblocks_immediately():
+    partition = Partition(["a"], ["b"])
+    assert partition.blocks(_msg("a", "b"), now=5.0)
+    partition.heal(5.0)
+    assert not partition.blocks(_msg("a", "b"), now=5.0)
+
+
+def test_partition_respects_time_window():
+    partition = Partition(["a"], ["b"], start=2.0, end=4.0)
+    assert not partition.blocks(_msg("a", "b"), now=1.9)
+    assert partition.blocks(_msg("a", "b"), now=2.0)
+    assert not partition.blocks(_msg("a", "b"), now=4.0)  # end-exclusive
+
+
+def test_prefix_partition_blocks_by_prefix_both_ways():
+    partition = PrefixPartition(["host00/"], ["host01/"])
+    assert partition.blocks(_msg("host00/x", "host01/y"), now=0.0)
+    assert partition.blocks(_msg("host01/y", "host00/x"), now=0.0)
+    # Traffic not crossing the cut — including a third host — passes.
+    assert not partition.blocks(_msg("host00/x", "host00/z"), now=0.0)
+    assert not partition.blocks(_msg("host02/w", "host01/y"), now=0.0)
+    assert partition.blocked == 2
+
+
+def test_prefix_partition_rejects_overlapping_prefixes():
+    with pytest.raises(ValueError):
+        PrefixPartition(["host0"], ["host00/"])
+    with pytest.raises(ValueError):
+        PrefixPartition(["host00/"], [])
+
+
+def test_drop_rule_rejects_nonpositive_count():
+    with pytest.raises(ValueError):
+        DropRule(count=0)
+
+
+# ----------------------------------------------------------------------
+# Transport regressions: close during service, dedupe bounding
+# ----------------------------------------------------------------------
+
+
+def test_server_closing_mid_service_suppresses_reply():
+    sim, net = make_net()
+    client = Endpoint(net, "client")
+
+    def slow_echo(message):
+        yield sim.timeout(1.0)
+        return message.payload
+
+    server = Endpoint(net, "server", request_handler=slow_echo)
+
+    def closer():
+        yield sim.timeout(0.5)
+        server.close()
+
+    def proc():
+        yield from client.request("server", "ping", timeout_s=2.0, max_attempts=1)
+
+    sim.spawn(closer())
+    with pytest.raises(RequestTimeout):
+        sim.run_process(proc())
+    # The handler finished, but the closed endpoint never spoke from its
+    # detached address — and did not count the request as served.
+    sim.run()
+    assert server.requests_served == 0
+
+
+def test_closing_client_fails_its_next_request_attempt():
+    sim, net = make_net()
+
+    def never(message):
+        yield sim.timeout(1000)
+        return None
+
+    client = Endpoint(net, "client")
+    Endpoint(net, "server", request_handler=never)
+
+    def closer():
+        yield sim.timeout(0.5)
+        client.close()
+
+    def proc():
+        yield from client.request("server", "ping", timeout_s=1.0, max_attempts=2)
+
+    sim.spawn(closer())
+    # Attempt 1 was in flight when we closed; it times out normally
+    # (bounded by its own timeout, never dangling), and attempt 2 then
+    # refuses to speak from the closed endpoint.
+    with pytest.raises(TransportError, match="closed"):
+        sim.run_process(proc())
+    assert sim.now < 2.0
+
+
+def test_closed_endpoint_rejects_new_requests_outright():
+    sim, net = make_net()
+    client = Endpoint(net, "client")
+    client.close()
+
+    def proc():
+        yield from client.request("server", "ping")
+
+    with pytest.raises(TransportError, match="closed"):
+        sim.run_process(proc())
+
+
+def _echo(message):
+    return message.payload
+    yield  # pragma: no cover - uniform generator shape
+
+
+def test_seen_requests_expire_after_ttl():
+    sim, net = make_net()
+    client = Endpoint(net, "client")
+    server = Endpoint(net, "server", request_handler=_echo, dedupe_ttl_s=5.0)
+
+    def proc():
+        yield from client.request("server", 1)
+        yield sim.timeout(20.0)  # far past the dedupe TTL
+        yield from client.request("server", 2)
+
+    sim.run_process(proc())
+    sim.run()
+    # The first request's id was evicted when the second arrived.
+    assert len(server._seen_requests) == 1
+    assert server.requests_served == 2
+
+
+def test_seen_requests_bounded_by_cap():
+    sim, net = make_net()
+    client = Endpoint(net, "client")
+    server = Endpoint(net, "server", request_handler=_echo)
+    server.SEEN_REQUEST_LIMIT = 2
+
+    def proc():
+        for i in range(5):
+            yield from client.request("server", i)
+
+    sim.run_process(proc())
+    sim.run()
+    assert len(server._seen_requests) <= 2
+    assert server.requests_served == 5

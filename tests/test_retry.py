@@ -1,0 +1,205 @@
+"""Unit and integration tests for the reusable retry policy."""
+
+import pytest
+
+from repro.net import (
+    DEFAULT_REQUEST_RETRY,
+    DropRule,
+    Endpoint,
+    Network,
+    RequestTimeout,
+    RetryPolicy,
+)
+from repro.sim import DeterministicRNG, Simulator
+
+from tests.conftest import make_counter_class
+
+
+# ----------------------------------------------------------------------
+# Pure policy arithmetic
+# ----------------------------------------------------------------------
+
+
+def test_backoff_grows_geometrically_and_caps():
+    policy = RetryPolicy(base_s=1.0, multiplier=2.0, max_backoff_s=4.0)
+    assert policy.backoff_s(1) == 1.0
+    assert policy.backoff_s(2) == 2.0
+    assert policy.backoff_s(3) == 4.0
+    assert policy.backoff_s(4) == 4.0  # capped
+
+
+def test_backoff_rejects_nonpositive_attempt():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_s(0)
+
+
+def test_should_retry_respects_max_attempts():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(1, started=0.0, now=0.0)
+    assert policy.should_retry(2, started=0.0, now=0.0)
+    assert not policy.should_retry(3, started=0.0, now=0.0)
+
+
+def test_should_retry_respects_deadline():
+    policy = RetryPolicy(max_attempts=None, deadline_s=10.0)
+    assert policy.should_retry(50, started=0.0, now=9.9)
+    assert not policy.should_retry(1, started=0.0, now=10.0)
+
+
+def test_unlimited_policy_retries_forever():
+    policy = RetryPolicy(max_attempts=None, deadline_s=None)
+    assert policy.should_retry(10_000, started=0.0, now=1e9)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    a = RetryPolicy(
+        base_s=1.0, jitter_fraction=0.5, rng=DeterministicRNG(seed=3), stream="t"
+    )
+    b = RetryPolicy(
+        base_s=1.0, jitter_fraction=0.5, rng=DeterministicRNG(seed=3), stream="t"
+    )
+    draws_a = [a.backoff_s(1) for __ in range(5)]
+    draws_b = [b.backoff_s(1) for __ in range(5)]
+    assert draws_a == draws_b  # same seed, same stream → same sequence
+    assert all(0.5 <= d <= 1.5 for d in draws_a)
+    assert len(set(draws_a)) > 1  # it actually jitters
+
+
+def test_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_fraction=0.2)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(base_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Transport integration: multi-attempt requests back off
+# ----------------------------------------------------------------------
+
+
+def echo_handler(message):
+    return message.payload
+    yield  # pragma: no cover - uniform generator shape
+
+
+def test_request_attempts_are_spaced_by_backoff():
+    sim = Simulator()
+    net = Network(sim, latency_s=0.0, bandwidth_bps=10**9)
+    client = Endpoint(net, "a")
+    Endpoint(net, "b", request_handler=echo_handler)
+    # Swallow the first two attempts; the third gets through.
+    net.faults.add_drop_rule(
+        DropRule(predicate=lambda m: m.kind == "request", count=2)
+    )
+    policy = RetryPolicy(base_s=1.0, multiplier=2.0, max_backoff_s=60.0)
+
+    def caller():
+        reply = yield from client.request(
+            "b", "ping", timeout_s=0.5, max_attempts=3, retry_policy=policy
+        )
+        return sim.now, reply
+
+    when, reply = sim.run_process(caller())
+    assert reply == "ping"
+    # attempt1 @0 (times out 0.5) + backoff 1.0, attempt2 @1.5 (times
+    # out 2.0) + backoff 2.0, attempt3 @4.0 → reply.
+    assert when == pytest.approx(4.0, abs=0.01)
+    assert net.count_value("retry.request_attempts") == 2
+    assert net.count_value("retry.backoff_waits") == 2
+
+
+def test_default_policy_used_when_none_given():
+    sim = Simulator()
+    net = Network(sim, latency_s=0.0, bandwidth_bps=10**9)
+    client = Endpoint(net, "a")
+    Endpoint(net, "b", request_handler=echo_handler)
+    net.faults.add_drop_rule(
+        DropRule(predicate=lambda m: m.kind == "request", count=1)
+    )
+
+    def caller():
+        reply = yield from client.request(
+            "b", "ping", timeout_s=0.5, max_attempts=2
+        )
+        return sim.now, reply
+
+    when, reply = sim.run_process(caller())
+    assert reply == "ping"
+    # DEFAULT_REQUEST_RETRY: first backoff is base_s after the 0.5s timeout.
+    assert when == pytest.approx(0.5 + DEFAULT_REQUEST_RETRY.base_s, abs=0.01)
+
+
+def test_single_attempt_request_never_backs_off():
+    sim = Simulator()
+    net = Network(sim, latency_s=0.0, bandwidth_bps=10**9)
+    client = Endpoint(net, "a")
+    net.faults.add_drop_rule(DropRule())
+
+    def caller():
+        yield from client.request("b", "ping", timeout_s=0.5, max_attempts=1)
+
+    with pytest.raises(RequestTimeout):
+        sim.run_process(caller())
+    assert sim.now == pytest.approx(0.5)
+    assert net.count_value("retry.backoff_waits") == 0
+
+
+# ----------------------------------------------------------------------
+# Invoker integration: schedule walks can be backoff-spaced
+# ----------------------------------------------------------------------
+
+
+def test_invoker_retry_policy_spaces_schedule_attempts(runtime):
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance())
+    client = runtime.make_client("host01")
+    client.invoker.retry_policy = RetryPolicy(
+        base_s=5.0, multiplier=1.0, max_backoff_s=5.0
+    )
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("op") == "invoke",
+            count=1,
+        )
+    )
+    started = runtime.sim.now
+    result = client.call_sync(loid, "inc", 5, timeout_schedule=(1.0, 1.0))
+    assert result == 5
+    # First attempt times out after ~1s, then the 5s policy backoff
+    # runs before the second attempt — far longer than the bare
+    # schedule walk would take.
+    assert runtime.sim.now - started > 5.5
+    assert runtime.network.count_value("retry.backoff_waits") >= 1
+
+
+def test_invoker_without_policy_keeps_bare_schedule_timing(runtime):
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance())
+    client = runtime.make_client("host01")
+    assert client.invoker.retry_policy is None
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("op") == "invoke",
+            count=1,
+        )
+    )
+    started = runtime.sim.now
+    result = client.call_sync(loid, "inc", 5, timeout_schedule=(1.0, 1.0))
+    assert result == 5
+    # Back-to-back schedule steps: ~1s timeout + the quick second try.
+    assert runtime.sim.now - started < 2.0
