@@ -1,0 +1,28 @@
+"""P2 — windowed manager fan-out; writes BENCH_propagation.json."""
+
+import json
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p2
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_propagation.json"
+
+
+def test_p2_fanout(benchmark):
+    result = run_experiment(benchmark, run_p2)
+    benchmark.extra_info["waves"] = result.extra["waves"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

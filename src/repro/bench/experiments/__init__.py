@@ -10,11 +10,15 @@ from repro.bench.experiments.e7_comparison import run_e7
 from repro.bench.experiments.a2_policies import run_a2
 from repro.bench.experiments.a3_sensitivity import run_a3
 from repro.bench.experiments.a4_wan import run_a4
+from repro.bench.experiments.p1_fastpath import run_p1
+from repro.bench.experiments.p2_fanout import run_p2
 
 __all__ = [
     "run_a2",
     "run_a3",
     "run_a4",
+    "run_p1",
+    "run_p2",
     "run_e1",
     "run_e2",
     "run_e3",

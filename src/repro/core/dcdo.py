@@ -29,6 +29,7 @@ from repro.core.errors import (
 from repro.core.impltype import ImplementationType
 from repro.legion.errors import MethodNotFound
 from repro.legion.objects import CallContext, LegionObject
+from repro.legion.rpc import ReplyEnvelope
 from repro.sim import Signal
 
 
@@ -235,7 +236,11 @@ class DCDO(LegionObject):
         ):
             yield from checker.run_check(self)
         result = yield from super()._handle_request(message)
-        return result
+        # Piggyback the configuration epoch on every reply (tentpole
+        # layer 1): clients' interface leases validate for free on
+        # traffic they were sending anyway.
+        value, reply_bytes = result
+        return ReplyEnvelope(value, self.dfm.epoch), reply_bytes
 
     # ------------------------------------------------------------------
     # Configuration functions (§2.2), internal generator forms
@@ -491,6 +496,7 @@ class DCDO(LegionObject):
         self.register_method("getInterface", self._m_get_interface)
         self.register_method("getInterfaceDetailed", self._m_get_interface_detailed)
         self.register_method("getVersion", self._m_get_version)
+        self.register_method("getStatus", self._m_get_status)
         self.register_method("getComponents", self._m_get_components)
         self.register_method("getFunctionStatus", self._m_get_function_status)
         self.register_method("getImplementationType", self._m_get_impl_type)
@@ -560,6 +566,17 @@ class DCDO(LegionObject):
 
     def _m_get_version(self, ctx):
         return str(self._version) if self._version is not None else None
+        yield  # pragma: no cover - uniform generator shape
+
+    def _m_get_status(self, ctx):
+        """Interface, version, and epoch in one round trip — the
+        coalesced form of ``getInterface`` + ``getVersion`` stubs use
+        to refresh a lease with a single RPC."""
+        return {
+            "interface": self.dfm.exported_interface(),
+            "version": str(self._version) if self._version is not None else None,
+            "epoch": self.dfm.epoch,
+        }
         yield  # pragma: no cover - uniform generator shape
 
     def _m_get_components(self, ctx):

@@ -61,7 +61,24 @@ class DynamicFunctionMapper:
         # function -> its (single) enabled entry; the hot-path index
         # that makes lookup O(1) regardless of table size.
         self._enabled_index = {}
+        # Secondary indexes: function -> {component_id: entry} and
+        # component_id -> {function: entry}, so the status/dispatch
+        # accessors are O(implementations-of-f), not O(table).
+        self._by_function = {}
+        self._by_component = {}
+        # Monotonically increasing configuration epoch, bumped on every
+        # mutation; piggybacked on replies so clients' interface leases
+        # can validate cheaply (and invalidate promptly).
+        self._epoch = 0
         self.total_calls = 0
+
+    @property
+    def epoch(self):
+        """The current configuration epoch."""
+        return self._epoch
+
+    def _bump(self):
+        self._epoch += 1
 
     def _reindex(self):
         """Rebuild the enabled-entry index from the entry table."""
@@ -88,14 +105,12 @@ class DynamicFunctionMapper:
         return self._entries.get((function, component_id))
 
     def entries_for(self, function):
-        """All entries implementing ``function``."""
-        return [entry for entry in self._entries.values() if entry.function == function]
+        """All entries implementing ``function`` (via the index)."""
+        return list(self._by_function.get(function, {}).values())
 
     def entries_in(self, component_id):
-        """All entries implemented by ``component_id``."""
-        return [
-            entry for entry in self._entries.values() if entry.component_id == component_id
-        ]
+        """All entries implemented by ``component_id`` (via the index)."""
+        return list(self._by_component.get(component_id, {}).values())
 
     def is_enabled(self, function, component_id):
         """True if that particular implementation is enabled."""
@@ -105,9 +120,9 @@ class DynamicFunctionMapper:
     def enabled_components_of(self, function):
         """Component ids with an enabled implementation of ``function``."""
         return {
-            entry.component_id
-            for entry in self._entries.values()
-            if entry.function == function and entry.enabled
+            component_id
+            for component_id, entry in self._by_function.get(function, {}).items()
+            if entry.enabled
         }
 
     def marking(self, function):
@@ -135,16 +150,20 @@ class DynamicFunctionMapper:
 
     def function_names(self):
         """Sorted names of all mapped functions."""
-        return sorted({entry.function for entry in self._entries.values()})
+        return sorted(self._by_function)
 
     def exported_interface(self):
-        """Sorted names of enabled, exported functions."""
+        """Sorted names of enabled, exported functions.
+
+        Walks the enabled-entry index (at most one enabled entry per
+        function), so the cost is O(enabled functions) rather than
+        O(table entries) — this sits on the ``getInterface``/
+        ``getStatus`` path every defensive client hits.
+        """
         return sorted(
-            {
-                entry.function
-                for entry in self._entries.values()
-                if entry.enabled and entry.exported
-            }
+            function
+            for function, entry in self._enabled_index.items()
+            if entry.exported
         )
 
     def entry_count(self):
@@ -234,13 +253,16 @@ class DynamicFunctionMapper:
             component=component, variant=variant
         )
         for name, function_def in component.functions.items():
-            self._entries[(name, component.component_id)] = DFMEntry(
+            entry = DFMEntry(
                 function=name,
                 component_id=component.component_id,
                 function_def=function_def,
                 enabled=False,
                 exported=function_def.exported,
             )
+            self._entries[(name, component.component_id)] = entry
+            self._by_function.setdefault(name, {})[component.component_id] = entry
+            self._by_component.setdefault(component.component_id, {})[name] = entry
         for name, demanded in component.required_markings.items():
             self._markings[name] = (
                 demanded
@@ -253,6 +275,7 @@ class DynamicFunctionMapper:
             if dependency not in self._dependencies:
                 self._dependencies.append(dependency)
         self._reindex()
+        self._bump()
 
     def remove_component(self, component_id, validate=True):
         """Unmap a component (thread checks are the caller's job).
@@ -275,12 +298,19 @@ class DynamicFunctionMapper:
             ]
         self._dependencies = surviving
         del self._components[component_id]
+        for name in self._by_component.pop(component_id, {}):
+            bucket = self._by_function.get(name)
+            if bucket is not None:
+                bucket.pop(component_id, None)
+                if not bucket:
+                    del self._by_function[name]
         self._entries = {
             key: entry
             for key, entry in self._entries.items()
             if entry.component_id != component_id
         }
         self._reindex()
+        self._bump()
 
     def enable(self, function, component_id, replace_current=False):
         """Enable one implementation (validated).
@@ -321,11 +351,13 @@ class DynamicFunctionMapper:
                 raise
             finally:
                 self._reindex()
+            self._bump()
             return
         validation.check_can_enable(self, function, component_id)
         entry = self._entries[(function, component_id)]
         entry.enabled = True
         self._enabled_index[function] = entry
+        self._bump()
 
     def disable(self, function, component_id, enforce_dependencies=True):
         """Disable one implementation (validated).
@@ -344,6 +376,7 @@ class DynamicFunctionMapper:
         )
         self._entries[(function, component_id)].enabled = False
         self._enabled_index.pop(function, None)
+        self._bump()
 
     def set_exported(self, function, component_id, exported):
         """Move a function between public and private interfaces."""
@@ -353,11 +386,13 @@ class DynamicFunctionMapper:
                 f"no implementation of {function!r} in component {component_id!r}"
             )
         entry.exported = exported
+        self._bump()
 
     def mark_mandatory(self, function):
         """Mark ``function`` mandatory in this live DFM."""
         if not self.marking(function).at_least(Marking.MANDATORY):
             self._markings[function] = Marking.MANDATORY
+            self._bump()
 
     def mark_permanent(self, function, component_id):
         """Mark ``function`` permanent, pinned to ``component_id``."""
@@ -370,6 +405,7 @@ class DynamicFunctionMapper:
             )
         self._markings[function] = Marking.PERMANENT
         self._pins[function] = component_id
+        self._bump()
 
     def add_dependency(self, dependency):
         """Declare a dependency; current state must satisfy it."""
@@ -379,11 +415,13 @@ class DynamicFunctionMapper:
             self._dependencies + [dependency], self.is_enabled, self.enabled_components_of
         )
         self._dependencies.append(dependency)
+        self._bump()
 
     def remove_dependency(self, dependency):
         """Retract a declared dependency."""
         if dependency in self._dependencies:
             self._dependencies.remove(dependency)
+            self._bump()
 
     def adopt_restrictions(self, descriptor):
         """Copy markings, pins, and dependencies from a descriptor."""
@@ -396,6 +434,7 @@ class DynamicFunctionMapper:
             if descriptor.pin(function) is not None
         }
         self._dependencies = descriptor.dependencies
+        self._bump()
 
     def apply_entry_states(self, descriptor):
         """Set enabled/exported per the descriptor; returns change count.
@@ -415,6 +454,7 @@ class DynamicFunctionMapper:
                 changes += 1
         if changes:
             self._reindex()
+            self._bump()
         return changes
 
     def to_descriptor(self):

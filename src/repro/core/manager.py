@@ -32,7 +32,7 @@ from repro.core.version import VersionTree
 from repro.legion.errors import LegionError, UnknownObject
 from repro.legion.klass import ClassObject, InstanceRecord
 from repro.legion.loid import mint_loid
-from repro.net import RetryPolicy, TransportError
+from repro.net import RetryPolicy, TransportError, run_windowed
 
 #: Spacing for at-least-once propagation deliveries: patient enough to
 #: ride out a host outage plus stale-binding rediscovery, bounded so a
@@ -72,6 +72,12 @@ class DCDOManager(ClassObject):
         :func:`~repro.core.recovery.recover_manager`).
     propagation_retry_policy:
         Spacing/limits for at-least-once propagation deliveries.
+    fanout_window:
+        Maximum concurrent in-flight deliveries when pushing an
+        evolution to many instances (default 8).  Bounds the burst of
+        management RPCs a wave puts on the network while still keeping
+        the pipe full; ``window=1`` degenerates to the old sequential
+        loop.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class DCDOManager(ClassObject):
         remove_policy=None,
         journal=None,
         propagation_retry_policy=None,
+        fanout_window=8,
     ):
         super().__init__(
             runtime,
@@ -108,6 +115,9 @@ class DCDOManager(ClassObject):
         self.propagation_retry_policy = (
             propagation_retry_policy or DEFAULT_PROPAGATION_RETRY
         )
+        if fanout_window < 1:
+            raise ValueError("fanout_window must be >= 1")
+        self.fanout_window = fanout_window
         self.evolutions_performed = 0
         self._register_manager_methods()
         if journal is not None:
@@ -473,30 +483,52 @@ class DCDOManager(ClassObject):
             result = self._instance_versions.get(loid)
         return result
 
-    def update_all_instances(self, target_version=None):
-        """Generator: evolve every active instance (serially)."""
+    def update_all_instances(self, target_version=None, window=None):
+        """Generator: evolve every active instance, windowed.
+
+        At most ``window`` (default: the manager's ``fanout_window``)
+        evolutions are in flight at once; each freed slot immediately
+        starts the next instance.  ``window=1`` reproduces the old
+        sequential loop.  Returns ``{loid: version reached}`` in
+        instance-creation order; the first delivery error (if any) is
+        re-raised after the wave, matching the sequential semantics.
+        """
+        window = window or self.fanout_window
+        loids = [
+            loid for loid in self.instance_loids() if self.record(loid).active
+        ]
+        thunks = [
+            lambda l=loid: self.try_evolve_instance(l, target_version)
+            for loid in loids
+        ]
+        outcomes = yield from run_windowed(self._runtime.sim, thunks, window)
         results = {}
-        for loid in self.instance_loids():
-            if not self.record(loid).active:
-                continue
-            results[loid] = yield from self.try_evolve_instance(loid, target_version)
+        first_error = None
+        for loid, (ok, value) in zip(loids, outcomes):
+            if ok:
+                results[loid] = value
+            elif first_error is None:
+                first_error = value
+        if first_error is not None:
+            raise first_error
         return results
 
     # ------------------------------------------------------------------
     # Ack-tracked, at-least-once propagation
     # ------------------------------------------------------------------
 
-    def propagate_version(self, version, loids=None, retry_policy=None):
+    def propagate_version(self, version, loids=None, retry_policy=None, window=None):
         """Generator: reliably push ``version`` to its instances.
 
         The fault-tolerant counterpart of :meth:`update_all_instances`:
         each instance gets a tracked delivery (PENDING → ACKED/FAILED),
-        deliveries run concurrently, failures are retried with backoff
-        per the retry policy, and every state change is journaled —
-        so a manager crash mid-propagation resumes from exactly the
-        outstanding deliveries.  At-least-once delivery is safe because
-        :meth:`DCDO.apply_configuration` is idempotent keyed by the
-        target version id.
+        deliveries run concurrently with a bounded in-flight window
+        (default: the manager's ``fanout_window``), failures are
+        retried with backoff per the retry policy, and every state
+        change is journaled — so a manager crash mid-propagation
+        resumes from exactly the outstanding deliveries.  At-least-once
+        delivery is safe because :meth:`DCDO.apply_configuration` is
+        idempotent keyed by the target version id.
 
         Calling again for the same version re-arms FAILED deliveries
         and admits instances created since — the convergence loop after
@@ -520,16 +552,17 @@ class DCDOManager(ClassObject):
         else:
             tracker.rearm(loids)
         policy = retry_policy or self.propagation_retry_policy
-        workers = [
-            self._runtime.sim.spawn(
-                self._deliver(tracker, loid, policy), name=f"deliver:{version}:{loid}"
-            )
-            for loid in tracker.pending_loids()
+        window = window or self.fanout_window
+        pending = tracker.pending_loids()
+        thunks = [
+            lambda l=loid: self._deliver(tracker, l, policy) for loid in pending
         ]
-        if workers:
-            from repro.sim.events import AllOf
-
-            yield AllOf(self._runtime.sim, workers)
+        outcomes = yield from run_windowed(self._runtime.sim, thunks, window)
+        for ok, value in outcomes:
+            if not ok:
+                # _deliver absorbs expected failures into the tracker;
+                # anything it *raised* is a real bug — don't mask it.
+                raise value
         if not self.is_active:
             # We crashed while deliveries were in flight; the journal
             # still shows the propagation open, so recovery resumes it.
@@ -861,6 +894,7 @@ def define_dcdo_type(
     host_name=None,
     journal=None,
     propagation_retry_policy=None,
+    fanout_window=8,
 ):
     """Define a DCDO type in ``runtime`` and return its manager.
 
@@ -881,6 +915,7 @@ def define_dcdo_type(
             remove_policy=remove_policy,
             journal=journal,
             propagation_retry_policy=propagation_retry_policy,
+            fanout_window=fanout_window,
         )
 
     return runtime.define_class(type_name, class_factory=factory, host_name=host_name)

@@ -13,7 +13,27 @@ from dataclasses import dataclass
 
 from repro.legion.binding import BindingAgent
 from repro.legion.errors import MethodNotFound, ObjectUnreachable, UnknownObject
-from repro.net import RemoteError, RequestTimeout
+from repro.net import RemoteError, RequestTimeout, run_windowed
+
+
+class ReplyEnvelope:
+    """A reply payload plus the server's configuration epoch.
+
+    DCDOs wrap every external reply in one of these so clients learn —
+    for free, on traffic they were sending anyway — whether the object's
+    configuration has changed since they last looked.  The invoker
+    unwraps the envelope transparently and records the epoch per LOID;
+    plain objects keep replying with bare payloads.
+    """
+
+    __slots__ = ("value", "epoch")
+
+    def __init__(self, value, epoch):
+        self.value = value
+        self.epoch = epoch
+
+    def __repr__(self):
+        return f"<ReplyEnvelope epoch={self.epoch}>"
 
 
 @dataclass
@@ -23,12 +43,21 @@ class InvokeStats:
     invocations: int = 0
     retries: int = 0
     rebinds: int = 0
+    #: Invocations that found their target's binding already cached.
+    binding_hits: int = 0
+    #: Invocations that had to ask the binding agent (resolve miss).
+    binding_misses: int = 0
+    #: Replies that carried a piggybacked configuration epoch.
+    epoch_observations: int = 0
 
     def reset(self):
         """Zero all counters."""
         self.invocations = 0
         self.retries = 0
         self.rebinds = 0
+        self.binding_hits = 0
+        self.binding_misses = 0
+        self.epoch_observations = 0
 
 
 class MethodInvoker:
@@ -58,6 +87,17 @@ class MethodInvoker:
         self._rng = rng
         self.retry_policy = retry_policy
         self.stats = InvokeStats()
+        self._observed_epochs = {}
+
+    def observed_epoch(self, loid):
+        """The latest configuration epoch piggybacked by ``loid``.
+
+        None until a reply from that object has been seen.  The latest
+        observation wins (not the maximum): a crash-recovered object
+        restarts its epoch counter, and regressing here is what lets
+        lease caches notice the new incarnation and invalidate.
+        """
+        return self._observed_epochs.get(loid)
 
     @property
     def endpoint(self):
@@ -131,7 +171,10 @@ class MethodInvoker:
 
         binding = self._cache.get(loid)
         if binding is None:
+            self.stats.binding_misses += 1
             binding = yield from self._resolve_remote(loid)
+        else:
+            self.stats.binding_hits += 1
 
         request = {"op": "invoke", "method": method, "args": tuple(args)}
         for stale_round in range(2):
@@ -139,7 +182,7 @@ class MethodInvoker:
                 result = yield from self._attempt_at(
                     binding, request, payload_bytes, timeout_schedule, retry_policy
                 )
-                return result
+                return self._unwrap_envelope(loid, result)
             except RequestTimeout:
                 elapsed = self._endpoint.sim.now - started
                 if stale_round == 1:
@@ -183,6 +226,46 @@ class MethodInvoker:
                 raise self._unwrap(error)
             return reply
         raise last_error
+
+    def _unwrap_envelope(self, loid, reply):
+        """Peel a piggybacked epoch off a reply, recording it per LOID."""
+        if isinstance(reply, ReplyEnvelope):
+            self._observed_epochs[loid] = reply.epoch
+            self.stats.epoch_observations += 1
+            return reply.value
+        return reply
+
+    def invoke_many(
+        self,
+        loids,
+        method,
+        args=(),
+        window=8,
+        payload_bytes=None,
+        timeout_schedule=None,
+        retry_policy=None,
+    ):
+        """Generator: invoke ``method`` on many objects, windowed.
+
+        The invoker-level counterpart of the endpoint's ``broadcall``:
+        at most ``window`` invocations are in flight at once, each freed
+        slot immediately starting the next.  Returns an ordered mapping
+        ``loid -> (ok, value-or-exception)``.
+        """
+        loids = list(loids)
+        thunks = [
+            lambda l=loid: self.invoke(
+                l,
+                method,
+                args,
+                payload_bytes=payload_bytes,
+                timeout_schedule=timeout_schedule,
+                retry_policy=retry_policy,
+            )
+            for loid in loids
+        ]
+        outcomes = yield from run_windowed(self._endpoint.sim, thunks, window)
+        return dict(zip(loids, outcomes))
 
     @staticmethod
     def _unwrap(error):

@@ -16,13 +16,16 @@ from repro.net.link import Port
 from repro.net.message import Message, next_message_id
 from repro.net.retry import DEFAULT_REQUEST_RETRY, RetryPolicy
 from repro.net.transport import (
+    BATCH_RECORD_BYTES,
     Endpoint,
     RemoteError,
     RequestTimeout,
     TransportError,
+    run_windowed,
 )
 
 __all__ = [
+    "BATCH_RECORD_BYTES",
     "DEFAULT_REQUEST_RETRY",
     "DropRule",
     "Endpoint",
@@ -38,4 +41,5 @@ __all__ = [
     "TransportError",
     "RetryPolicy",
     "next_message_id",
+    "run_windowed",
 ]

@@ -5,7 +5,15 @@ loop, and offers:
 
 - ``send(...)`` — one-way datagram;
 - ``request(...)`` — request/reply with per-attempt timeout and bounded
-  retries (both generators to be driven with ``yield from``).
+  retries (both generators to be driven with ``yield from``);
+- the group-communication primitives ``cast`` / ``broadcast`` /
+  ``broadcall`` (om-legion's comm-primitive shape), the latter with a
+  bounded in-flight window;
+- optional same-destination coalescing: with a flush window configured
+  (:meth:`Endpoint.configure_batching`), outbound messages to one
+  destination within the window share a single wire message, amortizing
+  the per-message framing header and dispatch cost.  Batching is off by
+  default so the calibrated §4 timings are untouched.
 
 Request handlers are generators, so servicing a request can itself
 perform simulated work and nested calls.  Remote exceptions propagate
@@ -14,9 +22,50 @@ back to the caller as :class:`RemoteError`.
 
 from collections import OrderedDict
 
-from repro.net.message import Message
+from repro.net.message import HEADER_BYTES, Message
 from repro.net.retry import DEFAULT_REQUEST_RETRY
 from repro.sim.errors import SimulationError
+
+#: Per-record framing inside a batch (length prefix + kind tag); what a
+#: coalesced sub-message pays instead of a full :data:`HEADER_BYTES`.
+BATCH_RECORD_BYTES = 16
+
+
+def run_windowed(sim, thunks, window):
+    """Generator: run generator-thunks with at most ``window`` in flight.
+
+    The shared fan-out engine behind :meth:`Endpoint.broadcall` and the
+    manager's windowed evolution waves.  ``thunks`` is a sequence of
+    zero-argument callables returning generators; at most ``window`` of
+    them execute concurrently, each freed slot immediately pulling the
+    next.  Returns a list of ``(ok, value)`` pairs in input order —
+    ``(True, result)`` or ``(False, exception)`` — so one slow or
+    failing item never hides the others' outcomes.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    thunks = list(thunks)
+    results = [None] * len(thunks)
+    work = iter(list(enumerate(thunks)))
+
+    def worker():
+        for index, thunk in work:
+            try:
+                value = yield from thunk()
+            except Exception as error:  # noqa: BLE001 - reported per item
+                results[index] = (False, error)
+            else:
+                results[index] = (True, value)
+
+    workers = [
+        sim.spawn(worker(), name=f"windowed#{slot}")
+        for slot in range(min(window, len(thunks)))
+    ]
+    if workers:
+        from repro.sim.events import AllOf
+
+        yield AllOf(sim, workers)
+    return results
 
 
 class TransportError(SimulationError):
@@ -109,6 +158,9 @@ class Endpoint:
         self._max_attempts = max_attempts
         self._retry_policy = retry_policy or DEFAULT_REQUEST_RETRY
         self._dedupe_ttl_s = dedupe_ttl_s
+        self._batch_window_s = 0.0
+        self._batch_max = 16
+        self._batch_queues = {}
         self._pending_replies = {}
         # message_id -> completion time (None while still being served);
         # insertion-ordered so TTL/size eviction walks the oldest first.
@@ -146,11 +198,36 @@ class Endpoint:
         """Install (or replace) the inbound one-way handler."""
         self._oneway_handler = handler
 
+    def configure_batching(self, flush_window_s, max_batch=16):
+        """Enable (or disable) same-destination coalescing.
+
+        With ``flush_window_s > 0``, outbound messages to the same
+        destination within the window are packed into one wire message:
+        one framing header for the whole batch plus
+        :data:`BATCH_RECORD_BYTES` per coalesced record.  A batch is
+        flushed early when it reaches ``max_batch`` messages.  Pass
+        ``flush_window_s=0`` to turn batching back off.
+        """
+        if flush_window_s < 0:
+            raise ValueError(f"flush window must be >= 0, got {flush_window_s}")
+        if max_batch < 2:
+            raise ValueError(f"max_batch must be >= 2, got {max_batch}")
+        self._batch_window_s = flush_window_s
+        self._batch_max = max_batch
+
+    @property
+    def batching_enabled(self):
+        """True while a coalescing flush window is configured."""
+        return self._batch_window_s > 0
+
     def close(self):
         """Detach from the fabric; all later traffic to us is lost."""
         if self._closed:
             return
         self._closed = True
+        # Queued-but-unflushed batches die with us, like any in-flight
+        # datagram from a crashing host.
+        self._batch_queues.clear()
         self._network.unregister_endpoint(self)
         self._network.detach(self._address)
         if self._receive_loop.is_alive:
@@ -167,7 +244,11 @@ class Endpoint:
     # ------------------------------------------------------------------
 
     def send(self, destination, payload, size_bytes=0, kind="oneway"):
-        """Fire-and-forget datagram; returns the fabric delivery process."""
+        """Fire-and-forget datagram; returns the fabric delivery process.
+
+        With batching enabled the message may be coalesced, in which
+        case None is returned (the batch's delivery is shared).
+        """
         if self._closed:
             raise TransportError(f"endpoint {self._address!r} is closed")
         message = Message(
@@ -177,7 +258,104 @@ class Endpoint:
             size_bytes=size_bytes,
             kind=kind,
         )
-        return self._network.send(message)
+        return self._transmit(message)
+
+    # ------------------------------------------------------------------
+    # Same-destination coalescing
+    # ------------------------------------------------------------------
+
+    def _transmit(self, message):
+        """Put ``message`` on the wire, through the batcher if enabled."""
+        if self._batch_window_s <= 0:
+            return self._network.send(message)
+        queue = self._batch_queues.setdefault(message.destination, [])
+        queue.append(message)
+        if len(queue) >= self._batch_max:
+            self._flush(message.destination)
+        elif len(queue) == 1:
+            self._sim.spawn(
+                self._flush_later(message.destination),
+                name=f"flush:{self._address}->{message.destination}",
+            )
+        return None
+
+    def _flush_later(self, destination):
+        yield self._sim.timeout(self._batch_window_s)
+        self._flush(destination)
+
+    def _flush(self, destination):
+        queue = self._batch_queues.pop(destination, None)
+        if not queue or self._closed:
+            return
+        if len(queue) == 1:
+            self._network.send(queue[0])
+            return
+        # One header for the whole batch; each record pays only its
+        # payload plus a small per-record framing cost.
+        batch = Message(
+            source=self._address,
+            destination=destination,
+            payload=tuple(queue),
+            size_bytes=sum(m.size_bytes for m in queue)
+            + len(queue) * BATCH_RECORD_BYTES,
+            kind="batch",
+        )
+        self._network.count("transport.batches_sent")
+        self._network.count("transport.batched_messages", len(queue))
+        self._network.send(batch)
+
+    # ------------------------------------------------------------------
+    # Group primitives (cast / broadcast / broadcall)
+    # ------------------------------------------------------------------
+
+    def cast(self, destination, payload, size_bytes=0):
+        """One-way message to one peer, no reply expected."""
+        self._network.count("transport.casts")
+        return self.send(destination, payload, size_bytes=size_bytes)
+
+    def broadcast(self, destinations, payload, size_bytes=0):
+        """Cast ``payload`` to every destination; returns the count."""
+        count = 0
+        for destination in destinations:
+            self.cast(destination, payload, size_bytes=size_bytes)
+            count += 1
+        return count
+
+    def broadcall(
+        self,
+        destinations,
+        payload,
+        size_bytes=0,
+        timeout_s=None,
+        max_attempts=None,
+        window=None,
+        retry_policy=None,
+    ):
+        """Generator: request ``payload`` from every destination.
+
+        Requests run concurrently with at most ``window`` in flight
+        (default: all at once).  Blocks until every destination has
+        answered or exhausted its attempts; returns an ordered mapping
+        ``destination -> (ok, value-or-exception)`` so partial failure
+        is visible per peer rather than aborting the whole call.
+        """
+        destinations = list(destinations)
+        thunks = [
+            lambda d=destination: self.request(
+                d,
+                payload,
+                size_bytes=size_bytes,
+                timeout_s=timeout_s,
+                max_attempts=max_attempts,
+                retry_policy=retry_policy,
+            )
+            for destination in destinations
+        ]
+        self._network.count("transport.broadcalls")
+        outcomes = yield from run_windowed(
+            self._sim, thunks, window or max(1, len(destinations))
+        )
+        return dict(zip(destinations, outcomes))
 
     def request(
         self,
@@ -223,7 +401,7 @@ class Endpoint:
             )
             reply_event = self._sim.event(name=f"reply#{message.message_id}")
             self._pending_replies[message.message_id] = reply_event
-            self._network.send(message)
+            self._transmit(message)
             timeout = self._sim.timeout(timeout_s)
             from repro.sim.events import AnyOf
 
@@ -252,17 +430,27 @@ class Endpoint:
         try:
             while True:
                 message = yield self._port.inbox.get()
-                if message.kind == "reply":
-                    self._handle_reply(message)
-                elif message.kind == "request":
-                    self._sim.spawn(
-                        self._serve_request(message),
-                        name=f"serve#{message.message_id}",
-                    )
-                else:
-                    self._handle_oneway(message)
+                self._dispatch_inbound(message)
         except Interrupt:
             return
+
+    def _dispatch_inbound(self, message):
+        if message.kind == "batch":
+            # Unpack a coalesced batch: each record is a complete
+            # message with its own id, so dedupe and reply correlation
+            # behave exactly as if the records had travelled alone.
+            self._network.count("transport.batches_received")
+            for sub in message.payload:
+                self._dispatch_inbound(sub)
+        elif message.kind == "reply":
+            self._handle_reply(message)
+        elif message.kind == "request":
+            self._sim.spawn(
+                self._serve_request(message),
+                name=f"serve#{message.message_id}",
+            )
+        else:
+            self._handle_oneway(message)
 
     def _handle_reply(self, message):
         event = self._pending_replies.pop(message.correlation_id, None)
@@ -311,7 +499,7 @@ class Endpoint:
             self._seen_requests[message.message_id] = self._sim.now
         if self._closed:
             return False
-        self._network.send(message.reply_to(payload, size_bytes=size_bytes))
+        self._transmit(message.reply_to(payload, size_bytes=size_bytes))
         return True
 
     def _evict_seen_requests(self):

@@ -82,6 +82,18 @@ class Timer:
             return None
         return sum(self.samples) / len(self.samples)
 
+    def max(self):
+        """Largest sample, or None when empty."""
+        if not self.samples:
+            return None
+        return max(self.samples)
+
+    def min(self):
+        """Smallest sample, or None when empty."""
+        if not self.samples:
+            return None
+        return min(self.samples)
+
     def percentile(self, fraction):
         """The ``fraction`` percentile (0..1) by nearest-rank."""
         if not 0 <= fraction <= 1:

@@ -31,7 +31,7 @@ FAST_RETRY = RetryPolicy(
 )
 
 
-def build_fleet(sim_seed=7, hosts=5, instances=4):
+def build_fleet(sim_seed=7, hosts=5, instances=4, **manager_kwargs):
     """A LAN runtime + journaled sorter manager + instances spread out.
 
     The manager lives on host00 (the default), so schedules that crash
@@ -44,6 +44,7 @@ def build_fleet(sim_seed=7, hosts=5, instances=4):
         update_policy=ReliableUpdatePolicy(retry_policy=FAST_RETRY),
         journal=journal,
         propagation_retry_policy=FAST_RETRY,
+        **manager_kwargs,
     )
     host_names = list(runtime.hosts)
     loids = []
@@ -119,6 +120,95 @@ def test_chaos_schedule_converges_exactly_once(seed):
             assert applied == 1, (
                 f"seed {seed}: surviving {loid} applied v2 {applied} times"
             )
+
+
+def derive_v2_removing_sort(manager):
+    """Derive a version that drops ``sort`` (and its component) entirely."""
+    version = manager.derive_version(manager.current_version)
+    descriptor = manager.descriptor_of(version)
+    descriptor.disable("sort", "sorter")
+    descriptor.remove_component("sorter")
+    manager.mark_instantiable(version)
+    return version
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_chaos_lease_stub_never_succeeds_on_removed_function(seed):
+    """Lease-caching stubs under chaos: epoch leases may go stale, but
+    no call against the removed ``sort`` function ever *succeeds* —
+    stale leases only ever cost a MethodNotFound plus a re-query, never
+    a wrong answer (§3.1 preserved through the fast path)."""
+    from repro.core.dcdo import RemovePolicy
+    from repro.core.stub import DCDOStub
+
+    runtime, manager, journal, loids = build_fleet(
+        sim_seed=300 + seed, remove_policy=RemovePolicy.delay()
+    )
+    coordinator = ChaosCoordinator(runtime, journals={"Sorter": journal})
+    schedule = ChaosSchedule.generate(seed, list(runtime.hosts), duration_s=120.0)
+    schedule.install(runtime, coordinator)
+    v2 = derive_v2_removing_sort(manager)
+
+    outcomes = []  # (ok, payload) per completed sort attempt
+    stubs = []
+    stop = {"flag": False}
+
+    def traffic(client_host, loid):
+        client = runtime.make_client(client_host)
+        stub = DCDOStub(
+            client, loid, retry_on_disappearance=True, lease_ttl_s=5.0
+        )
+        stubs.append(stub)
+        values = [3, 1, 2]
+        while not stop["flag"]:
+            try:
+                result = yield from stub.call("sort", values, check_first=True)
+            except Exception as error:  # noqa: BLE001 - chaos traffic
+                outcomes.append((False, error))
+                if client.endpoint.is_closed:
+                    return  # our own host crashed: this caller is gone
+            else:
+                outcomes.append((True, result))
+            yield runtime.sim.timeout(0.5)
+
+    def scenario():
+        host_names = list(runtime.hosts)
+        for index, loid in enumerate(loids[:3]):
+            runtime.sim.spawn(
+                traffic(host_names[(index + 1) % len(host_names)], loid),
+                name=f"traffic:{loid}",
+            )
+        yield runtime.sim.timeout(0.5)
+        manager.set_current_version_async(v2)
+        heal = schedule.heal_time + 1.0
+        if runtime.sim.now < heal:
+            yield runtime.sim.timeout(heal - runtime.sim.now)
+        tracker = yield from drive_to_convergence(
+            runtime, "Sorter", journal=journal, retry_policy=FAST_RETRY
+        )
+        stop["flag"] = True
+        return tracker
+
+    tracker = runtime.sim.run_process(scenario())
+    runtime.sim.run()
+
+    assert tracker is not None and tracker.all_acked, (
+        f"seed {seed}: propagation did not converge: {tracker.summary()}"
+    )
+    manager_now = runtime.class_of("Sorter")
+    for loid in loids:
+        assert manager_now.instance_version(loid) == v2
+        obj = manager_now.record(loid).obj
+        assert "sort" not in obj.dfm.exported_interface()
+        assert obj.applications_by_version.get(v2, 0) <= 1
+    # Every call that *succeeded* produced the correct pre-evolution
+    # answer; once sort was removed, stale leases surface as errors,
+    # never as bogus successes.
+    successes = [payload for ok, payload in outcomes if ok]
+    assert all(result == [1, 2, 3] for result in successes), successes
+    assert successes, f"seed {seed}: traffic never got through"
+    # The lease fast path was genuinely exercised.
+    assert sum(stub.lease_hits for stub in stubs) > 0
 
 
 def test_manager_crash_mid_propagation_resumes_from_journal():
