@@ -1,0 +1,74 @@
+"""Gate benchmark runs against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.25]
+
+Compares the P2 propagation benchmark's windowed wave latencies
+(``extra.waves.<size>.windowed_s``) between a baseline JSON (the
+committed ``BENCH_propagation.json``) and a freshly produced one.
+Exits non-zero if any wave size regressed by more than the threshold
+(default 25%), so CI fails instead of silently uploading a slower
+result.  The simulator is deterministic, so any movement here is a
+genuine behavior change in the delivery path, not noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_waves(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        waves = data["extra"]["waves"]
+    except KeyError:
+        raise SystemExit(f"{path}: no extra.waves section — not a P2 result?")
+    return {size: entry["windowed_s"] for size, entry in waves.items()}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_propagation.json")
+    parser.add_argument("current", help="freshly generated BENCH_propagation.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_waves(args.baseline)
+    current = load_waves(args.current)
+    failures = []
+    for size in sorted(baseline, key=int):
+        base = baseline[size]
+        if size not in current:
+            failures.append(f"wave size {size}: missing from current results")
+            continue
+        now = current[size]
+        ratio = (now - base) / base if base else float("inf")
+        status = "OK"
+        if ratio > args.threshold:
+            status = "REGRESSED"
+            failures.append(
+                f"wave size {size}: windowed {base * 1000:.2f} ms -> "
+                f"{now * 1000:.2f} ms ({ratio:+.1%} > {args.threshold:.0%})"
+            )
+        print(
+            f"P2 wave {size:>3} instances: baseline {base * 1000:8.2f} ms, "
+            f"current {now * 1000:8.2f} ms ({ratio:+.1%}) {status}"
+        )
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,7 +114,22 @@ class ChaosCoordinator:
                 )
             finally:
                 self._recovering.discard(type_name)
+        yield from self.restore_components()
         yield from self.recover_instances()
+
+    def restore_components(self):
+        """Generator: re-serve dead ICOs of every live manager.
+
+        A crashed component host leaves its ICOs dead even after the
+        host reboots (restart wipes memory); instances that never
+        cached the blob then cannot evolve.  Managers that survived
+        re-create those servers here.
+        """
+        for class_object in self.runtime.classes():
+            if class_object.is_active and hasattr(
+                class_object, "restore_components"
+            ):
+                yield from class_object.restore_components()
 
     def recover_instances(self):
         """Generator: rebuild crash-lost instances on hosts that are up."""
@@ -169,11 +184,27 @@ class ChaosSchedule:
         max_partitions=1,
         max_drops=2,
         protect=(),
+        ico_hosts=(),
+        max_ico_partitions=0,
+        mid_apply_crashes=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
         ``protect`` names hosts exempt from crashing (they may still be
         partitioned) — e.g. a host whose manager has no journal.
+
+        Two fault kinds target the transactional-evolution window
+        specifically; both default off, and their draws come strictly
+        after the legacy ones, so a given seed yields the same legacy
+        schedule either way:
+
+        - ``max_ico_partitions`` (with ``ico_hosts`` naming the hosts
+          serving ICOs) cuts the component servers off from everyone
+          else early in the run — an evolution that reaches its
+          prepare-phase fetch then fails and must roll back.
+        - ``mid_apply_crashes`` crashes extra hosts inside the first
+          few seconds, while prepare/commit work is typically in
+          flight.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -208,6 +239,28 @@ class ChaosSchedule:
         for __ in range(rng.randint(0, max_drops)):
             start = rng.uniform(0.0, duration_s * 0.6)
             drops.append((rng.randint(1, 4), start, start + rng.uniform(1.0, 20.0)))
+        ico_hosts = [name for name in ico_hosts if name in host_names]
+        others = [name for name in host_names if name not in ico_hosts]
+        if ico_hosts and others and max_ico_partitions > 0:
+            for __ in range(rng.randint(1, max_ico_partitions)):
+                start = rng.uniform(0.0, duration_s * 0.25)
+                end = start + rng.uniform(5.0, duration_s * 0.5)
+                partitions.append(
+                    (
+                        [f"{name}/" for name in ico_hosts],
+                        [f"{name}/" for name in others],
+                        start,
+                        end,
+                    )
+                )
+        already_down = {name for name, __, __ in crashes}
+        fresh = [name for name in eligible if name not in already_down]
+        if fresh and mid_apply_crashes > 0:
+            victims = rng.sample(fresh, k=min(mid_apply_crashes, len(fresh)))
+            for name in victims:
+                crash_at = rng.uniform(0.6, 6.0)
+                restart_at = crash_at + rng.uniform(5.0, duration_s * 0.4)
+                crashes.append((name, crash_at, restart_at))
         return cls(crashes=crashes, partitions=partitions, drops=drops)
 
     @property
@@ -258,9 +311,14 @@ def drive_to_convergence(
     Meant for *after* faults heal.  Each round: recover the manager
     from its journal if it is dead, rebuild crash-lost instances on
     up hosts, then run the ack-tracked propagation of the current
-    version.  Returns the final :class:`PropagationTracker` (check
-    ``all_acked``).
+    version.  The propagation is driven under explicit converge
+    semantics — a wave that previously aborted keeps its abortive
+    policy on its tracker, and convergence is this function's whole
+    contract, so the per-call override re-drives it to completion
+    instead of re-tripping the abort.  Returns the final
+    :class:`PropagationTracker` (check ``all_acked``).
     """
+    from repro.core.manager import WavePolicy
     from repro.core.recovery import recover_manager
 
     tracker = None
@@ -273,9 +331,12 @@ def drive_to_convergence(
                 )
             manager = yield from recover_manager(runtime, journal)
         coordinator = ChaosCoordinator(runtime, auto_recover=False)
+        yield from coordinator.restore_components()
         yield from coordinator.recover_instances()
         tracker = yield from manager.propagate_version(
-            manager.current_version, retry_policy=retry_policy
+            manager.current_version,
+            retry_policy=retry_policy,
+            wave_policy=WavePolicy.converge(),
         )
         if tracker.all_acked:
             return tracker

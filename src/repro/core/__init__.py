@@ -27,7 +27,14 @@ from repro.core.component import (
     ComponentVariant,
     ImplementationComponent,
 )
-from repro.core.dcdo import DCDO, DynamicCallContext, RemoveMode, RemovePolicy
+from repro.core.dcdo import (
+    DCDO,
+    DynamicCallContext,
+    EvolutionPhase,
+    EvolutionTransaction,
+    RemoveMode,
+    RemovePolicy,
+)
 from repro.core.dependency import Dependency
 from repro.core.descriptor import (
     ComponentRef,
@@ -51,14 +58,22 @@ from repro.core.errors import (
     MandatoryViolation,
     MarkingConflict,
     PermanenceViolation,
+    RollbackFailed,
     UnknownVersion,
     VersionNotConfigurable,
     VersionNotInstantiable,
+    WaveAborted,
 )
 from repro.core.functions import FunctionDef, Marking
 from repro.core.ico import ImplementationComponentObject
 from repro.core.impltype import NATIVE, ImplementationType
-from repro.core.manager import DCDOManager, VersionRecord, define_dcdo_type
+from repro.core.manager import (
+    DCDOManager,
+    VersionRecord,
+    WaveMode,
+    WavePolicy,
+    define_dcdo_type,
+)
 from repro.core.recovery import (
     Delivery,
     DeliveryStatus,
@@ -93,6 +108,8 @@ __all__ = [
     "DynamicCallContext",
     "DynamicFunctionMapper",
     "EvolutionDisallowed",
+    "EvolutionPhase",
+    "EvolutionTransaction",
     "FunctionDef",
     "FunctionNotEnabled",
     "FunctionNotExported",
@@ -110,12 +127,16 @@ __all__ = [
     "PropagationTracker",
     "RemoveMode",
     "RemovePolicy",
+    "RollbackFailed",
     "UnknownVersion",
     "VersionId",
     "VersionNotConfigurable",
     "VersionNotInstantiable",
     "VersionRecord",
     "VersionTree",
+    "WaveAborted",
+    "WaveMode",
+    "WavePolicy",
     "annotate_component",
     "check_closure",
     "define_dcdo_type",

@@ -17,7 +17,7 @@ ahead with the operation after some time-out period" (§3.2).
 """
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core import validation
 from repro.core.dfm import DynamicFunctionMapper
@@ -25,6 +25,7 @@ from repro.core.errors import (
     ComponentBusy,
     FunctionNotEnabled,
     FunctionNotExported,
+    RollbackFailed,
 )
 from repro.core.impltype import ImplementationType
 from repro.legion.errors import MethodNotFound
@@ -62,6 +63,39 @@ class RemovePolicy:
     def timeout(cls, grace_s):
         """Wait up to ``grace_s`` for threads to drain, then proceed."""
         return cls(RemoveMode.TIMEOUT, grace_s)
+
+
+class EvolutionPhase(enum.Enum):
+    """Where an instance stands in its evolution transaction."""
+
+    IDLE = "idle"
+    PREPARING = "preparing"
+    COMMITTING = "committing"
+    ROLLING_BACK = "rolling-back"
+
+
+@dataclass
+class EvolutionTransaction:
+    """The undo log for one in-flight ``applyConfiguration``.
+
+    *Prepare* records every component it incorporated; *commit* records
+    the pre-flip entry states, the pre-adoption restrictions, and every
+    component it removed (metadata and variant kept in hand, so re-
+    adding costs only DFM updates — the blob is still in the host
+    cache).  A rollback replays this log in reverse, leaving the
+    instance byte-for-byte on its old version.
+    """
+
+    diff: object
+    phase: EvolutionPhase = EvolutionPhase.PREPARING
+    #: Component ids incorporated during prepare (newest last).
+    incorporated: list = field(default_factory=list)
+    #: ``(component, variant)`` pairs removed during commit.
+    removed: list = field(default_factory=list)
+    #: Entry-state snapshot taken at commit start, or None.
+    entry_states: object = None
+    #: Restrictions snapshot taken at commit start, or None.
+    restrictions: object = None
 
 
 class DynamicCallContext(CallContext):
@@ -116,7 +150,10 @@ class DCDO(LegionObject):
         #: deliveries suppressed by idempotence (already at / already
         #: applying the target) — at-least-once redundancy made visible.
         self.duplicate_deliveries = 0
+        #: compensating rollbacks run after failed prepares/commits.
+        self.rollbacks = 0
         self._applying = {}
+        self._txn = None
         self._register_dcdo_interface()
 
     # ------------------------------------------------------------------
@@ -149,6 +186,14 @@ class DCDO(LegionObject):
         if len(impl_types) == 1:
             return next(iter(impl_types))
         return ImplementationType(architecture=self.host.architecture)
+
+    @property
+    def evolution_phase(self):
+        """The current :class:`EvolutionPhase` (IDLE when no
+        ``applyConfiguration`` transaction is in flight)."""
+        if self._txn is None:
+            return EvolutionPhase.IDLE
+        return self._txn.phase
 
     @property
     def remove_policy(self):
@@ -257,9 +302,21 @@ class DCDO(LegionObject):
 
         Returns the component id.
         """
-        component = yield from self.invoker.invoke(ico_loid, "getComponent")
+        component = yield from self.invoker.invoke(
+            ico_loid, "getComponent", breaker=self._ico_breaker(ico_loid)
+        )
         yield from self._incorporate(component, ico_loid, bootstrap=bootstrap)
         return component.component_id
+
+    def _ico_breaker(self, ico_loid):
+        """The shared circuit breaker guarding one ICO's fetch path.
+
+        Keyed cluster-wide on the ICO's LOID: every DCDO fetching from a
+        dead ICO contributes failures to the same breaker, so once it
+        opens, subsequent fetches across the whole wave fail in
+        microseconds instead of each walking minutes of timeouts.
+        """
+        return self.runtime.network.breaker(f"ico:{ico_loid}")
 
     def _incorporate(self, component, ico_loid, bootstrap=False, validate=True):
         """Generator: map ``component`` in, metadata already in hand.
@@ -293,6 +350,7 @@ class DCDO(LegionObject):
                 "fetchVariant",
                 (variant.impl_type,),
                 timeout_schedule=(60.0, 60.0),
+                breaker=self._ico_breaker(ico_loid),
             )
             # Write the fetched data into the local file system.
             yield self.host.cpu_work(variant.size_bytes / calibration.component_transfer_bps)
@@ -447,6 +505,49 @@ class DCDO(LegionObject):
         self.runtime.network.count(name)
 
     def _apply_configuration_body(self, diff):
+        """Generator: the two-phase transactional application.
+
+        *Prepare* does the slow, fallible work — ICO fetches for new
+        components and the §3.2 transition-rule check against the live
+        DFM — without touching any entry state the dispatch path reads.
+        *Commit* then flips entry states, adopts the target's
+        restrictions, and drops removed components.  Any failure in
+        either phase triggers a compensating rollback that returns the
+        instance exactly to its pre-transaction state, so an observer
+        never finds it half-applied: it is fully on the old version or
+        fully on the new one.
+        """
+        txn = self._txn = EvolutionTransaction(
+            diff=diff,
+            entry_states=self.dfm.entry_states_snapshot(),
+            restrictions=self.dfm.restrictions_snapshot(),
+        )
+        self._network_count("dcdo.prepares")
+        try:
+            yield from self._prepare_configuration(txn)
+            txn.phase = EvolutionPhase.COMMITTING
+            result = yield from self._commit_configuration(txn)
+        except Exception as error:
+            if not (self.is_active and self.host.is_up):
+                # The host died mid-apply: the in-memory state vanishes
+                # with the process, so there is nothing local to undo.
+                raise
+            yield from self._rollback(txn, error)
+            raise
+        finally:
+            self._txn = None
+        return result
+
+    def _prepare_configuration(self, txn):
+        """Generator: incorporate new components; validate; no flips.
+
+        Everything here either leaves the live dispatch state untouched
+        (new components' entries start disabled) or is recorded in the
+        transaction's undo log for the compensating rollback.
+        """
+        diff = txn.diff
+        if diff.enforce_restrictions:
+            validation.check_transition_preserves_rules(self.dfm, diff.target)
         for ref in diff.components_to_add:
             if ref.component_id in self.dfm.component_ids:
                 continue  # duplicate delivery: already incorporated
@@ -454,13 +555,21 @@ class DCDO(LegionObject):
                 yield from self._incorporate(ref.component, ref.ico_loid, validate=False)
             else:
                 yield from self.incorporate_component(ref.ico_loid)
+            txn.incorporated.append(ref.component_id)
+
+    def _commit_configuration(self, txn):
+        """Generator: flip entry states, adopt restrictions, drop the
+        removed components, and bump the version."""
+        diff = txn.diff
         changes = self.dfm.apply_entry_states(diff.target)
         self.dfm.adopt_restrictions(diff.target)
         yield self.host.cpu_work(max(changes, 1) * self.calibration.dfm_update_s)
         for component_id in diff.components_to_remove:
             if component_id not in self.dfm.component_ids:
                 continue  # duplicate delivery: already removed
+            incorporated = self.dfm.component(component_id)
             yield from self.remove_component(component_id, validate=False)
+            txn.removed.append((incorporated.component, incorporated.variant))
         validation.check_state_consistent(self.dfm)
         from_version = self._version
         if diff.target_version is not None:
@@ -469,6 +578,7 @@ class DCDO(LegionObject):
                 self.applications_by_version.get(diff.target_version, 0) + 1
             )
         self.evolutions_applied += 1
+        self._network_count("dcdo.commits")
         self.runtime.trace(
             "evolved",
             self.loid,
@@ -478,6 +588,43 @@ class DCDO(LegionObject):
             removed=len(diff.components_to_remove),
         )
         return str(self._version) if self._version else None
+
+    def _rollback(self, txn, cause):
+        """Generator: compensate a failed prepare or commit.
+
+        Undo runs in reverse order: unmap components incorporated
+        during prepare, re-map components removed during commit (their
+        variants are still in the host cache, so this is pure re-link
+        work), then restore the entry-state and restriction snapshots.
+        Rollback is in-memory work and must not fail; if it does, the
+        error is wrapped in :class:`RollbackFailed` because the
+        never-half-applied guarantee no longer holds for this instance.
+        """
+        txn.phase = EvolutionPhase.ROLLING_BACK
+        try:
+            for component_id in reversed(txn.incorporated):
+                if component_id in self.dfm.component_ids:
+                    yield from self.remove_component(component_id, validate=False)
+            for component, variant in reversed(txn.removed):
+                if component.component_id not in self.dfm.component_ids:
+                    self.dfm.add_component(component, variant, validate=False)
+                    yield self.host.cpu_work(
+                        len(component.functions) * self.calibration.dfm_update_s
+                    )
+            self.dfm.restore_entry_states(txn.entry_states)
+            self.dfm.restore_restrictions(txn.restrictions)
+            yield self.host.cpu_work(self.calibration.dfm_update_s)
+            validation.check_state_consistent(self.dfm)
+        except Exception as rollback_error:
+            raise RollbackFailed(cause, rollback_error)
+        self.rollbacks += 1
+        self._network_count("dcdo.rollbacks")
+        self.runtime.trace(
+            "evolution-rolled-back",
+            self.loid,
+            cause=type(cause).__name__,
+            target=str(txn.diff.target_version) if txn.diff.target_version else None,
+        )
 
     # ------------------------------------------------------------------
     # Exported configuration + status interface (§2.2)

@@ -65,6 +65,12 @@ class ConfigurationDiff:
     components_to_remove: list = field(default_factory=list)
     entry_changes: int = 0
     target_version: object = None
+    #: False for compensating (wave-rollback) diffs: returning to the
+    #: prior version may legitimately weaken §3.2 markings the aborted
+    #: version had introduced, so the prepare-time transition-rule
+    #: check is waived (the prior version was itself validated when it
+    #: was marked instantiable).
+    enforce_restrictions: bool = True
 
     @property
     def is_noop(self):

@@ -457,6 +457,54 @@ class DynamicFunctionMapper:
             self._bump()
         return changes
 
+    # ------------------------------------------------------------------
+    # Undo-log support (transactional evolution)
+    # ------------------------------------------------------------------
+
+    def entry_states_snapshot(self):
+        """Capture every entry's (enabled, exported) flags.
+
+        Taken by a DCDO at commit time so a failed commit can restore
+        the pre-flip dispatch state exactly (see
+        :meth:`restore_entry_states`).
+        """
+        return {
+            key: (entry.enabled, entry.exported)
+            for key, entry in self._entries.items()
+        }
+
+    def restore_entry_states(self, snapshot):
+        """Reinstate flags captured by :meth:`entry_states_snapshot`.
+
+        Entries added since the snapshot keep their current flags;
+        entries removed since are skipped (the caller re-adds their
+        components first when full restoration is needed).
+        """
+        changed = False
+        for key, (enabled, exported) in snapshot.items():
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if entry.enabled != enabled or entry.exported != exported:
+                entry.enabled = enabled
+                entry.exported = exported
+                changed = True
+        if changed:
+            self._reindex()
+            self._bump()
+
+    def restrictions_snapshot(self):
+        """Capture markings, pins, and dependencies for rollback."""
+        return (dict(self._markings), dict(self._pins), list(self._dependencies))
+
+    def restore_restrictions(self, snapshot):
+        """Reinstate a :meth:`restrictions_snapshot` capture."""
+        markings, pins, dependencies = snapshot
+        self._markings = dict(markings)
+        self._pins = dict(pins)
+        self._dependencies = list(dependencies)
+        self._bump()
+
     def to_descriptor(self):
         """Snapshot this DFM as a :class:`DFMDescriptor` (for diffing)."""
         descriptor = DFMDescriptor()

@@ -112,3 +112,37 @@ class EvolutionDisallowed(VersionError):
 
 class IncompatibleImplementationType(DCDOError):
     """No component variant matches the target host's implementation type."""
+
+
+class RollbackFailed(DCDOError):
+    """A compensating rollback itself failed mid-undo.
+
+    The transactional evolution guarantee ("never half-applied") rests
+    on rollback being infallible in-memory work; if it raises, the
+    instance may genuinely be half-applied and operators must
+    intervene.  Carries both the original failure that triggered the
+    rollback and the error the rollback hit.
+    """
+
+    def __init__(self, cause, rollback_error):
+        super().__init__(
+            f"rollback after {cause!r} failed with {rollback_error!r}; "
+            f"instance state may be inconsistent"
+        )
+        self.cause = cause
+        self.rollback_error = rollback_error
+
+
+class WaveAborted(VersionError):
+    """An evolution wave crossed its abort threshold and was rolled
+    back; instances that had committed the new version were returned
+    to their prior versions (see :class:`~repro.core.manager.WavePolicy`)."""
+
+    def __init__(self, version, failed, threshold):
+        super().__init__(
+            f"wave for version {version} aborted: {failed} deliveries failed "
+            f"(threshold {threshold})"
+        )
+        self.version = version
+        self.failed = failed
+        self.threshold = threshold

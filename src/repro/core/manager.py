@@ -14,6 +14,7 @@ manages."  It extends the Legion class object with:
 - the evolution entry points the update policies drive.
 """
 
+import enum
 from dataclasses import dataclass
 
 from repro.core.dcdo import DCDO, RemovePolicy
@@ -23,6 +24,7 @@ from repro.core.errors import (
     UnknownVersion,
     VersionNotConfigurable,
     VersionNotInstantiable,
+    WaveAborted,
 )
 from repro.core.ico import ImplementationComponentObject
 from repro.core.policies.evolution import SingleVersionPolicy
@@ -40,6 +42,52 @@ from repro.net import RetryPolicy, TransportError, run_windowed
 DEFAULT_PROPAGATION_RETRY = RetryPolicy(
     base_s=1.0, multiplier=2.0, max_backoff_s=60.0, max_attempts=6
 )
+
+
+class WaveMode(enum.Enum):
+    """What a propagation wave does about delivery failures."""
+
+    #: Keep converging: failed deliveries stay FAILED until a later
+    #: re-propagation re-arms them (the pre-transactional behaviour).
+    CONVERGE = "converge"
+    #: All-or-nothing: past the failure threshold the wave rolls every
+    #: committed instance back to its prior version and marks itself
+    #: aborted.
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class WavePolicy:
+    """How :meth:`DCDOManager.propagate_version` handles a failing wave.
+
+    ``abort_threshold=k`` means the wave tolerates up to ``k`` FAILED
+    deliveries; one more and it aborts — already-committed instances
+    are evolved *back* to the versions they were on when the wave
+    started (captured in the tracker's ``prior_versions``), the wave
+    is journaled ABORTED, and :class:`WaveAborted` is raised.  The
+    abort decision and every rollback are write-ahead logged, so a
+    manager crash mid-abort resumes — and completes — the abort on
+    recovery.
+    """
+
+    mode: WaveMode = WaveMode.CONVERGE
+    abort_threshold: int = 0
+
+    @classmethod
+    def converge(cls):
+        """Today's behaviour: failures wait for a later re-propagation."""
+        return cls(mode=WaveMode.CONVERGE)
+
+    @classmethod
+    def abort_after(cls, threshold):
+        """Abort (and roll back) once more than ``threshold`` deliveries fail."""
+        if threshold < 0:
+            raise ValueError("abort_threshold must be >= 0")
+        return cls(mode=WaveMode.ABORT, abort_threshold=threshold)
+
+    def should_abort(self, failed_count):
+        """True when ``failed_count`` failures cross the threshold."""
+        return self.mode is WaveMode.ABORT and failed_count > self.abort_threshold
 
 
 @dataclass
@@ -78,6 +126,9 @@ class DCDOManager(ClassObject):
         management RPCs a wave puts on the network while still keeping
         the pipe full; ``window=1`` degenerates to the old sequential
         loop.
+    wave_policy:
+        Default :class:`WavePolicy` for :meth:`propagate_version`
+        (converge unless told otherwise).
     """
 
     def __init__(
@@ -93,6 +144,7 @@ class DCDOManager(ClassObject):
         journal=None,
         propagation_retry_policy=None,
         fanout_window=8,
+        wave_policy=None,
     ):
         super().__init__(
             runtime,
@@ -118,6 +170,7 @@ class DCDOManager(ClassObject):
         if fanout_window < 1:
             raise ValueError("fanout_window must be >= 1")
         self.fanout_window = fanout_window
+        self.wave_policy = wave_policy or WavePolicy.converge()
         self.evolutions_performed = 0
         self._register_manager_methods()
         if journal is not None:
@@ -418,7 +471,7 @@ class DCDOManager(ClassObject):
     # Evolution (§2.4, §3.3)
     # ------------------------------------------------------------------
 
-    def evolve_instance(self, loid, target_version=None):
+    def evolve_instance(self, loid, target_version=None, enforce_policy=True):
         """Generator: evolve one instance to ``target_version``.
 
         Defaults to the policy's target for this instance (usually the
@@ -426,6 +479,14 @@ class DCDOManager(ClassObject):
         policy, ships the configuration diff to the DCDO in one
         management RPC, and updates the DCDO table.  Returns the
         version actually reached.
+
+        ``enforce_policy=False`` is the wave-rollback path: a
+        compensating evolution back to a *prior* version must not be
+        vetoed by the evolution policy (single-version would reject any
+        non-current target) nor by the §3.2 transition-rule check (the
+        aborted version may have introduced markings the prior version
+        legitimately lacks; the prior version was validated when it was
+        marked instantiable).
         """
         lock = self.management_lock(loid)
         yield lock.acquire()
@@ -448,7 +509,8 @@ class DCDOManager(ClassObject):
                 raise VersionNotInstantiable(
                     f"cannot evolve to configurable version {target_version}"
                 )
-            self.evolution_policy.check_transition(self, from_version, target_version)
+            if enforce_policy:
+                self.evolution_policy.check_transition(self, from_version, target_version)
             if from_version == target_version:
                 return from_version
             current_descriptor = (
@@ -458,6 +520,7 @@ class DCDOManager(ClassObject):
             )
             diff = diff_descriptors(current_descriptor, target_record.descriptor)
             diff.target_version = target_version
+            diff.enforce_restrictions = enforce_policy
             # Generous per-attempt timeouts (downloads can take tens of
             # seconds) with retries; applyConfiguration is idempotent.
             yield from self.invoker.invoke(
@@ -517,7 +580,9 @@ class DCDOManager(ClassObject):
     # Ack-tracked, at-least-once propagation
     # ------------------------------------------------------------------
 
-    def propagate_version(self, version, loids=None, retry_policy=None, window=None):
+    def propagate_version(
+        self, version, loids=None, retry_policy=None, window=None, wave_policy=None
+    ):
         """Generator: reliably push ``version`` to its instances.
 
         The fault-tolerant counterpart of :meth:`update_all_instances`:
@@ -530,9 +595,15 @@ class DCDOManager(ClassObject):
         delivery is safe because :meth:`DCDO.apply_configuration` is
         idempotent keyed by the target version id.
 
-        Calling again for the same version re-arms FAILED deliveries
-        and admits instances created since — the convergence loop after
-        faults heal.  Returns the :class:`PropagationTracker`.
+        ``wave_policy`` (default: the manager's) decides what failures
+        mean.  Under ``WavePolicy.converge()`` failed deliveries simply
+        wait: calling again for the same version re-arms them and
+        admits instances created since — the convergence loop after
+        faults heal.  Under ``WavePolicy.abort_after(k)`` more than
+        ``k`` failures abort the wave: committed instances are rolled
+        back to their prior versions, the wave is journaled ABORTED,
+        and :class:`WaveAborted` is raised.  Returns the
+        :class:`PropagationTracker` otherwise.
         """
         record = self.version_record(version)
         if not record.instantiable:
@@ -543,14 +614,33 @@ class DCDOManager(ClassObject):
             loids = self.instance_loids()
         tracker = self._propagations.get(version)
         if tracker is None:
-            tracker = PropagationTracker(version, loids)
+            wave = wave_policy or self.wave_policy
+            prior_versions = {
+                loid: self._instance_versions.get(loid) for loid in loids
+            }
+            tracker = PropagationTracker(
+                version, loids, prior_versions=prior_versions, wave_policy=wave
+            )
             tracker.started_at = self._runtime.sim.now
             self._propagations[version] = tracker
             self._journal_append(
-                "propagation-started", version=version, loids=list(loids)
+                "propagation-started",
+                version=version,
+                loids=list(loids),
+                prior_versions=prior_versions,
+                wave_policy=wave,
             )
+        elif tracker.aborting and not tracker.aborted:
+            # A crash interrupted the abort: finish the rollback; do
+            # not deliver anything new.
+            yield from self._finish_abort(tracker)
+            return tracker
         else:
             tracker.rearm(loids)
+            for loid in loids:
+                tracker.prior_versions.setdefault(
+                    loid, self._instance_versions.get(loid)
+                )
         policy = retry_policy or self.propagation_retry_policy
         window = window or self.fanout_window
         pending = tracker.pending_loids()
@@ -567,11 +657,78 @@ class DCDOManager(ClassObject):
             # We crashed while deliveries were in flight; the journal
             # still shows the propagation open, so recovery resumes it.
             return tracker
+        # An explicit per-call policy wins (e.g. a convergence loop
+        # re-driving a previously abortive wave); otherwise the policy
+        # the wave started under keeps governing it across resumes.
+        wave = wave_policy or tracker.wave_policy or self.wave_policy
+        failed = tracker.count(DeliveryStatus.FAILED)
+        if wave.should_abort(failed):
+            yield from self._finish_abort(tracker)
+            if not tracker.aborted:
+                # Crash (or unreachable instances) left the abort
+                # incomplete; recovery/resume finishes it.
+                return tracker
+            raise WaveAborted(version, failed, wave.abort_threshold)
         tracker.complete = True
         tracker.completed_at = self._runtime.sim.now
         self._journal_append("propagation-complete", version=version)
         self._runtime.trace("propagation-complete", self.loid, **tracker.summary())
         return tracker
+
+    def _finish_abort(self, tracker):
+        """Generator: drive an aborting wave to the ABORTED state.
+
+        Journals the abort decision first (so recovery knows the wave
+        must never resume delivering), then rolls every ACKED instance
+        back to its prior version with policy enforcement off.  Each
+        rollback is journaled; the wave stays ABORTING — and is resumed
+        by :meth:`resume_propagations` — until every committed instance
+        has been undone, at which point it is journaled ABORTED.
+        """
+        sim = self._runtime.sim
+        if not tracker.aborting:
+            tracker.aborting = True
+            self._journal_append("wave-aborting", version=tracker.version)
+            self._count("wave.aborts")
+            self._runtime.trace(
+                "wave-aborting",
+                self.loid,
+                version=str(tracker.version),
+                failed=tracker.count(DeliveryStatus.FAILED),
+            )
+        for delivery in tracker.deliveries():
+            if delivery.status is not DeliveryStatus.ACKED:
+                continue
+            if not self.is_active:
+                return
+            prior = tracker.prior_versions.get(delivery.loid)
+            if prior is not None:
+                try:
+                    yield from self.evolve_instance(
+                        delivery.loid, prior, enforce_policy=False
+                    )
+                except (LegionError, TransportError) as error:
+                    delivery.last_error = error
+                    if not self.is_active:
+                        return
+                    # Leave it ACKED: the wave stays ABORTING and a
+                    # later resume retries this rollback.
+                    continue
+            tracker.roll_back(delivery.loid)
+            self._journal_append(
+                "wave-rollback", version=tracker.version, loid=delivery.loid
+            )
+            self._count("wave.rollbacks")
+        if any(
+            delivery.status is DeliveryStatus.ACKED
+            for delivery in tracker.deliveries()
+        ):
+            return
+        tracker.aborted = True
+        tracker.complete = True
+        tracker.completed_at = sim.now
+        self._journal_append("wave-aborted", version=tracker.version)
+        self._runtime.trace("wave-aborted", self.loid, **tracker.summary())
 
     def _deliver(self, tracker, loid, policy):
         """Process body: drive one delivery to ack or exhaustion."""
@@ -634,13 +791,47 @@ class DCDOManager(ClassObject):
 
         Only journaled-but-incomplete propagations run; acked
         deliveries are never repeated (the acceptance condition: no
-        version re-derivation, no double application).
+        version re-derivation, no double application).  A wave the
+        crash caught mid-abort is *not* re-delivered: resuming it
+        completes the rollback instead, and the resulting
+        :class:`WaveAborted` is absorbed here (the abort is the wave's
+        journaled, final outcome — not an error of the recovery).
         """
         for version in list(self._propagations):
             tracker = self._propagations[version]
             if tracker.complete:
                 continue
-            yield from self.propagate_version(version, retry_policy=retry_policy)
+            try:
+                yield from self.propagate_version(version, retry_policy=retry_policy)
+            except WaveAborted:
+                continue
+
+    def restore_components(self):
+        """Generator: re-serve any registered component whose ICO died.
+
+        An ICO is a full active object (§2.3); when its host crashes,
+        the component metadata survives in the manager (and its blob in
+        any host cache that already fetched it), but the server object
+        is gone — and unlike instances, nothing rebuilds it short of a
+        full manager recovery.  This re-creates dead ICOs — on their
+        original host when it is back up, else on the manager's — so
+        prepare-phase fetches work again without the manager itself
+        having crashed.  Returns the restored component ids.
+        """
+        restored = []
+        for component_id in sorted(self._components):
+            component, ico_loid = self._components[component_id]
+            obj = self._runtime.live_object(ico_loid)
+            if obj is not None and obj.is_active:
+                continue
+            host_name = obj.host.name if obj is not None else None
+            yield from self._restore_component(component, ico_loid, host_name)
+            self._count("ico.recoveries")
+            self._runtime.trace(
+                "ico-restored", ico_loid, component=component_id
+            )
+            restored.append(component_id)
+        return restored
 
     # ------------------------------------------------------------------
     # Journal replay (crash recovery)
@@ -691,7 +882,12 @@ class DCDOManager(ClassObject):
         elif kind == "instance-version":
             self._instance_versions[data["loid"]] = data["version"]
         elif kind == "propagation-started":
-            tracker = PropagationTracker(data["version"], data["loids"])
+            tracker = PropagationTracker(
+                data["version"],
+                data["loids"],
+                prior_versions=data.get("prior_versions"),
+                wave_policy=data.get("wave_policy"),
+            )
             self._propagations[data["version"]] = tracker
         elif kind == "propagation-ack":
             self._propagations[data["version"]].ack(data["loid"])
@@ -699,6 +895,15 @@ class DCDOManager(ClassObject):
             self._propagations[data["version"]].fail(data["loid"])
         elif kind == "propagation-complete":
             self._propagations[data["version"]].complete = True
+        elif kind == "wave-aborting":
+            self._propagations[data["version"]].aborting = True
+        elif kind == "wave-rollback":
+            self._propagations[data["version"]].roll_back(data["loid"])
+        elif kind == "wave-aborted":
+            tracker = self._propagations[data["version"]]
+            tracker.aborting = True
+            tracker.aborted = True
+            tracker.complete = True
         else:
             raise ValueError(f"unknown journal entry kind {kind!r}")
         return
@@ -816,9 +1021,17 @@ class DCDOManager(ClassObject):
             loids = [entry.loid for entry in tracker.deliveries()]
             entries.append(
                 JournalEntry(
-                    "propagation-started", {"version": version, "loids": loids}
+                    "propagation-started",
+                    {
+                        "version": version,
+                        "loids": loids,
+                        "prior_versions": dict(tracker.prior_versions),
+                        "wave_policy": tracker.wave_policy,
+                    },
                 )
             )
+            if tracker.aborting:
+                entries.append(JournalEntry("wave-aborting", {"version": version}))
             for delivery in tracker.deliveries():
                 if delivery.status is DeliveryStatus.ACKED:
                     entries.append(
@@ -834,7 +1047,16 @@ class DCDOManager(ClassObject):
                             {"version": version, "loid": delivery.loid},
                         )
                     )
-            if tracker.complete:
+                elif delivery.status is DeliveryStatus.ROLLED_BACK:
+                    entries.append(
+                        JournalEntry(
+                            "wave-rollback",
+                            {"version": version, "loid": delivery.loid},
+                        )
+                    )
+            if tracker.aborted:
+                entries.append(JournalEntry("wave-aborted", {"version": version}))
+            elif tracker.complete:
                 entries.append(
                     JournalEntry("propagation-complete", {"version": version})
                 )
@@ -895,6 +1117,7 @@ def define_dcdo_type(
     journal=None,
     propagation_retry_policy=None,
     fanout_window=8,
+    wave_policy=None,
 ):
     """Define a DCDO type in ``runtime`` and return its manager.
 
@@ -916,6 +1139,7 @@ def define_dcdo_type(
             journal=journal,
             propagation_retry_policy=propagation_retry_policy,
             fanout_window=fanout_window,
+            wave_policy=wave_policy,
         )
 
     return runtime.define_class(type_name, class_factory=factory, host_name=host_name)

@@ -39,6 +39,9 @@ class DeliveryStatus(enum.Enum):
     PENDING = "pending"
     ACKED = "acked"
     FAILED = "failed"
+    #: The delivery had been acked, but the wave crossed its abort
+    #: threshold and this instance was returned to its prior version.
+    ROLLED_BACK = "rolled-back"
 
 
 @dataclass
@@ -62,11 +65,24 @@ class PropagationTracker:
     heal finishes the job.
     """
 
-    def __init__(self, version, loids=()):
+    def __init__(self, version, loids=(), prior_versions=None, wave_policy=None):
         self.version = version
         self.complete = False
         self.started_at = None
         self.completed_at = None
+        #: loid -> the version each instance was on when admitted; the
+        #: rollback targets if the wave aborts.  Journaled with the
+        #: propagation-started entry so a recovered manager can still
+        #: complete an abort.
+        self.prior_versions = dict(prior_versions or {})
+        #: The :class:`~repro.core.manager.WavePolicy` this wave runs
+        #: under (None means converge).
+        self.wave_policy = wave_policy
+        #: True once the abort decision is journaled; the wave then
+        #: only rolls back, never delivers.
+        self.aborting = False
+        #: True once every committed instance has been rolled back.
+        self.aborted = False
         self._deliveries = {}
         for loid in loids:
             self._deliveries[loid] = Delivery(loid)
@@ -83,13 +99,20 @@ class PropagationTracker:
         return list(self._deliveries.values())
 
     def rearm(self, loids=()):
-        """Re-open the propagation: admit ``loids``, retry failures."""
+        """Re-open the propagation: admit ``loids``, retry failures.
+
+        An aborted wave re-arms like any other: the abort flags clear
+        and rolled-back deliveries re-open, so the operator can retry
+        the whole wave after the fault heals.
+        """
         self.complete = False
         self.completed_at = None
+        self.aborting = False
+        self.aborted = False
         for loid in loids:
             self.delivery(loid)
         for entry in self._deliveries.values():
-            if entry.status is DeliveryStatus.FAILED:
+            if entry.status in (DeliveryStatus.FAILED, DeliveryStatus.ROLLED_BACK):
                 entry.status = DeliveryStatus.PENDING
 
     def ack(self, loid, now=None):
@@ -97,12 +120,18 @@ class PropagationTracker:
         entry = self.delivery(loid)
         entry.status = DeliveryStatus.ACKED
         entry.acked_at = now
+        entry.last_error = None
 
     def fail(self, loid, error=None):
         """Mark ``loid`` given up on (until the next rearm)."""
         entry = self.delivery(loid)
         entry.status = DeliveryStatus.FAILED
         entry.last_error = error
+
+    def roll_back(self, loid):
+        """Mark an acked delivery undone by a wave abort."""
+        entry = self.delivery(loid)
+        entry.status = DeliveryStatus.ROLLED_BACK
 
     def pending_loids(self):
         """LOIDs still awaiting delivery."""
@@ -132,13 +161,18 @@ class PropagationTracker:
             "pending": self.count(DeliveryStatus.PENDING),
             "acked": self.count(DeliveryStatus.ACKED),
             "failed": self.count(DeliveryStatus.FAILED),
+            "rolled_back": self.count(DeliveryStatus.ROLLED_BACK),
+            "aborting": self.aborting,
+            "aborted": self.aborted,
         }
 
     def __repr__(self):
         s = self.summary()
+        flags = " ABORTED" if s["aborted"] else (" aborting" if s["aborting"] else "")
         return (
             f"<PropagationTracker v{s['version']} pending={s['pending']} "
-            f"acked={s['acked']} failed={s['failed']} complete={s['complete']}>"
+            f"acked={s['acked']} failed={s['failed']} "
+            f"rolled_back={s['rolled_back']} complete={s['complete']}{flags}>"
         )
 
 

@@ -13,7 +13,13 @@ from dataclasses import dataclass
 
 from repro.legion.binding import BindingAgent
 from repro.legion.errors import MethodNotFound, ObjectUnreachable, UnknownObject
-from repro.net import RemoteError, RequestTimeout, run_windowed
+from repro.net import (
+    CircuitOpen,
+    CircuitState,
+    RemoteError,
+    RequestTimeout,
+    run_windowed,
+)
 
 
 class ReplyEnvelope:
@@ -140,6 +146,7 @@ class MethodInvoker:
         payload_bytes=None,
         timeout_schedule=None,
         retry_policy=None,
+        breaker=None,
     ):
         """Generator: invoke ``method`` on the object named ``loid``.
 
@@ -150,6 +157,8 @@ class MethodInvoker:
           exported function problem reaching the client.
         - :class:`ObjectUnreachable` — the object could not be reached
           even after rebinding.
+        - :class:`~repro.net.CircuitOpen` — a supplied ``breaker`` is
+          open; nothing was sent.
         - any application exception the remote method raised.
 
         ``timeout_schedule`` overrides the calibrated per-attempt reply
@@ -158,7 +167,56 @@ class MethodInvoker:
         slow server is not mistaken for a dead one and re-executed.
         ``retry_policy`` overrides the invoker-wide policy for backoff
         spacing between attempts (see the constructor).
+
+        ``breaker`` is an optional :class:`~repro.net.CircuitBreaker`
+        guarding the target.  The breaker wraps the *whole* invocation
+        — the timeout-schedule walk plus the stale-binding rebind round
+        — so once a target is known-dead, callers fail in microseconds
+        instead of re-walking ~minutes of timeouts; reachability errors
+        feed the breaker, application errors do not (the target is
+        alive and answering).  A half-open probe drops the cached
+        binding and re-resolves before sending: the binding predates
+        the outage, and a target that recovered at a new address would
+        otherwise cost the probe a full stale walk.
         """
+        if breaker is not None:
+            probing = breaker.state is not CircuitState.CLOSED
+            if not breaker.allow():
+                self._endpoint.network.count("breaker.short_circuits")
+                raise CircuitOpen(str(loid), breaker.retry_at)
+            if probing:
+                # This attempt is the half-open probe: the target was
+                # known-dead, so any cached binding predates the outage.
+                # Rebind before probing — a target that recovered at a
+                # new address (host restart, new incarnation) then
+                # answers after one resolve round trip instead of after
+                # a full stale-binding timeout walk.
+                self._cache.invalidate(loid)
+                self._endpoint.network.count("breaker.probe_rebinds")
+            try:
+                result = yield from self._invoke_inner(
+                    loid, method, args, payload_bytes, timeout_schedule, retry_policy
+                )
+            except (RequestTimeout, ObjectUnreachable, UnknownObject):
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return result
+        result = yield from self._invoke_inner(
+            loid, method, args, payload_bytes, timeout_schedule, retry_policy
+        )
+        return result
+
+    def _invoke_inner(
+        self,
+        loid,
+        method,
+        args=(),
+        payload_bytes=None,
+        timeout_schedule=None,
+        retry_policy=None,
+    ):
+        """Generator: the breaker-free invocation body (see invoke)."""
         retry_policy = retry_policy or self.retry_policy
         payload_bytes = (
             self._calibration.method_message_bytes if payload_bytes is None else payload_bytes

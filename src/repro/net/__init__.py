@@ -14,9 +14,15 @@ from repro.net.fabric import Network, NetworkStats
 from repro.net.faults import DropRule, FaultPlan, Partition, PrefixPartition
 from repro.net.link import Port
 from repro.net.message import Message, next_message_id
-from repro.net.retry import DEFAULT_REQUEST_RETRY, RetryPolicy
+from repro.net.retry import (
+    DEFAULT_REQUEST_RETRY,
+    CircuitBreaker,
+    CircuitState,
+    RetryPolicy,
+)
 from repro.net.transport import (
     BATCH_RECORD_BYTES,
+    CircuitOpen,
     Endpoint,
     RemoteError,
     RequestTimeout,
@@ -26,6 +32,9 @@ from repro.net.transport import (
 
 __all__ = [
     "BATCH_RECORD_BYTES",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CircuitState",
     "DEFAULT_REQUEST_RETRY",
     "DropRule",
     "Endpoint",

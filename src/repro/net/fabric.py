@@ -70,6 +70,49 @@ class Network:
         self.faults = FaultPlan()
         self.stats = NetworkStats()
         self.metrics = MetricsRegistry(sim)
+        # Circuit breakers keyed by target (e.g. "ico:<loid>"), shared
+        # by every client on the fabric: once one caller discovers a
+        # dead ICO, the whole fleet fails fast instead of each instance
+        # burning its own timeout schedule.
+        self._breakers = {}
+
+    def breaker(self, key, **kwargs):
+        """Get-or-create the shared :class:`CircuitBreaker` for ``key``.
+
+        Construction keyword arguments apply only on first creation;
+        state transitions are mirrored into the fabric metrics
+        (``breaker.opened`` / ``breaker.half_open`` / ``breaker.closed``).
+        """
+        from repro.net.retry import CircuitBreaker, CircuitState
+
+        breaker = self._breakers.get(key)
+        if breaker is None:
+
+            def on_transition(__, state):
+                if state is CircuitState.OPEN:
+                    self.count("breaker.opened")
+                elif state is CircuitState.HALF_OPEN:
+                    self.count("breaker.half_open_probes")
+                else:
+                    self.count("breaker.closed")
+
+            breaker = self._breakers[key] = CircuitBreaker(
+                self._sim, name=key, on_transition=on_transition, **kwargs
+            )
+        return breaker
+
+    def breakers_snapshot(self):
+        """Plain-dict view of every breaker, for system reports."""
+        return {
+            key: {
+                "state": breaker.state.value,
+                "failures": breaker.failures,
+                "successes": breaker.successes,
+                "times_opened": breaker.times_opened,
+                "short_circuits": breaker.short_circuits,
+            }
+            for key, breaker in sorted(self._breakers.items())
+        }
 
     @property
     def sim(self):

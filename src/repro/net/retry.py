@@ -10,6 +10,8 @@ across layers and keeps runs deterministic: jitter draws come from the
 caller-supplied named RNG stream, never from global randomness.
 """
 
+import enum
+
 
 class RetryPolicy:
     """Exponential backoff with optional jitter, cap, and deadline.
@@ -75,16 +77,17 @@ class RetryPolicy:
     def backoff_s(self, attempt):
         """Backoff to wait after ``attempt`` failed attempts (>= 1).
 
-        Grows geometrically from ``base_s``, capped at
-        ``max_backoff_s``, with jitter applied last so the cap bounds
-        the nominal value (jitter may nudge slightly above it).
+        Grows geometrically from ``base_s`` with jitter applied to the
+        capped nominal value; the result is clamped again after jitter,
+        so ``max_backoff_s`` is a true upper bound on every wait.
         """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         nominal = min(self.base_s * self.multiplier ** (attempt - 1), self.max_backoff_s)
         if self.jitter_fraction == 0 or nominal == 0:
             return nominal
-        return self._rng.jitter(self._stream, nominal, self.jitter_fraction)
+        jittered = self._rng.jitter(self._stream, nominal, self.jitter_fraction)
+        return min(jittered, self.max_backoff_s)
 
     def should_retry(self, attempts_made, started, now):
         """True if another attempt is allowed.
@@ -114,3 +117,140 @@ class RetryPolicy:
 DEFAULT_REQUEST_RETRY = RetryPolicy(
     base_s=0.1, multiplier=2.0, max_backoff_s=2.0, max_attempts=None
 )
+
+
+class CircuitState(enum.Enum):
+    """The three classical circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """A failure-counting circuit breaker on the simulator clock.
+
+    Protects callers from burning a full timeout schedule against a
+    target that is known-dead: after ``failure_threshold`` consecutive
+    failures the breaker *opens* and :meth:`allow` answers False until
+    ``cooldown_s`` of simulated time has passed.  The first caller
+    after the cooldown gets a single *half-open* probe; its success
+    closes the breaker, its failure re-opens it (restarting the
+    cooldown).  All timing uses ``sim.now``, so breaker behaviour is
+    deterministic and reproducible across seeded runs.
+
+    The breaker is accounting only — it sends nothing and waits for
+    nothing.  Callers check :meth:`allow` before attempting and report
+    the outcome via :meth:`record_success` / :meth:`record_failure`;
+    see :meth:`MethodInvoker.invoke`'s ``breaker`` parameter for the
+    RPC wiring (shared by the rebind walk and ICO downloads).
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock cooldowns are measured on.
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    cooldown_s:
+        Open-state dwell time before a half-open probe is admitted.
+    name:
+        Diagnostic label (used by registries and reports).
+    on_transition:
+        Optional callback ``(breaker, new_state)`` fired on every state
+        change — registries hook metrics counters here.
+    """
+
+    def __init__(
+        self, sim, failure_threshold=3, cooldown_s=30.0, name=None, on_transition=None
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self._sim = sim
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.name = name
+        self._on_transition = on_transition
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+        #: Lifetime counters, for reports and assertions.
+        self.failures = 0
+        self.successes = 0
+        self.times_opened = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self):
+        """The breaker's current :class:`CircuitState` (clock-aware:
+        an open breaker past its cooldown reads as HALF_OPEN)."""
+        if (
+            self._state is CircuitState.OPEN
+            and self._sim.now - self._opened_at >= self.cooldown_s
+        ):
+            return CircuitState.HALF_OPEN
+        return self._state
+
+    @property
+    def retry_at(self):
+        """Earliest simulated time a probe will be admitted, or None
+        when the breaker is not open."""
+        if self._state is not CircuitState.OPEN:
+            return None
+        return self._opened_at + self.cooldown_s
+
+    def _transition(self, state):
+        self._state = state
+        if self._on_transition is not None:
+            self._on_transition(self, state)
+
+    def allow(self):
+        """True if an attempt may proceed now.
+
+        In the half-open window exactly one probe is admitted at a
+        time; concurrent callers are short-circuited until its outcome
+        is recorded.
+        """
+        state = self.state
+        if state is CircuitState.CLOSED:
+            return True
+        if state is CircuitState.HALF_OPEN and not self._probe_in_flight:
+            if self._state is not CircuitState.HALF_OPEN:
+                self._transition(CircuitState.HALF_OPEN)
+            self._probe_in_flight = True
+            return True
+        self.short_circuits += 1
+        return False
+
+    def record_success(self):
+        """Report a successful attempt: the breaker closes."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        if self._state is not CircuitState.CLOSED:
+            self._transition(CircuitState.CLOSED)
+
+    def record_failure(self):
+        """Report a failed attempt: count towards tripping, or re-open
+        immediately if this was the half-open probe."""
+        self.failures += 1
+        self._consecutive_failures += 1
+        probe_failed = self._probe_in_flight
+        self._probe_in_flight = False
+        if probe_failed or (
+            self._state is CircuitState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._sim.now
+            self.times_opened += 1
+            self._transition(CircuitState.OPEN)
+
+    def __repr__(self):
+        return (
+            f"<CircuitBreaker {self.name or '?'} {self.state.value} "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}>"
+        )

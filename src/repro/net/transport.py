@@ -95,6 +95,22 @@ class RemoteError(TransportError):
         self.cause = cause
 
 
+class CircuitOpen(TransportError):
+    """An attempt was short-circuited by an open circuit breaker.
+
+    Raised *before* any traffic is sent: the breaker has seen enough
+    consecutive failures against the target that another full timeout
+    walk would be wasted.  ``retry_at`` is the simulated time at which
+    a half-open probe will next be admitted.
+    """
+
+    def __init__(self, target, retry_at=None):
+        suffix = f"; probe admitted at t={retry_at:.3f}s" if retry_at is not None else ""
+        super().__init__(f"circuit open for {target!r}{suffix}")
+        self.target = target
+        self.retry_at = retry_at
+
+
 class _ErrorReply:
     """Wire marker distinguishing an error reply from a value reply."""
 

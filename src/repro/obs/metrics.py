@@ -137,10 +137,19 @@ class MetricsRegistry:
             )
         return metric
 
-    def snapshot(self):
-        """A plain-dict snapshot of every metric's headline value."""
+    def snapshot(self, prefix=None):
+        """A plain-dict snapshot of every metric's headline value.
+
+        ``prefix`` restricts the snapshot to one dotted namespace
+        (e.g. ``"wave"`` or ``"breaker"``) — handy for asserting on a
+        subsystem's counters without pinning the whole registry.
+        """
         out = {}
         for name, metric in sorted(self._metrics.items()):
+            if prefix is not None and not (
+                name == prefix or name.startswith(prefix + ".")
+            ):
+                continue
             if isinstance(metric, Counter):
                 out[name] = metric.value
             elif isinstance(metric, Gauge):

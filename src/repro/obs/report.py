@@ -22,6 +22,9 @@ class SystemReport:
     faults: dict = field(default_factory=dict)
     #: Per-type propagation delivery state (ack-tracked waves).
     propagations: dict = field(default_factory=dict)
+    #: Per-target circuit-breaker state (ICO fetch guards and any
+    #: other breakers registered with the network).
+    breakers: dict = field(default_factory=dict)
 
     @property
     def total_active_objects(self):
@@ -83,6 +86,7 @@ def collect_system_report(runtime):
                 report.propagations[type_name] = status
         report.types[type_name] = entry
     report.faults = runtime.network.metrics.snapshot()
+    report.breakers = runtime.network.breakers_snapshot()
     return report
 
 
@@ -101,12 +105,28 @@ def render_report(report):
         lines.append(detail)
     for type_name, waves in sorted(report.propagations.items()):
         for wave in waves:
-            state = "complete" if wave["complete"] else "open"
-            lines.append(
+            if wave.get("aborted"):
+                state = "ABORTED"
+            elif wave.get("aborting"):
+                state = "aborting"
+            elif wave["complete"]:
+                state = "complete"
+            else:
+                state = "open"
+            line = (
                 f"  propagation {type_name} v{wave['version']}: {state}, "
                 f"{wave['acked']} acked / {wave['pending']} pending / "
                 f"{wave['failed']} failed"
             )
+            if wave.get("rolled_back"):
+                line += f" / {wave['rolled_back']} rolled back"
+            lines.append(line)
+    for key, breaker in sorted(report.breakers.items()):
+        lines.append(
+            f"  breaker {key}: {breaker['state']}, "
+            f"{breaker['failures']} failures, opened {breaker['times_opened']}x, "
+            f"{breaker['short_circuits']} short-circuited"
+        )
     for name, host in sorted(report.hosts.items()):
         lines.append(
             f"  host {name}: {host['processes']} procs, "

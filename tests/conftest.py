@@ -127,19 +127,24 @@ def make_sorter_components(size_bytes=64_000):
     return sorter, compare_asc, compare_desc
 
 
-def make_sorter_manager(runtime, type_name="Sorter", **policy_kwargs):
+def make_sorter_manager(runtime, type_name="Sorter", component_hosts=None, **policy_kwargs):
     """A DCDO manager with the sorter components and version 1 current.
 
     Version 1 incorporates ``sorter`` + ``compare-asc`` with both
     functions enabled; ``compare-desc`` is registered but unused, ready
     for evolution tests.  Component blobs are left uncached so creation
     pays the fetch path (callers can pre-seed caches when they need
-    the cached numbers).
+    the cached numbers).  ``component_hosts`` pins ICO placement
+    (``component_id -> host_name``) for tests that partition or crash a
+    specific component server.
     """
     manager = define_dcdo_type(runtime, type_name, **policy_kwargs)
     sorter, compare_asc, compare_desc = make_sorter_components()
+    component_hosts = component_hosts or {}
     for component in (sorter, compare_asc, compare_desc):
-        manager.register_component(component)
+        manager.register_component(
+            component, host_name=component_hosts.get(component.component_id)
+        )
     version = manager.new_version()
     manager.incorporate_into(version, "sorter")
     manager.incorporate_into(version, "compare-asc")

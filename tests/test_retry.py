@@ -4,6 +4,8 @@ import pytest
 
 from repro.net import (
     DEFAULT_REQUEST_RETRY,
+    CircuitBreaker,
+    CircuitState,
     DropRule,
     Endpoint,
     Network,
@@ -70,6 +72,24 @@ def test_jitter_requires_rng():
         RetryPolicy(jitter_fraction=0.2)
 
 
+def test_jitter_never_exceeds_max_backoff():
+    """Regression: max_backoff_s is a true bound even after jitter.
+
+    When the nominal backoff already sits at the cap, upward jitter
+    used to push the actual wait above the documented ceiling."""
+    policy = RetryPolicy(
+        base_s=4.0,
+        multiplier=2.0,
+        max_backoff_s=4.0,
+        jitter_fraction=0.5,
+        rng=DeterministicRNG(seed=11),
+        stream="clamp",
+    )
+    draws = [policy.backoff_s(attempt) for attempt in range(1, 9) for __ in range(20)]
+    assert all(draw <= 4.0 for draw in draws), max(draws)
+    assert min(draws) < 4.0  # downward jitter still applies
+
+
 def test_parameter_validation():
     with pytest.raises(ValueError):
         RetryPolicy(base_s=-1.0)
@@ -79,6 +99,98 @@ def test_parameter_validation():
         RetryPolicy(max_attempts=0)
     with pytest.raises(ValueError):
         RetryPolicy(deadline_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine (pure accounting on the sim clock)
+# ----------------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_short_circuits():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=3, cooldown_s=30.0)
+    assert breaker.state is CircuitState.CLOSED
+    for __ in range(2):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state is CircuitState.CLOSED
+    assert breaker.allow()
+    breaker.record_failure()  # third consecutive failure trips it
+    assert breaker.state is CircuitState.OPEN
+    assert breaker.times_opened == 1
+    assert not breaker.allow()
+    assert breaker.short_circuits == 1
+    assert breaker.retry_at == pytest.approx(30.0)
+
+
+def test_breaker_half_open_probe_success_closes():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=1, cooldown_s=10.0)
+    breaker.record_failure()
+    assert breaker.state is CircuitState.OPEN
+
+    def later():
+        yield sim.timeout(10.0)
+
+    sim.run_process(later())
+    assert breaker.state is CircuitState.HALF_OPEN
+    assert breaker.allow()  # the single probe
+    assert not breaker.allow()  # concurrent caller short-circuited
+    breaker.record_success()
+    assert breaker.state is CircuitState.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=1, cooldown_s=10.0)
+    breaker.record_failure()
+
+    def later():
+        yield sim.timeout(10.0)
+
+    sim.run_process(later())
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed: back to OPEN, fresh cooldown
+    assert breaker.state is CircuitState.OPEN
+    assert breaker.times_opened == 2
+    assert breaker.retry_at == pytest.approx(20.0)
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_failure_streak():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is CircuitState.CLOSED  # streak was broken
+    assert breaker.failures == 4 and breaker.successes == 1
+
+
+def test_breaker_parameter_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, cooldown_s=-1.0)
+
+
+def test_network_breaker_registry_shares_and_snapshots():
+    sim = Simulator()
+    net = Network(sim, latency_s=0.0, bandwidth_bps=10**9)
+    a = net.breaker("ico:x", failure_threshold=2)
+    assert net.breaker("ico:x") is a  # get-or-create shares state
+    a.record_failure()
+    a.record_failure()
+    snapshot = net.breakers_snapshot()
+    assert snapshot["ico:x"]["state"] == "open"
+    assert snapshot["ico:x"]["failures"] == 2
+    assert snapshot["ico:x"]["times_opened"] == 1
+    # Transitions are mirrored into the fabric metrics.
+    assert net.count_value("breaker.opened") == 1
 
 
 # ----------------------------------------------------------------------
