@@ -3,6 +3,7 @@
 Usage::
 
     python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.25]
+        [--scaleout BENCH_scaleout.json]
 
 Compares the P2 propagation benchmark's windowed wave latencies
 (``extra.waves.<size>.windowed_s``) between a baseline JSON (the
@@ -11,6 +12,13 @@ Exits non-zero if any wave size regressed by more than the threshold
 (default 25%), so CI fails instead of silently uploading a slower
 result.  The simulator is deterministic, so any movement here is a
 genuine behavior change in the delivery path, not noise.
+
+``--scaleout`` additionally gates the P3 scale-out invariants on a
+freshly produced ``BENCH_scaleout.json``: the relay-batched wave must
+beat the flat wave at 256 instances and up, and the blob-cache hit
+rate must reach ``(iph - 1) / iph`` for ``iph`` instances per host —
+i.e. every colocated incorporation after a host's first is served
+locally.
 """
 
 import argparse
@@ -28,6 +36,69 @@ def load_waves(path):
     return {size: entry["windowed_s"] for size, entry in waves.items()}
 
 
+def check_p2(baseline_path, current_path, threshold):
+    """Gate P2 windowed wave latencies; returns failure strings."""
+    baseline = load_waves(baseline_path)
+    current = load_waves(current_path)
+    failures = []
+    for size in sorted(baseline, key=int):
+        base = baseline[size]
+        if size not in current:
+            failures.append(f"wave size {size}: missing from current results")
+            continue
+        now = current[size]
+        ratio = (now - base) / base if base else float("inf")
+        status = "OK"
+        if ratio > threshold:
+            status = "REGRESSED"
+            failures.append(
+                f"wave size {size}: windowed {base * 1000:.2f} ms -> "
+                f"{now * 1000:.2f} ms ({ratio:+.1%} > {threshold:.0%})"
+            )
+        print(
+            f"P2 wave {size:>3} instances: baseline {base * 1000:8.2f} ms, "
+            f"current {now * 1000:8.2f} ms ({ratio:+.1%}) {status}"
+        )
+    return failures
+
+
+def check_p3(path):
+    """Gate the P3 scale-out invariants; returns failure strings."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        scales = data["extra"]["scales"]
+    except KeyError:
+        raise SystemExit(f"{path}: no extra.scales section — not a P3 result?")
+    failures = []
+    for size in sorted(scales, key=int):
+        entry = scales[size]
+        flat_s = entry["flat"]["wave_s"]
+        relay_s = entry["relay"]["wave_s"]
+        iph = entry["instances_per_host"]
+        expected_hit_rate = (iph - 1) / iph if iph else 0.0
+        hit_rate = entry["relay"]["hit_rate"]
+        status = "OK"
+        if int(size) >= 256 and relay_s >= flat_s:
+            status = "REGRESSED"
+            failures.append(
+                f"scale {size}: relay wave {relay_s * 1000:.2f} ms did not "
+                f"beat flat {flat_s * 1000:.2f} ms"
+            )
+        if hit_rate < expected_hit_rate - 1e-9:
+            status = "REGRESSED"
+            failures.append(
+                f"scale {size}: blob-cache hit rate {hit_rate:.3f} below "
+                f"(iph-1)/iph = {expected_hit_rate:.3f}"
+            )
+        print(
+            f"P3 scale {size:>4} instances: flat {flat_s * 1000:8.2f} ms, "
+            f"relay {relay_s * 1000:8.2f} ms, hit rate {hit_rate:.3f} "
+            f"(floor {expected_hit_rate:.3f}) {status}"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -38,29 +109,16 @@ def main(argv=None):
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--scaleout",
+        default=None,
+        help="freshly generated BENCH_scaleout.json to gate P3 invariants",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load_waves(args.baseline)
-    current = load_waves(args.current)
-    failures = []
-    for size in sorted(baseline, key=int):
-        base = baseline[size]
-        if size not in current:
-            failures.append(f"wave size {size}: missing from current results")
-            continue
-        now = current[size]
-        ratio = (now - base) / base if base else float("inf")
-        status = "OK"
-        if ratio > args.threshold:
-            status = "REGRESSED"
-            failures.append(
-                f"wave size {size}: windowed {base * 1000:.2f} ms -> "
-                f"{now * 1000:.2f} ms ({ratio:+.1%} > {args.threshold:.0%})"
-            )
-        print(
-            f"P2 wave {size:>3} instances: baseline {base * 1000:8.2f} ms, "
-            f"current {now * 1000:8.2f} ms ({ratio:+.1%}) {status}"
-        )
+    failures = check_p2(args.baseline, args.current, args.threshold)
+    if args.scaleout:
+        failures += check_p3(args.scaleout)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

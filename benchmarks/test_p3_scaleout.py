@@ -1,0 +1,28 @@
+"""P3 — relay fan-out + blob caching at scale; writes BENCH_scaleout.json."""
+
+import json
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p3
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_scaleout.json"
+
+
+def test_p3_scaleout(benchmark):
+    result = run_experiment(benchmark, run_p3)
+    benchmark.extra_info["scales"] = result.extra["scales"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -181,10 +181,10 @@ def run_p1(seed=0):
     )
     result.add(
         "batched throughput vs unbatched",
-        "comparable (>= 0.7x)",
+        "no regression (>= 1x)",
         f"{ratio:.2f}",
         "x",
-        ok=ratio >= 0.7,
+        ok=ratio >= 0.999,
     )
     result.extra = {
         "round_trips": trips,

@@ -13,6 +13,12 @@ and are documented against the sentence of the paper they reproduce.
 from repro.cluster.calibration import Calibration
 from repro.cluster.filecache import FileCache
 from repro.cluster.host import CrashPlan, Host, HostDown, HostProcess
+from repro.cluster.relay import (
+    HostRelay,
+    build_relay_tree,
+    deploy_relays,
+    restore_relays,
+)
 from repro.cluster.testbed import Testbed, build_centurion, build_lan, build_wan
 from repro.cluster.vault import Vault
 
@@ -23,9 +29,13 @@ __all__ = [
     "Host",
     "HostDown",
     "HostProcess",
+    "HostRelay",
     "Testbed",
     "Vault",
     "build_centurion",
     "build_lan",
+    "build_relay_tree",
     "build_wan",
+    "deploy_relays",
+    "restore_relays",
 ]

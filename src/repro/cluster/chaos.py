@@ -67,10 +67,14 @@ class ChaosCoordinator:
         crash-lost instances the live managers know about.
     """
 
-    def __init__(self, runtime, journals=None, auto_recover=True):
+    def __init__(self, runtime, journals=None, auto_recover=True, relays=None):
         self.runtime = runtime
         self.journals = dict(journals or {})
         self.auto_recover = auto_recover
+        #: Host name -> relay LOID directory (see
+        #: :func:`repro.cluster.relay.deploy_relays`); restart
+        #: reconciliation re-activates dead relays on hosts that booted.
+        self.relays = dict(relays or {})
         self.crash_plan = CrashPlan(
             runtime.sim, on_crash=self._on_crash, on_restart=self._on_restart
         )
@@ -114,8 +118,20 @@ class ChaosCoordinator:
                 )
             finally:
                 self._recovering.discard(type_name)
+        yield from self.restore_relays()
         yield from self.restore_components()
         yield from self.recover_instances()
+
+    def restore_relays(self):
+        """Generator: re-activate dead evolution relays on up hosts."""
+        from repro.cluster.relay import restore_relays
+
+        if self.relays:
+            restored = yield from restore_relays(self.runtime, self.relays)
+            for host_name in restored:
+                self.recovery_log.append(
+                    (self.runtime.sim.now, "relay", host_name)
+                )
 
     def restore_components(self):
         """Generator: re-serve dead ICOs of every live manager.
@@ -187,6 +203,8 @@ class ChaosSchedule:
         ico_hosts=(),
         max_ico_partitions=0,
         mid_apply_crashes=0,
+        relay_hosts=(),
+        max_relay_crashes=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
@@ -205,6 +223,13 @@ class ChaosSchedule:
         - ``mid_apply_crashes`` crashes extra hosts inside the first
           few seconds, while prepare/commit work is typically in
           flight.
+
+        ``max_relay_crashes`` (with ``relay_hosts`` naming hosts that
+        run evolution relays) crashes relay hosts in the first seconds
+        of the run — while a batched wave is typically mid-flight, so
+        the batch dies with its relay and its colocated instances.
+        Its draws come strictly after every other kind, preserving a
+        seed's legacy schedule.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -261,6 +286,20 @@ class ChaosSchedule:
                 crash_at = rng.uniform(0.6, 6.0)
                 restart_at = crash_at + rng.uniform(5.0, duration_s * 0.4)
                 crashes.append((name, crash_at, restart_at))
+        already_down = {name for name, __, __ in crashes}
+        relay_eligible = [
+            name
+            for name in relay_hosts
+            if name in host_names and name not in protect and name not in already_down
+        ]
+        if relay_eligible and max_relay_crashes > 0:
+            victims = rng.sample(
+                relay_eligible, k=min(max_relay_crashes, len(relay_eligible))
+            )
+            for name in victims:
+                crash_at = rng.uniform(0.5, 8.0)
+                restart_at = crash_at + rng.uniform(5.0, duration_s * 0.4)
+                crashes.append((name, crash_at, restart_at))
         return cls(crashes=crashes, partitions=partitions, drops=drops)
 
     @property
@@ -304,7 +343,7 @@ class ChaosSchedule:
 
 
 def drive_to_convergence(
-    runtime, type_name, journal=None, retry_policy=None, max_rounds=8
+    runtime, type_name, journal=None, retry_policy=None, max_rounds=8, relays=None
 ):
     """Generator: repair and re-propagate until the fleet converges.
 
@@ -315,8 +354,11 @@ def drive_to_convergence(
     semantics — a wave that previously aborted keeps its abortive
     policy on its tracker, and convergence is this function's whole
     contract, so the per-call override re-drives it to completion
-    instead of re-tripping the abort.  Returns the final
-    :class:`PropagationTracker` (check ``all_acked``).
+    instead of re-tripping the abort.  ``relays`` is an optional host
+    -> relay-LOID directory: dead relays are re-activated each round
+    before propagating, so batched waves keep working through host
+    restarts.  Returns the final :class:`PropagationTracker` (check
+    ``all_acked``).
     """
     from repro.core.manager import WavePolicy
     from repro.core.recovery import recover_manager
@@ -330,7 +372,12 @@ def drive_to_convergence(
                     f"manager for {type_name!r} is dead and no journal was given"
                 )
             manager = yield from recover_manager(runtime, journal)
-        coordinator = ChaosCoordinator(runtime, auto_recover=False)
+            if relays:
+                # A recovered manager starts without relay routing;
+                # re-enable it so waves stay host-batched.
+                manager.use_relays(relays)
+        coordinator = ChaosCoordinator(runtime, auto_recover=False, relays=relays)
+        yield from coordinator.restore_relays()
         yield from coordinator.restore_components()
         yield from coordinator.recover_instances()
         tracker = yield from manager.propagate_version(

@@ -24,9 +24,25 @@ class FileCache:
         self._capacity_bytes = capacity_bytes
         self._entries = {}
         self._lru = []
+        self._metrics = None
+        self._metrics_prefix = "cache"
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def bind_counters(self, registry, prefix="cache"):
+        """Mirror hit/miss/eviction counts into a shared registry.
+
+        Per-cache integers keep working for local assertions; the
+        registry gets the fleet-wide aggregate (``<prefix>.hits`` etc.)
+        that the obs report surfaces.
+        """
+        self._metrics = registry
+        self._metrics_prefix = prefix
+
+    def _metric(self, name):
+        if self._metrics is not None:
+            self._metrics.counter(f"{self._metrics_prefix}.{name}").increment()
 
     @property
     def used_bytes(self):
@@ -47,11 +63,32 @@ class FileCache:
     def lookup(self, blob_id):
         """Return the cached size for ``blob_id`` or None, counting hit/miss."""
         if blob_id in self._entries:
-            self.hits += 1
-            self._touch(blob_id)
+            self.record_hit(blob_id)
             return self._entries[blob_id]
-        self.misses += 1
+        self.record_miss()
         return None
+
+    def peek(self, blob_id):
+        """The cached size for ``blob_id`` or None — no accounting.
+
+        For callers that must separate *presence checks* from *outcome
+        accounting*: the single-flight fill path peeks while deciding
+        who fetches, then records exactly one hit or miss per
+        incorporation (a coalesced waiter counts as a hit — the blob
+        reached it through the cache, not through its own fetch).
+        """
+        return self._entries.get(blob_id)
+
+    def record_hit(self, blob_id):
+        """Count one hit against ``blob_id`` and refresh its recency."""
+        self.hits += 1
+        self._metric("hits")
+        self._touch(blob_id)
+
+    def record_miss(self):
+        """Count one miss (the caller is about to fetch and insert)."""
+        self.misses += 1
+        self._metric("misses")
 
     def insert(self, blob_id, size_bytes):
         """Add (or refresh) an entry, evicting LRU entries if needed."""
@@ -88,6 +125,7 @@ class FileCache:
             victim = self._lru.pop(0)
             del self._entries[victim]
             self.evictions += 1
+            self._metric("evictions")
 
     def __repr__(self):
         return f"<FileCache {self._name} entries={len(self._entries)} bytes={self.used_bytes}>"

@@ -77,6 +77,7 @@ class Host:
         self._network = None
         self._up = True
         self._incarnation = 1
+        self._blob_fills = {}
         self.cache = FileCache(name=f"{name}.cache")
         self.processes_spawned = 0
         self.crash_count = 0
@@ -121,6 +122,45 @@ class Host:
     def attach_network(self, network):
         """Wire the fabric in so a crash can sever this host's endpoints."""
         self._network = network
+        self.cache.bind_counters(network.metrics)
+
+    # ------------------------------------------------------------------
+    # Single-flight blob fills (content-addressed component cache)
+    # ------------------------------------------------------------------
+
+    def blob_fill_gate(self, blob_id):
+        """Claim (or join) the in-flight fill of ``blob_id``.
+
+        Returns ``(leader, gate)``: the first caller per blob becomes
+        the leader (it fetches and inserts), everyone else gets the
+        same gate event to wait on.  With many colocated instances
+        evolving at once, this is what turns O(instances) redundant ICO
+        downloads into one network crossing per host.  A waiter must
+        re-check the cache after the gate fires — the leader may have
+        failed, in which case the waiter claims leadership itself.
+        """
+        if not self._up:
+            raise HostDown(self._name, "blob_fill_gate")
+        gate = self._blob_fills.get(blob_id)
+        if gate is not None:
+            return False, gate
+        gate = self._sim.event(name=f"{self._name}.fill:{blob_id}")
+        self._blob_fills[blob_id] = gate
+        return True, gate
+
+    def blob_fill_done(self, blob_id):
+        """Release the fill gate for ``blob_id`` (success or failure).
+
+        Leaders call this from a ``finally`` so a failed fetch wakes
+        the waiters — one of them re-checks and takes over.
+        """
+        gate = self._blob_fills.pop(blob_id, None)
+        if gate is not None and not gate.triggered:
+            gate.succeed(None)
+
+    def blob_fills_in_flight(self):
+        """Blob ids currently being filled (introspection for tests)."""
+        return sorted(self._blob_fills)
 
     def process_for(self, loid):
         """The live process backing ``loid``, or None."""
@@ -150,6 +190,13 @@ class Host:
         for process in list(self._processes.values()):
             process.alive = False
         self._processes.clear()
+        # Wake any fill waiters so their generators run on and observe
+        # the crash (closed endpoints) instead of dangling on a gate
+        # whose leader died with the machine.
+        fills, self._blob_fills = self._blob_fills, {}
+        for gate in fills.values():
+            if not gate.triggered:
+                gate.succeed(None)
         if self._network is not None:
             self._network.close_endpoints_with_prefix(f"{self._name}/")
             self._network.count("host.crashes")

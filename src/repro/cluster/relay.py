@@ -1,0 +1,261 @@
+"""Host-level relays for evolution waves.
+
+The paper's evolution-management policy (§4) has the DCDO Manager push
+a new DFM descriptor to every managed instance — one management RPC
+per instance per wave.  At production scale that is O(N) manager-side
+RPCs even with windowed fan-out, and most of those RPCs travel to the
+same handful of machines.
+
+A :class:`HostRelay` is a small management agent, one per cluster
+host, that receives a single ``evolveBatch`` RPC covering *all*
+colocated instances of a type and applies each instance's two-phase
+``applyConfiguration`` locally.  The per-instance acks it returns feed
+the manager's existing :class:`~repro.core.recovery.PropagationTracker`
+/ journal / wave-policy machinery unchanged — the relay layer is a
+transport optimization, not a weakening of PR 3's transactional
+guarantees:
+
+- application stays idempotent per instance (keyed by target version),
+  so a re-sent batch after a lost ack is harmless;
+- a relay that dies mid-batch takes its colocated instances with it
+  (same machine), and the manager's per-instance retry/FAILED
+  bookkeeping — including falling back to direct delivery — proceeds
+  exactly as if the instances had been unreachable directly.
+
+For large host counts an optional k-ary diffusion tree stacks relays:
+the manager sends one bundle to a root relay, which forwards child
+bundles concurrently while applying its own batch, giving O(log_k H)
+wave latency for H hosts.  A subtree whose relay is unreachable is
+reported failed wholesale; those instances stay PENDING at the manager
+and are re-delivered directly.
+
+Layering note: like :mod:`repro.cluster.chaos` this module orchestrates
+across layers, so runtime imports stay inside functions.
+"""
+
+from repro.legion.objects import LegionObject
+
+#: In-flight window for a relay applying its local batch.
+RELAY_APPLY_WINDOW = 8
+#: Generous per-attempt reply timeouts for applyConfiguration calls —
+#: prepare-phase downloads can run long (same schedule the manager uses
+#: for direct delivery).
+RELAY_APPLY_TIMEOUTS = (60.0, 120.0, 600.0)
+#: Nominal wire bytes per job record in a batch (loid + diff framing).
+BATCH_JOB_BYTES = 256
+
+
+class HostRelay(LegionObject):
+    """Per-host evolution relay agent.
+
+    Exported interface:
+
+    - ``evolveBatch(jobs, window)`` — apply ``(loid, diff)`` jobs to
+      colocated instances; returns ``(loid, ok, value)`` triples where
+      ``value`` is the version string reached or the exception raised.
+    - ``relayTree(bundle)`` — apply this host's jobs *and* forward
+      child bundles to downstream relays concurrently, aggregating the
+      whole subtree's acks into one reply.
+
+    The relay is stateless between batches: its endpoint address lives
+    under ``<host>/`` so a host crash severs it like any colocated
+    object, and recovery is a plain re-activation (see
+    :func:`restore_relays`).
+    """
+
+    def __init__(self, runtime, loid, host):
+        super().__init__(runtime, loid, host)
+        self.batches_served = 0
+        self.instances_evolved = 0
+        self.instances_failed = 0
+        self.register_method("evolveBatch", self._m_evolve_batch)
+        self.register_method("relayTree", self._m_relay_tree)
+
+    # ------------------------------------------------------------------
+    # Local batch application
+    # ------------------------------------------------------------------
+
+    def _apply_jobs(self, jobs, window):
+        """Generator: apply ``(loid, diff)`` jobs, windowed; returns acks."""
+        jobs = list(jobs)
+        calls = [
+            (loid, "applyConfiguration", (diff,)) for loid, diff in jobs
+        ]
+        outcomes = yield from self.invoker.invoke_each(
+            calls,
+            window=window or RELAY_APPLY_WINDOW,
+            timeout_schedule=RELAY_APPLY_TIMEOUTS,
+        )
+        acks = []
+        for (loid, __), (ok, value) in zip(jobs, outcomes):
+            if ok:
+                self.instances_evolved += 1
+            else:
+                self.instances_failed += 1
+            acks.append((loid, ok, value))
+        self.batches_served += 1
+        self.runtime.network.count("relay.batches")
+        self.runtime.network.count("relay.batch_instances", len(jobs))
+        return acks
+
+    def _m_evolve_batch(self, ctx, jobs, window=None):
+        acks = yield from self._apply_jobs(jobs, window)
+        return acks
+
+    # ------------------------------------------------------------------
+    # k-ary diffusion tree
+    # ------------------------------------------------------------------
+
+    def _m_relay_tree(self, ctx, bundle):
+        """Serve one diffusion-tree node: own jobs + child subtrees.
+
+        ``bundle`` is ``{"jobs": [(loid, diff), ...], "children":
+        [child_bundle, ...], "window": int}`` where each child bundle
+        additionally carries ``"relay"``, the child relay's LOID.  Own
+        application and child forwarding run concurrently; the reply
+        aggregates every subtree ack.
+        """
+        from repro.net import TransportError, run_windowed
+        from repro.legion.errors import LegionError
+
+        window = bundle.get("window") or RELAY_APPLY_WINDOW
+        children = list(bundle.get("children") or ())
+
+        def forward(child):
+            try:
+                acks = yield from self.invoker.invoke(
+                    child["relay"],
+                    "relayTree",
+                    (child,),
+                    payload_bytes=BATCH_JOB_BYTES * count_jobs(child),
+                    timeout_schedule=RELAY_APPLY_TIMEOUTS,
+                )
+            except (LegionError, TransportError):
+                # The whole subtree is unreachable through this child;
+                # report every job failed so the manager re-delivers.
+                # The failure is reported as the *relay* being
+                # unreachable — never the child error verbatim, which
+                # for a vanished relay would be an UnknownObject and
+                # read at the manager as "instance deleted" (terminal).
+                from repro.legion.errors import ObjectUnreachable
+
+                self.runtime.network.count("relay.subtree_failures")
+                failure = ObjectUnreachable(child["relay"], 0.0)
+                return [
+                    (loid, False, failure) for loid, __ in iter_jobs(child)
+                ]
+            return acks
+
+        thunks = [lambda: self._apply_jobs(bundle.get("jobs") or (), window)]
+        thunks += [lambda c=child: forward(c) for child in children]
+        outcomes = yield from run_windowed(self.sim, thunks, len(thunks))
+        acks = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value  # a bug in the relay itself, not a delivery
+            acks.extend(value)
+        return acks
+
+
+def count_jobs(bundle):
+    """Total jobs in ``bundle``'s subtree."""
+    total = len(bundle.get("jobs") or ())
+    for child in bundle.get("children") or ():
+        total += count_jobs(child)
+    return total
+
+
+def iter_jobs(bundle):
+    """Every ``(loid, diff)`` job in ``bundle``'s subtree."""
+    for job in bundle.get("jobs") or ():
+        yield job
+    for child in bundle.get("children") or ():
+        yield from iter_jobs(child)
+
+
+def build_relay_tree(host_batches, directory, fanout_k, window=None):
+    """Arrange per-host batches into k-ary diffusion-tree bundles.
+
+    ``host_batches`` maps host name -> job list; ``directory`` maps
+    host name -> relay LOID.  Hosts are ordered by name (deterministic)
+    and node ``i``'s children are nodes ``k*i+1 .. k*i+k``.  Returns
+    the root bundle, or None when there are no batches.
+    """
+    if fanout_k < 2:
+        raise ValueError(f"fanout_k must be >= 2, got {fanout_k}")
+    names = sorted(host_batches)
+    if not names:
+        return None
+    bundles = [
+        {
+            "relay": directory[name],
+            "host": name,
+            "jobs": list(host_batches[name]),
+            "children": [],
+            "window": window,
+        }
+        for name in names
+    ]
+    for index, bundle in enumerate(bundles):
+        for child in range(fanout_k * index + 1, fanout_k * index + fanout_k + 1):
+            if child < len(bundles):
+                bundle["children"].append(bundles[child])
+    return bundles[0]
+
+
+def deploy_relays(runtime, hosts=None, context_prefix="/relays"):
+    """Create one :class:`HostRelay` per (up) host; returns a directory.
+
+    The directory maps host name -> relay LOID and is what
+    :meth:`~repro.core.manager.DCDOManager.use_relays` consumes.
+    Relays are bound into the context space under
+    ``<context_prefix>/<host>`` so operators (and recovery) can find
+    them by name (§2.3: one global namespace for everything).  Calling
+    again is idempotent per host — an existing live relay is reused.
+    """
+    from repro.legion.loid import mint_loid
+
+    if hosts is None:
+        hosts = sorted(runtime.hosts)
+    directory = {}
+    for host_name in hosts:
+        host = runtime.host(host_name)
+        if not host.is_up:
+            continue
+        path = f"{context_prefix}/{host_name}"
+        if path in runtime.context_space:
+            existing = runtime.context_space.lookup(path)
+            obj = runtime.live_object(existing)
+            if obj is not None and obj.is_active:
+                directory[host_name] = existing
+                continue
+            runtime.context_space.unbind(path)
+        loid = mint_loid(runtime.domain, "HostRelay")
+        relay = HostRelay(runtime, loid, host)
+        runtime.sim.run_process(relay.activate())
+        runtime.attach_object(relay)
+        runtime.context_space.bind(path, loid)
+        directory[host_name] = loid
+    return directory
+
+
+def restore_relays(runtime, directory):
+    """Generator: re-activate relays that died with their hosts.
+
+    Relays are stateless, so recovery after a host restart is a fresh
+    activation (new endpoint, bumped binding incarnation).  Hosts still
+    down are skipped — their relays come back with them on a later
+    pass.  Returns the host names restored.
+    """
+    restored = []
+    for host_name, loid in sorted(directory.items()):
+        host = runtime.host(host_name) if host_name in runtime.hosts else None
+        if host is None or not host.is_up:
+            continue
+        relay = runtime.live_object(loid)
+        if relay is None or relay.is_active:
+            continue
+        yield from relay.activate()
+        runtime.network.count("relay.recoveries")
+        restored.append(host_name)
+    return restored

@@ -26,6 +26,7 @@ from repro.core.component import (
     ComponentBuilder,
     ComponentVariant,
     ImplementationComponent,
+    content_digest,
 )
 from repro.core.dcdo import (
     DCDO,
@@ -132,6 +133,7 @@ __all__ = [
     "VersionId",
     "VersionNotConfigurable",
     "VersionNotInstantiable",
+    "content_digest",
     "VersionRecord",
     "VersionTree",
     "WaveAborted",

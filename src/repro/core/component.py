@@ -12,11 +12,27 @@ per implementation type — which is what lets a DCDO migrate between
 heterogeneous hosts while staying at the same version (§2.1).
 """
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.errors import IncompatibleImplementationType
 from repro.core.functions import FunctionDef, Marking
 from repro.core.impltype import NATIVE
+
+
+def content_digest(component_id, impl_type, size_bytes, content_rev=0):
+    """Content address for one compiled component build.
+
+    The digest keys on everything that identifies the build's *bytes*:
+    the component id, its content revision (bumped whenever the code is
+    rebuilt), the implementation type it was compiled for, and the
+    build's size.  Two hosts fetching the same build therefore agree on
+    the blob id, and a rebuilt component gets a fresh id — so caches
+    keyed by blob id are invalidated by construction rather than by any
+    explicit protocol: a stale entry is simply never asked for again.
+    """
+    key = f"{component_id}|{content_rev}|{impl_type}|{size_bytes}"
+    return "sha256:" + hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,20 @@ class ComponentBuilder:
     def __init__(self, component_id):
         self._component = ImplementationComponent(component_id=component_id)
         self._variant_count = 0
+        self._content_rev = 0
+
+    def revision(self, content_rev):
+        """Declare the build revision of this component's code.
+
+        Default variants minted after this call carry a content digest
+        keyed by the revision, so rebuilding a component (same id, new
+        code) yields new blob ids and old cache entries go stale
+        harmlessly instead of being served as the new build.
+        """
+        if content_rev < 0:
+            raise ValueError(f"content_rev must be >= 0, got {content_rev}")
+        self._content_rev = content_rev
+        return self
 
     def function(self, name, body, signature="", exported=True):
         """Add an exported (by default) dynamic function."""
@@ -136,9 +166,19 @@ class ComponentBuilder:
         return self
 
     def variant(self, size_bytes, impl_type=NATIVE, blob_id=None):
-        """Add a compiled build of the component."""
+        """Add a compiled build of the component.
+
+        Without an explicit ``blob_id`` the build is content-addressed:
+        the id is a digest over (component id, revision, impl type,
+        size), shared by every host that fetches this exact build.
+        """
         self._variant_count += 1
-        blob_id = blob_id or f"{self._component.component_id}:{impl_type.architecture}"
+        blob_id = blob_id or content_digest(
+            self._component.component_id,
+            impl_type,
+            size_bytes,
+            content_rev=self._content_rev,
+        )
         self._component.add_variant(
             ComponentVariant(impl_type=impl_type, size_bytes=size_bytes, blob_id=blob_id)
         )

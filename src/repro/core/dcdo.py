@@ -338,25 +338,7 @@ class DCDO(LegionObject):
                 f"component {component.component_id!r} is already incorporated"
             )
         variant = component.variant_for_host(self.host)
-        was_cached = variant.blob_id in self.host.cache
-        if self.host.cache.lookup(variant.blob_id) is not None:
-            # §4: "when the components are cached and available to the
-            # DCDO that is evolving, the cost is approximately 200
-            # microseconds per component".
-            yield self.host.cpu_work(calibration.component_cached_link_s)
-        else:
-            yield from self.invoker.invoke(
-                ico_loid,
-                "fetchVariant",
-                (variant.impl_type,),
-                timeout_schedule=(60.0, 60.0),
-                breaker=self._ico_breaker(ico_loid),
-            )
-            # Write the fetched data into the local file system.
-            yield self.host.cpu_work(variant.size_bytes / calibration.component_transfer_bps)
-            self.host.cache.insert(variant.blob_id, variant.size_bytes)
-            # Map it into the address space (dlopen + symbol resolution).
-            yield self.host.cpu_work(calibration.component_link_s)
+        was_cached = yield from self._ensure_variant_cached(variant, ico_loid)
         self.dfm.add_component(component, variant, validate=validate)
         per_function = (
             calibration.function_register_s if bootstrap else calibration.dfm_update_s
@@ -370,6 +352,61 @@ class DCDO(LegionObject):
             bootstrap=bootstrap,
         )
         return component.component_id
+
+    def _ensure_variant_cached(self, variant, ico_loid):
+        """Generator: get the variant's blob onto this host, once.
+
+        Blobs are content-addressed (the blob id digests the build), so
+        presence in the host :class:`~repro.cluster.filecache.FileCache`
+        *is* validity — a rebuilt component carries a new id and never
+        collides with a stale entry.  Fills are single-flight per host:
+        the first instance to miss becomes the fill leader and pays the
+        ICO fetch (guarded by the shared per-ICO circuit breaker);
+        colocated instances missing concurrently wait on the host's
+        fill gate and re-link from cache when it lands, so one evolution
+        wave moves each blob across the network once per *host*, not
+        once per instance.  Returns True when the blob was served from
+        cache (including the coalesced-wait case).
+        """
+        calibration = self.calibration
+        cache = self.host.cache
+        while True:
+            if cache.peek(variant.blob_id) is not None:
+                cache.record_hit(variant.blob_id)
+                # §4: "when the components are cached and available to
+                # the DCDO that is evolving, the cost is approximately
+                # 200 microseconds per component".
+                yield self.host.cpu_work(calibration.component_cached_link_s)
+                return True
+            leader, gate = self.host.blob_fill_gate(variant.blob_id)
+            if not leader:
+                self._network_count("blobcache.coalesced_waits")
+                yield gate
+                continue
+            break
+        try:
+            cache.record_miss()
+            yield from self.invoker.invoke(
+                ico_loid,
+                "fetchVariant",
+                (variant.impl_type,),
+                timeout_schedule=(60.0, 60.0),
+                breaker=self._ico_breaker(ico_loid),
+            )
+            # Write the fetched data into the local file system.
+            yield self.host.cpu_work(
+                variant.size_bytes / calibration.component_transfer_bps
+            )
+            cache.insert(variant.blob_id, variant.size_bytes)
+            self._network_count("blobcache.fills")
+            self.runtime.network.count(
+                "blobcache.bytes_fetched", variant.size_bytes
+            )
+        finally:
+            self.host.blob_fill_done(variant.blob_id)
+        # Map it into the address space (dlopen + symbol resolution).
+        yield self.host.cpu_work(calibration.component_link_s)
+        return False
 
     def remove_component(self, component_id, validate=True):
         """Generator: remove a component, honouring the removal policy.

@@ -36,6 +36,10 @@ class ImplementationComponentObject(LegionObject):
         self._component = component
         self.metadata_requests = 0
         self.data_requests = 0
+        #: Total variant bytes this server has shipped; with per-host
+        #: blob caching the fleet-wide sum scales with host count, not
+        #: instance count.
+        self.bytes_served = 0
         self.register_method("getComponent", self._m_get_component)
         self.register_method("fetchVariant", self._m_fetch_variant)
         self.register_method("getDescriptor", self._m_get_descriptor)
@@ -80,6 +84,9 @@ class ImplementationComponentObject(LegionObject):
                 f"of type {impl_type}"
             )
         self.data_requests += 1
+        self.bytes_served += variant.size_bytes
+        self.runtime.network.count("ico.fetches")
+        self.runtime.network.count("ico.bytes_served", variant.size_bytes)
         # Reading the code off local disk before serving it; the reply
         # carries the full variant size on the wire.
         calibration = self.calibration

@@ -170,6 +170,9 @@ class DCDOManager(ClassObject):
         if fanout_window < 1:
             raise ValueError("fanout_window must be >= 1")
         self.fanout_window = fanout_window
+        self._relay_directory = None
+        self._relay_fanout_k = 0
+        self._relay_batch_window = None
         self.wave_policy = wave_policy or WavePolicy.converge()
         self.evolutions_performed = 0
         self._register_manager_methods()
@@ -643,6 +646,14 @@ class DCDOManager(ClassObject):
                 )
         policy = retry_policy or self.propagation_retry_policy
         window = window or self.fanout_window
+        if self._relay_directory:
+            # Host-batched phase first: one RPC per host (or one bundle
+            # through a diffusion tree) covers every colocated pending
+            # instance.  Anything a relay could not positively confirm
+            # stays PENDING and falls through to direct delivery below.
+            yield from self._relay_deliveries(tracker, policy, window)
+            if not self.is_active:
+                return tracker
         pending = tracker.pending_loids()
         thunks = [
             lambda l=loid: self._deliver(tracker, l, policy) for loid in pending
@@ -674,6 +685,250 @@ class DCDOManager(ClassObject):
         self._journal_append("propagation-complete", version=version)
         self._runtime.trace("propagation-complete", self.loid, **tracker.summary())
         return tracker
+
+    # ------------------------------------------------------------------
+    # Host-relay fan-out (scale-out waves)
+    # ------------------------------------------------------------------
+
+    def use_relays(self, directory, fanout_k=0, batch_window=None):
+        """Route propagation waves through per-host relays.
+
+        ``directory`` maps host name -> relay LOID (see
+        :func:`repro.cluster.relay.deploy_relays`).  With relays
+        enabled, :meth:`propagate_version` first ships one
+        ``evolveBatch`` RPC per host covering all colocated pending
+        instances — O(hosts) manager-side RPCs instead of
+        O(instances) — and commits the per-instance acks with exactly
+        the tracker/journal bookkeeping of a direct delivery.
+        Instances a relay could not positively confirm stay PENDING
+        and are re-delivered directly, so relays are a transport
+        optimization only; they never weaken delivery guarantees.
+
+        ``fanout_k >= 2`` additionally arranges the per-host batches
+        into a k-ary diffusion tree: the manager sends one bundle to a
+        root relay, which forwards child subtrees concurrently while
+        applying its own batch — O(log_k H) wave latency for H hosts.
+        ``batch_window`` bounds each relay's local in-flight
+        ``applyConfiguration`` calls.  Pass ``directory=None`` to go
+        back to direct-only delivery.
+        """
+        if fanout_k and fanout_k < 2:
+            raise ValueError(f"fanout_k must be 0 or >= 2, got {fanout_k}")
+        self._relay_directory = dict(directory) if directory else None
+        self._relay_fanout_k = fanout_k if directory else 0
+        self._relay_batch_window = batch_window
+
+    def _relay_deliveries(self, tracker, policy, window):
+        """Generator: the host-batched phase of a propagation wave.
+
+        Groups the tracker's pending instances by host, builds one
+        configuration diff per distinct from-version, and drives the
+        per-host batches through :meth:`_drive_relay_wave`.  Instances
+        without a usable relay (host down, deactivated, no relay
+        deployed) are simply left PENDING for the direct path.  The
+        batched instances' management locks are held for the whole
+        phase — in global sorted order, so concurrent waves cannot
+        deadlock — which keeps the version reads used for diffing
+        consistent with the commits.
+        """
+        sim = self._runtime.sim
+        directory = self._relay_directory
+        version = tracker.version
+        target_record = self.version_record(version)
+        batchable = []
+        for loid in tracker.pending_loids():
+            try:
+                record = self.record(loid)
+            except UnknownObject as error:
+                # Deleted instance: terminal, exactly as direct delivery.
+                tracker.fail(loid, error)
+                self._journal_append(
+                    "propagation-failed", version=version, loid=loid
+                )
+                self._count("propagation.deliveries_failed")
+                continue
+            if not record.active or not record.host.is_up:
+                continue
+            if record.host.name not in directory:
+                continue
+            batchable.append((loid, record.host.name))
+        if not batchable:
+            return
+        locks = [
+            self.management_lock(loid)
+            for loid, __ in sorted(batchable, key=lambda item: str(item[0]))
+        ]
+        for lock in locks:
+            yield lock.acquire()
+        try:
+            host_jobs = {}
+            diff_cache = {}
+            for loid, host_name in batchable:
+                from_version = self._instance_versions.get(loid)
+                if from_version == version:
+                    # Already there (re-armed wave): ack without an RPC,
+                    # matching evolve_instance's early return.
+                    tracker.ack(loid, sim.now)
+                    self._journal_append(
+                        "propagation-ack", version=version, loid=loid
+                    )
+                    self._count("propagation.acks")
+                    continue
+                try:
+                    self.evolution_policy.check_transition(
+                        self, from_version, version
+                    )
+                except EvolutionDisallowed:
+                    # Leave it PENDING: the direct path surfaces the
+                    # veto through the usual retry/FAILED machinery.
+                    continue
+                diff = diff_cache.get(from_version)
+                if diff is None:
+                    current_descriptor = (
+                        self.version_record(from_version).descriptor
+                        if from_version is not None
+                        else DFMDescriptor()
+                    )
+                    diff = diff_descriptors(
+                        current_descriptor, target_record.descriptor
+                    )
+                    diff.target_version = version
+                    diff.enforce_restrictions = True
+                    diff_cache[from_version] = diff
+                host_jobs.setdefault(host_name, []).append((loid, diff))
+            if host_jobs:
+                yield from self._drive_relay_wave(tracker, host_jobs, policy, window)
+        finally:
+            for lock in locks:
+                lock.release()
+
+    def _drive_relay_wave(self, tracker, host_jobs, policy, window):
+        """Generator: push per-host job batches until acked or exhausted.
+
+        Each round ships one ``evolveBatch`` per host with unconfirmed
+        jobs (or, with ``fanout_k`` set, one ``relayTree`` bundle to
+        the root relay) and commits the acks that come back.  Re-sent
+        jobs are harmless: application is idempotent per instance.
+        When the retry budget runs out the survivors are left PENDING
+        — the direct path takes over with a fresh budget, so relays
+        only ever mark FAILED for the terminal deleted-instance case.
+        """
+        from repro.cluster.relay import (
+            BATCH_JOB_BYTES,
+            RELAY_APPLY_TIMEOUTS,
+            build_relay_tree,
+            count_jobs,
+        )
+
+        sim = self._runtime.sim
+        directory = self._relay_directory
+        version = tracker.version
+        remaining = {host: list(jobs) for host, jobs in host_jobs.items()}
+        host_of = {
+            loid: host for host, jobs in host_jobs.items() for loid, __ in jobs
+        }
+        started = sim.now
+        attempts = 0
+        while remaining:
+            if not self.is_active:
+                return
+            attempts += 1
+            for jobs in remaining.values():
+                for loid, __ in jobs:
+                    tracker.delivery(loid).attempts += 1
+            acks = []
+            if self._relay_fanout_k >= 2 and len(remaining) > 1:
+                bundle = build_relay_tree(
+                    remaining,
+                    directory,
+                    self._relay_fanout_k,
+                    window=self._relay_batch_window,
+                )
+                self._count("relay.tree_waves")
+                try:
+                    acks = yield from self.invoker.invoke(
+                        bundle["relay"],
+                        "relayTree",
+                        (bundle,),
+                        payload_bytes=BATCH_JOB_BYTES * count_jobs(bundle),
+                        timeout_schedule=RELAY_APPLY_TIMEOUTS,
+                    )
+                except (LegionError, TransportError, RuntimeError) as error:
+                    if isinstance(error, RuntimeError) and self.is_active:
+                        raise
+                    if not self.is_active:
+                        return
+                    self._count("relay.batch_failures")
+            else:
+                hosts = sorted(remaining)
+                thunks = [
+                    lambda h=host, j=tuple(remaining[host]): self.invoker.invoke(
+                        directory[h],
+                        "evolveBatch",
+                        (j, self._relay_batch_window),
+                        payload_bytes=BATCH_JOB_BYTES * len(j),
+                        timeout_schedule=RELAY_APPLY_TIMEOUTS,
+                    )
+                    for host in hosts
+                ]
+                self._count("relay.batch_waves")
+                outcomes = yield from run_windowed(sim, thunks, window)
+                for host, (ok, value) in zip(hosts, outcomes):
+                    if ok:
+                        acks.extend(value)
+                        continue
+                    if isinstance(value, (LegionError, TransportError)):
+                        self._count("relay.batch_failures")
+                        continue
+                    if self.is_active:
+                        raise value
+                    return
+            if not self.is_active:
+                return
+            for loid, ok, value in acks:
+                host = host_of.get(loid)
+                jobs = remaining.get(host)
+                if jobs is None or all(l != loid for l, __ in jobs):
+                    continue  # stale or duplicate ack
+                if ok:
+                    self._commit_relay_ack(tracker, loid, version)
+                elif isinstance(value, UnknownObject):
+                    tracker.fail(loid, value)
+                    self._journal_append(
+                        "propagation-failed", version=version, loid=loid
+                    )
+                    self._count("propagation.deliveries_failed")
+                else:
+                    tracker.delivery(loid).last_error = value
+                    continue
+                remaining[host] = [job for job in jobs if job[0] != loid]
+            remaining = {host: jobs for host, jobs in remaining.items() if jobs}
+            if not remaining:
+                return
+            if not policy.should_retry(attempts, started, sim.now):
+                self._count(
+                    "relay.fallback_instances",
+                    sum(len(jobs) for jobs in remaining.values()),
+                )
+                return
+            self._count("propagation.retries")
+            yield sim.timeout(policy.backoff_s(attempts))
+
+    def _commit_relay_ack(self, tracker, loid, version):
+        """Commit one relay-confirmed evolution.
+
+        Mirrors the bookkeeping (and journal-entry order) of the
+        direct path: instance-version first, then the propagation ack.
+        """
+        self._instance_versions[loid] = version
+        self._journal_append("instance-version", loid=loid, version=version)
+        record = self._instances.get(loid)
+        if record is not None and record.active:
+            record.version_tag = str(version)
+        self.evolutions_performed += 1
+        tracker.ack(loid, self._runtime.sim.now)
+        self._journal_append("propagation-ack", version=version, loid=loid)
+        self._count("propagation.acks")
 
     def _finish_abort(self, tracker):
         """Generator: drive an aborting wave to the ABORTED state.

@@ -325,6 +325,40 @@ class MethodInvoker:
         outcomes = yield from run_windowed(self._endpoint.sim, thunks, window)
         return dict(zip(loids, outcomes))
 
+    def invoke_each(
+        self,
+        calls,
+        window=8,
+        payload_bytes=None,
+        timeout_schedule=None,
+        retry_policy=None,
+        breaker=None,
+    ):
+        """Generator: heterogeneous windowed invocations.
+
+        Unlike :meth:`invoke_many` (one method fanned to many objects),
+        ``calls`` is a sequence of ``(loid, method, args)`` triples —
+        each target gets its *own* arguments.  This is the shape a host
+        relay needs to apply per-instance configuration diffs to its
+        colocated DCDOs.  Returns ``(ok, value-or-exception)`` pairs in
+        input order, at most ``window`` in flight at once.
+        """
+        calls = list(calls)
+        thunks = [
+            lambda c=call: self.invoke(
+                c[0],
+                c[1],
+                c[2],
+                payload_bytes=payload_bytes,
+                timeout_schedule=timeout_schedule,
+                retry_policy=retry_policy,
+                breaker=breaker,
+            )
+            for call in calls
+        ]
+        outcomes = yield from run_windowed(self._endpoint.sim, thunks, window)
+        return outcomes
+
     @staticmethod
     def _unwrap(error):
         """Surface application/Legion errors thrown by the remote side."""

@@ -218,11 +218,15 @@ class Endpoint:
         """Enable (or disable) same-destination coalescing.
 
         With ``flush_window_s > 0``, outbound messages to the same
-        destination within the window are packed into one wire message:
-        one framing header for the whole batch plus
-        :data:`BATCH_RECORD_BYTES` per coalesced record.  A batch is
-        flushed early when it reaches ``max_batch`` messages.  Pass
-        ``flush_window_s=0`` to turn batching back off.
+        destination emitted at the same simulation instant are packed
+        into one wire message: one framing header for the whole batch
+        plus :data:`BATCH_RECORD_BYTES` per coalesced record.  The
+        flush is adaptive — a solitary message goes out immediately (a
+        lone request pays no batching latency), while a burst drains
+        until its event cascade stops producing, bounded by
+        ``max_batch`` messages per batch.  ``flush_window_s`` is
+        therefore just the on/off switch (any positive value behaves
+        identically); pass ``0`` to turn batching back off.
         """
         if flush_window_s < 0:
             raise ValueError(f"flush window must be >= 0, got {flush_window_s}")
@@ -296,7 +300,27 @@ class Endpoint:
         return None
 
     def _flush_later(self, destination):
-        yield self._sim.timeout(self._batch_window_s)
+        """Process body: adaptive flush for one destination's queue.
+
+        Rather than lingering a fixed window (which taxed every lone
+        message with the full window of latency), the batcher drains
+        the *current simulation instant*: it re-yields zero-length
+        timeouts while the queue keeps growing, so all messages emitted
+        by the same event cascade — a windowed fan-out firing its
+        burst, a batch of replies — coalesce, and a solitary message
+        flushes immediately with no added delay.  The size trigger in
+        :meth:`_transmit` still bounds bursts at ``max_batch``.
+        """
+        seen = 0
+        while True:
+            queue = self._batch_queues.get(destination)
+            if not queue:
+                # Flushed underneath us by the size trigger.
+                return
+            if len(queue) == seen:
+                break
+            seen = len(queue)
+            yield self._sim.timeout(0)
         self._flush(destination)
 
     def _flush(self, destination):

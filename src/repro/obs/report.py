@@ -25,6 +25,9 @@ class SystemReport:
     #: Per-target circuit-breaker state (ICO fetch guards and any
     #: other breakers registered with the network).
     breakers: dict = field(default_factory=dict)
+    #: Per-host evolution-relay activity (batches served, instances
+    #: evolved/failed), keyed by host name.
+    relays: dict = field(default_factory=dict)
 
     @property
     def total_active_objects(self):
@@ -51,8 +54,19 @@ def collect_system_report(runtime):
             "cache_bytes": host.cache.used_bytes,
             "cache_hits": host.cache.hits,
             "cache_misses": host.cache.misses,
+            "cache_evictions": host.cache.evictions,
         }
+    from repro.cluster.relay import HostRelay
+
     for loid, obj in runtime._objects.items():
+        if isinstance(obj, HostRelay):
+            report.relays[obj.host.name] = {
+                "loid": str(loid),
+                "active": obj.is_active,
+                "batches_served": obj.batches_served,
+                "instances_evolved": obj.instances_evolved,
+                "instances_failed": obj.instances_failed,
+            }
         info = {
             "type": loid.type_name,
             "host": obj.host.name,
@@ -130,7 +144,16 @@ def render_report(report):
     for name, host in sorted(report.hosts.items()):
         lines.append(
             f"  host {name}: {host['processes']} procs, "
-            f"cache {host['cache_entries']} entries / {host['cache_bytes']} B"
+            f"cache {host['cache_entries']} entries / {host['cache_bytes']} B "
+            f"({host['cache_hits']} hits / {host['cache_misses']} misses / "
+            f"{host['cache_evictions']} evictions)"
+        )
+    for name, relay in sorted(report.relays.items()):
+        state = "up" if relay["active"] else "down"
+        lines.append(
+            f"  relay {name}: {state}, {relay['batches_served']} batches, "
+            f"{relay['instances_evolved']} evolved / "
+            f"{relay['instances_failed']} failed"
         )
     if report.faults:
         lines.append("fault/recovery counters:")

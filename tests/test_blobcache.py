@@ -1,0 +1,131 @@
+"""Content-addressed component caching through the per-host blob cache.
+
+The scale-out claim under test: a component variant's bytes cross the
+network once per *host*, not once per instance.  Colocated
+incorporations — sequential or concurrent — after the first are served
+from the host's :class:`FileCache`, with exactly one hit or miss
+recorded per incorporation, and the counters surface through the
+shared :class:`MetricsRegistry` and the obs report.
+"""
+
+from repro.cluster import FileCache, build_lan, deploy_relays
+from repro.legion import LegionRuntime
+from repro.obs import collect_system_report, render_report
+from repro.obs.metrics import MetricsRegistry
+
+from tests.conftest import create_dcdo, make_sorter_manager
+
+
+def build_one_host_fleet():
+    runtime = LegionRuntime(build_lan(2, seed=5))
+    manager = make_sorter_manager(runtime)
+    return runtime, manager
+
+
+# ----------------------------------------------------------------------
+# One fetch per host
+# ----------------------------------------------------------------------
+
+
+def test_sequential_colocated_creations_fetch_each_blob_once():
+    runtime, manager = build_one_host_fleet()
+    create_dcdo(runtime, manager, host_name="host01")
+    fetches_after_first = runtime.network.count_value("ico.fetches")
+    bytes_after_first = runtime.network.count_value("ico.bytes_served")
+    assert fetches_after_first == 2  # sorter + compare-asc, once each
+    for __ in range(3):
+        create_dcdo(runtime, manager, host_name="host01")
+    # Not a single extra byte left the ICOs: the host cache served all
+    # later incorporations.
+    assert runtime.network.count_value("ico.fetches") == fetches_after_first
+    assert runtime.network.count_value("ico.bytes_served") == bytes_after_first
+    assert runtime.network.count_value("blobcache.fills") == 2
+    cache = runtime.host("host01").cache
+    assert cache.misses == 2
+    assert cache.hits == 6  # 3 later instances x 2 components
+
+
+def test_concurrent_colocated_creations_coalesce_into_one_fill():
+    runtime, manager = build_one_host_fleet()
+    processes = [
+        runtime.sim.spawn(manager.create_instance(host_name="host01"))
+        for __ in range(4)
+    ]
+    runtime.sim.run()
+    assert not any(process.is_alive for process in processes)
+    # One leader fetched each blob; the other three waited on the fill
+    # gate and were served from the cache.
+    assert runtime.network.count_value("ico.fetches") == 2
+    assert runtime.network.count_value("blobcache.fills") == 2
+    assert runtime.network.count_value("blobcache.coalesced_waits") >= 1
+    cache = runtime.host("host01").cache
+    assert cache.misses == 2
+    assert cache.hits == 6
+
+
+def test_evicted_blob_is_refetched_once():
+    runtime, manager = build_one_host_fleet()
+    create_dcdo(runtime, manager, host_name="host01")
+    cache = runtime.host("host01").cache
+    evicted = [blob_id for blob_id in list(cache._entries) if cache.evict(blob_id)]
+    assert len(evicted) == 2
+    create_dcdo(runtime, manager, host_name="host01")
+    # Both blobs crossed the wire a second time — and only once more.
+    assert runtime.network.count_value("ico.fetches") == 4
+    assert runtime.network.count_value("blobcache.fills") == 4
+    for blob_id in evicted:
+        assert blob_id in cache
+
+
+# ----------------------------------------------------------------------
+# Counter plumbing
+# ----------------------------------------------------------------------
+
+
+def test_lru_eviction_at_capacity_counts_into_registry():
+    registry = MetricsRegistry()
+    cache = FileCache(capacity_bytes=250)
+    cache.bind_counters(registry)
+    cache.insert("a", 100)
+    cache.insert("b", 100)
+    assert cache.lookup("a") == 100  # a becomes most-recently-used
+    cache.insert("c", 100)  # evicts b, the LRU entry
+    assert "b" not in cache and "a" in cache and "c" in cache
+    assert cache.evictions == 1
+    assert cache.lookup("b") is None  # miss
+    cache.insert("b", 100)  # re-fill after eviction evicts a in turn
+    assert cache.lookup("b") == 100
+    assert ("a" in cache) is False
+    snapshot = registry.snapshot(prefix="cache")
+    assert snapshot["cache.hits"] == 2
+    assert snapshot["cache.misses"] == 1
+    assert snapshot["cache.evictions"] == 2
+
+
+def test_host_caches_feed_network_metrics():
+    runtime, manager = build_one_host_fleet()
+    for __ in range(2):
+        create_dcdo(runtime, manager, host_name="host01")
+    snapshot = runtime.network.metrics.snapshot(prefix="cache")
+    assert snapshot["cache.misses"] == 2
+    assert snapshot["cache.hits"] == 2
+
+
+def test_report_surfaces_cache_and_relay_stats():
+    runtime, manager = build_one_host_fleet()
+    directory = deploy_relays(runtime)
+    manager.use_relays(directory)
+    for __ in range(2):
+        create_dcdo(runtime, manager, host_name="host01")
+    report = collect_system_report(runtime)
+    host01 = report.hosts["host01"]
+    assert host01["cache_hits"] == 2
+    assert host01["cache_misses"] == 2
+    assert host01["cache_evictions"] == 0
+    assert sorted(report.relays) == ["host00", "host01"]
+    assert report.relays["host01"]["active"]
+    assert report.relays["host01"]["batches_served"] == 0
+    assert report.faults["cache.hits"] == 2
+    rendered = render_report(report)
+    assert "2 hits / 2 misses / 0 evictions" in rendered
+    assert "relay host01: up, 0 batches" in rendered

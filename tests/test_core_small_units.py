@@ -9,6 +9,7 @@ from repro.core import (
     ImplementationType,
     Marking,
     NATIVE,
+    content_digest,
 )
 from repro.core.policies.base import EvolutionPolicy, UpdatePolicy
 
@@ -80,7 +81,24 @@ def test_component_variant_rejects_negative_size():
 def test_builder_default_variant_created():
     component = ComponentBuilder("c").function("f", lambda ctx: None).build()
     assert NATIVE in component.variants
-    assert component.variants[NATIVE].blob_id == "c:x86-linux"
+    # Content-addressed: same build -> same digest, everywhere.
+    assert component.variants[NATIVE].blob_id == content_digest(
+        "c", NATIVE, 64_000
+    )
+    assert component.variants[NATIVE].blob_id.startswith("sha256:")
+
+
+def test_builder_revision_changes_blob_id():
+    v1 = ComponentBuilder("c").function("f", lambda ctx: None).build()
+    v2 = (
+        ComponentBuilder("c")
+        .revision(1)
+        .function("f", lambda ctx: None)
+        .build()
+    )
+    same = ComponentBuilder("c").function("f", lambda ctx: None).build()
+    assert v1.variants[NATIVE].blob_id == same.variants[NATIVE].blob_id
+    assert v1.variants[NATIVE].blob_id != v2.variants[NATIVE].blob_id
 
 
 def test_builder_exported_and_internal_names():

@@ -1,0 +1,215 @@
+"""Host relays: batched evolution waves, diffusion trees, recovery.
+
+The scale-out claim under test: with relays deployed, a propagation
+wave costs the manager O(hosts) RPCs instead of O(instances), while
+every PR 3 delivery guarantee — tracker/journal bookkeeping, terminal
+failures, retry-then-FAILED — survives unchanged because anything a
+relay cannot positively confirm falls back to direct delivery.
+"""
+
+import pytest
+
+from repro.cluster import build_lan, deploy_relays, restore_relays
+from repro.cluster.chaos import crash_host
+from repro.cluster.relay import build_relay_tree, count_jobs, iter_jobs
+from repro.core import DeliveryStatus, ManagerJournal
+from repro.legion import LegionRuntime
+from repro.legion.loid import mint_loid
+from repro.net import RetryPolicy
+
+from tests.conftest import create_dcdo, make_sorter_manager
+
+ONE_SHOT = RetryPolicy(base_s=1.0, max_attempts=1)
+
+
+def build_relay_fleet(hosts=4, instances_per_host=2, journal=None):
+    """Runtime + sorter manager + instances spread over host01..N."""
+    runtime = LegionRuntime(build_lan(hosts + 1, seed=11))
+    manager = make_sorter_manager(runtime, journal=journal)
+    loids = []
+    for host_index in range(1, hosts + 1):
+        for __ in range(instances_per_host):
+            loid, ___ = create_dcdo(
+                runtime, manager, host_name=f"host{host_index:02d}"
+            )
+            loids.append(loid)
+    return runtime, manager, loids
+
+
+def derive_v2(manager):
+    version = manager.derive_version(manager.current_version)
+    manager.incorporate_into(version, "compare-desc")
+    manager.descriptor_of(version).enable(
+        "compare", "compare-desc", replace_current=True
+    )
+    manager.mark_instantiable(version)
+    manager.set_current_version(version)
+    return version
+
+
+# ----------------------------------------------------------------------
+# Deployment and directory management
+# ----------------------------------------------------------------------
+
+
+def test_deploy_relays_one_per_up_host_and_idempotent():
+    runtime = LegionRuntime(build_lan(4, seed=3))
+    crash_host(runtime, runtime.host("host03"))
+    directory = deploy_relays(runtime)
+    assert sorted(directory) == ["host00", "host01", "host02"]
+    for host_name, loid in directory.items():
+        relay = runtime.live_object(loid)
+        assert relay.is_active
+        assert relay.host.name == host_name
+        assert runtime.context_space.lookup(f"/relays/{host_name}") == loid
+    # Redeploying reuses the live relays instead of minting new ones.
+    again = deploy_relays(runtime)
+    assert again == directory
+
+
+def test_restore_relays_after_host_restart():
+    runtime = LegionRuntime(build_lan(3, seed=3))
+    directory = deploy_relays(runtime)
+    crash_host(runtime, runtime.host("host02"))
+    assert not runtime.live_object(directory["host02"]).is_active
+    # Down host: skipped, nothing restored yet.
+    assert runtime.sim.run_process(restore_relays(runtime, directory)) == []
+    runtime.host("host02").restart()
+    restored = runtime.sim.run_process(restore_relays(runtime, directory))
+    assert restored == ["host02"]
+    assert runtime.live_object(directory["host02"]).is_active
+    # Live relays are left alone on a second pass.
+    assert runtime.sim.run_process(restore_relays(runtime, directory)) == []
+
+
+# ----------------------------------------------------------------------
+# Batched waves
+# ----------------------------------------------------------------------
+
+
+def test_relay_wave_acks_all_with_host_granular_rpcs():
+    journal = ManagerJournal(name="Sorter")
+    runtime, manager, loids = build_relay_fleet(
+        hosts=4, instances_per_host=3, journal=journal
+    )
+    manager.use_relays(deploy_relays(runtime))
+    v2 = derive_v2(manager)
+    manager.invoker.stats.reset()
+    tracker = runtime.sim.run_process(manager.propagate_version(v2))
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+        assert manager.instance_version(loid) == v2
+    # One evolveBatch per host, not one RPC per instance.
+    assert runtime.network.count_value("relay.batches") == 4
+    assert runtime.network.count_value("relay.batch_instances") == 12
+    assert manager.invoker.stats.invocations == 4
+    # The journal records the same per-instance bookkeeping as direct
+    # delivery: an instance-version line then a propagation ack, each.
+    kinds = [entry.kind for entry in journal.entries]
+    assert kinds.count("instance-version") >= 12
+    assert kinds.count("propagation-ack") == 12
+
+
+def test_relay_wave_acks_already_current_instances_without_rpc():
+    runtime, manager, __ = build_relay_fleet(hosts=2, instances_per_host=1)
+    directory = deploy_relays(runtime)
+    manager.use_relays(directory)
+    v2 = derive_v2(manager)
+    runtime.sim.run_process(manager.propagate_version(v2))
+    # A newcomer builds at v2; re-driving the wave must ack it without
+    # shipping any new batch.
+    newcomer, obj = create_dcdo(runtime, manager, host_name="host01")
+    assert obj.version == v2
+    before = runtime.network.count_value("relay.batches")
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(v2, loids=[newcomer])
+    )
+    assert tracker.delivery(newcomer).status is DeliveryStatus.ACKED
+    assert runtime.network.count_value("relay.batches") == before
+
+
+def test_dead_relay_falls_back_to_direct_delivery():
+    runtime, manager, loids = build_relay_fleet(hosts=2, instances_per_host=2)
+    directory = deploy_relays(runtime)
+    # Point host02's entry at a relay that never existed: every batch
+    # to it fails, so its instances must arrive via the direct path.
+    directory["host02"] = mint_loid(runtime.domain, "HostRelay")
+    manager.use_relays(directory)
+    v2 = derive_v2(manager)
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(v2, retry_policy=ONE_SHOT)
+    )
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+    assert runtime.network.count_value("relay.batch_failures") >= 1
+    assert runtime.network.count_value("relay.fallback_instances") == 2
+    # host01's batch still went through a relay.
+    assert runtime.network.count_value("relay.batches") == 1
+
+
+# ----------------------------------------------------------------------
+# Diffusion trees
+# ----------------------------------------------------------------------
+
+
+def test_build_relay_tree_shape():
+    batches = {f"h{i}": [(f"loid{i}", None)] for i in range(7)}
+    directory = {f"h{i}": f"relay{i}" for i in range(7)}
+    root = build_relay_tree(batches, directory, fanout_k=2)
+    assert root["host"] == "h0" and root["relay"] == "relay0"
+    assert [child["host"] for child in root["children"]] == ["h1", "h2"]
+    assert [c["host"] for c in root["children"][0]["children"]] == ["h3", "h4"]
+    assert count_jobs(root) == 7
+    assert sorted(loid for loid, __ in iter_jobs(root)) == sorted(
+        f"loid{i}" for i in range(7)
+    )
+    with pytest.raises(ValueError):
+        build_relay_tree(batches, directory, fanout_k=1)
+    assert build_relay_tree({}, directory, fanout_k=2) is None
+
+
+def test_tree_wave_single_manager_rpc():
+    runtime, manager, loids = build_relay_fleet(hosts=4, instances_per_host=2)
+    manager.use_relays(deploy_relays(runtime), fanout_k=2)
+    v2 = derive_v2(manager)
+    manager.invoker.stats.reset()
+    tracker = runtime.sim.run_process(manager.propagate_version(v2))
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+    # The manager sent exactly one RPC: the root bundle.
+    assert manager.invoker.stats.invocations == 1
+    assert runtime.network.count_value("relay.tree_waves") == 1
+    assert runtime.network.count_value("relay.batches") == 4
+
+
+def test_tree_subtree_failure_reports_and_falls_back():
+    runtime, manager, loids = build_relay_fleet(hosts=3, instances_per_host=2)
+    directory = deploy_relays(runtime)
+    directory["host03"] = mint_loid(runtime.domain, "HostRelay")
+    manager.use_relays(directory, fanout_k=2)
+    v2 = derive_v2(manager)
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(v2, retry_policy=ONE_SHOT)
+    )
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+    assert runtime.network.count_value("relay.subtree_failures") >= 1
+    assert runtime.network.count_value("relay.fallback_instances") == 2
+
+
+def test_use_relays_validation_and_disable():
+    runtime, manager, __ = build_relay_fleet(hosts=2, instances_per_host=1)
+    directory = deploy_relays(runtime)
+    with pytest.raises(ValueError):
+        manager.use_relays(directory, fanout_k=1)
+    manager.use_relays(directory)
+    manager.use_relays(None)
+    v2 = derive_v2(manager)
+    before = runtime.network.count_value("relay.batches")
+    tracker = runtime.sim.run_process(manager.propagate_version(v2))
+    assert tracker.all_acked
+    assert runtime.network.count_value("relay.batches") == before
