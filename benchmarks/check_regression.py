@@ -19,6 +19,14 @@ beat the flat wave at 256 instances and up, and the blob-cache hit
 rate must reach ``(iph - 1) / iph`` for ``iph`` instances per host —
 i.e. every colocated incorporation after a host's first is served
 locally.
+
+``--availability`` gates the P4 availability invariants on a freshly
+produced ``BENCH_availability.json``: every supervised hot-takeover
+MTTR must land well under the restart-and-recover baseline (under a
+third of it), MTTR must grow with the heartbeat interval (detection
+dominates), and the split-brain run must show the zombie primary
+actually fenced — at least one stale-term rejection and zero duplicate
+applications.
 """
 
 import argparse
@@ -99,6 +107,58 @@ def check_p3(path):
     return failures
 
 
+def check_p4(path):
+    """Gate the P4 availability invariants; returns failure strings."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        baseline_mttr = extra["baseline"]["mttr_s"]
+        intervals = extra["intervals"]
+        split = extra["split_brain"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P4 result?")
+    failures = []
+    previous = None
+    for interval in sorted(intervals, key=float):
+        mttr = intervals[interval]["mttr_s"]
+        status = "OK"
+        if mttr >= baseline_mttr / 3:
+            status = "REGRESSED"
+            failures.append(
+                f"heartbeat {interval}s: takeover MTTR {mttr:.2f} s not well "
+                f"under restart baseline {baseline_mttr:.2f} s"
+            )
+        if previous is not None and mttr < previous:
+            status = "REGRESSED"
+            failures.append(
+                f"heartbeat {interval}s: MTTR {mttr:.2f} s below the "
+                f"shorter interval's {previous:.2f} s — detection no longer "
+                f"dominates takeover time"
+            )
+        previous = mttr
+        print(
+            f"P4 heartbeat {interval:>4}s: takeover MTTR {mttr:6.2f} s "
+            f"(baseline {baseline_mttr:.2f} s) {status}"
+        )
+    if split["stale_term_rejections"] < 1:
+        failures.append(
+            "split brain: no stale-term rejections — the zombie primary "
+            "was never fenced"
+        )
+    if split["duplicate_applications"] != 0:
+        failures.append(
+            f"split brain: {split['duplicate_applications']} duplicate "
+            f"applications — exactly-once broken"
+        )
+    print(
+        f"P4 split brain: {split['stale_term_rejections']} stale-term "
+        f"rejections, {split['duplicate_applications']} duplicates "
+        f"{'OK' if not any('split brain' in f for f in failures) else 'REGRESSED'}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -114,11 +174,18 @@ def main(argv=None):
         default=None,
         help="freshly generated BENCH_scaleout.json to gate P3 invariants",
     )
+    parser.add_argument(
+        "--availability",
+        default=None,
+        help="freshly generated BENCH_availability.json to gate P4 invariants",
+    )
     args = parser.parse_args(argv)
 
     failures = check_p2(args.baseline, args.current, args.threshold)
     if args.scaleout:
         failures += check_p3(args.scaleout)
+    if args.availability:
+        failures += check_p4(args.availability)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

@@ -1,0 +1,28 @@
+"""P4 — manager failover MTTR vs restart; writes BENCH_availability.json."""
+
+import json
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p4
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_availability.json"
+
+
+def test_p4_availability(benchmark):
+    result = run_experiment(benchmark, run_p4)
+    benchmark.extra_info["intervals"] = result.extra["intervals"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -13,6 +13,7 @@ from repro.bench.experiments.a4_wan import run_a4
 from repro.bench.experiments.p1_fastpath import run_p1
 from repro.bench.experiments.p2_fanout import run_p2
 from repro.bench.experiments.p3_scaleout import run_p3
+from repro.bench.experiments.p4_availability import run_p4
 
 __all__ = [
     "run_a2",
@@ -21,6 +22,7 @@ __all__ = [
     "run_p1",
     "run_p2",
     "run_p3",
+    "run_p4",
     "run_e1",
     "run_e2",
     "run_e3",

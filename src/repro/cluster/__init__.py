@@ -11,6 +11,7 @@ and are documented against the sentence of the paper they reproduce.
 """
 
 from repro.cluster.calibration import Calibration
+from repro.cluster.failure_detector import HeartbeatFailureDetector
 from repro.cluster.filecache import FileCache
 from repro.cluster.host import CrashPlan, Host, HostDown, HostProcess
 from repro.cluster.relay import (
@@ -19,6 +20,7 @@ from repro.cluster.relay import (
     deploy_relays,
     restore_relays,
 )
+from repro.cluster.supervisor import Supervisor
 from repro.cluster.testbed import Testbed, build_centurion, build_lan, build_wan
 from repro.cluster.vault import Vault
 
@@ -26,10 +28,12 @@ __all__ = [
     "Calibration",
     "CrashPlan",
     "FileCache",
+    "HeartbeatFailureDetector",
     "Host",
     "HostDown",
     "HostProcess",
     "HostRelay",
+    "Supervisor",
     "Testbed",
     "Vault",
     "build_centurion",

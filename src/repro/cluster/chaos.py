@@ -205,6 +205,9 @@ class ChaosSchedule:
         mid_apply_crashes=0,
         relay_hosts=(),
         max_relay_crashes=0,
+        manager_hosts=(),
+        max_manager_partitions=0,
+        max_failovers=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
@@ -230,6 +233,23 @@ class ChaosSchedule:
         the batch dies with its relay and its colocated instances.
         Its draws come strictly after every other kind, preserving a
         seed's legacy schedule.
+
+        Two further kinds target manager availability (PR 5); both
+        default off and draw strictly after everything above, again
+        preserving legacy schedules:
+
+        - ``max_manager_partitions`` (with ``manager_hosts`` naming
+          hosts that run — or may be promoted to run — a DCDO
+          Manager) isolates the *first* manager host from every other
+          host for a window: the split-brain scenario, where a healthy
+          primary is cut off, a standby is promoted, and the old
+          primary's stale-term traffic must be fenced after heal.
+        - ``max_failovers`` crashes manager hosts in sequence along
+          ``manager_hosts`` — the first early (while a wave is
+          typically mid-flight), each next one spaced out so it can
+          land after the previous promotion: the double-failover
+          scenario.  Crash times are chained, not overlapping, so a
+          supervisor is always chasing the *current* primary.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -300,6 +320,35 @@ class ChaosSchedule:
                 crash_at = rng.uniform(0.5, 8.0)
                 restart_at = crash_at + rng.uniform(5.0, duration_s * 0.4)
                 crashes.append((name, crash_at, restart_at))
+        manager_hosts = [name for name in manager_hosts if name in host_names]
+        if manager_hosts and max_manager_partitions > 0:
+            primary = manager_hosts[0]
+            rest = [name for name in host_names if name != primary]
+            if rest:
+                for __ in range(rng.randint(1, max_manager_partitions)):
+                    start = rng.uniform(0.5, duration_s * 0.2)
+                    end = start + rng.uniform(6.0, duration_s * 0.35)
+                    partitions.append(
+                        (
+                            [f"{primary}/"],
+                            [f"{name}/" for name in rest],
+                            start,
+                            end,
+                        )
+                    )
+        if manager_hosts and max_failovers > 0:
+            already_down = {name for name, __, __ in crashes}
+            crash_at = rng.uniform(0.5, 6.0)
+            scheduled = 0
+            for name in manager_hosts:
+                if scheduled >= max_failovers:
+                    break
+                if name in protect or name in already_down:
+                    continue
+                restart_at = crash_at + rng.uniform(10.0, duration_s * 0.35)
+                crashes.append((name, crash_at, restart_at))
+                scheduled += 1
+                crash_at += rng.uniform(8.0, 20.0)
         return cls(crashes=crashes, partitions=partitions, drops=drops)
 
     @property

@@ -83,6 +83,9 @@ class Host:
         self.crash_count = 0
         self.last_crash_at = None
         self.last_restart_at = None
+        #: Cumulative seconds spent down (closed outages only); an
+        #: availability ledger for MTTR-style reporting.
+        self.total_downtime_s = 0.0
 
     @property
     def sim(self):
@@ -214,6 +217,8 @@ class Host:
         self._up = True
         self._incarnation += 1
         self.last_restart_at = self._sim.now
+        if self.last_crash_at is not None:
+            self.total_downtime_s += self._sim.now - self.last_crash_at
         if self._network is not None:
             self._network.count("host.restarts")
         return self._incarnation

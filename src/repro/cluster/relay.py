@@ -50,9 +50,11 @@ class HostRelay(LegionObject):
 
     Exported interface:
 
-    - ``evolveBatch(jobs, window)`` — apply ``(loid, diff)`` jobs to
-      colocated instances; returns ``(loid, ok, value)`` triples where
-      ``value`` is the version string reached or the exception raised.
+    - ``evolveBatch(jobs, window, term)`` — apply ``(loid, diff)`` jobs
+      to colocated instances; returns ``(loid, ok, value)`` triples
+      where ``value`` is the version string reached or the exception
+      raised.  ``term`` (optional) is the manager's fencing token,
+      re-stamped on every downstream apply.
     - ``relayTree(bundle)`` — apply this host's jobs *and* forward
       child bundles to downstream relays concurrently, aggregating the
       whole subtree's acks into one reply.
@@ -75,8 +77,14 @@ class HostRelay(LegionObject):
     # Local batch application
     # ------------------------------------------------------------------
 
-    def _apply_jobs(self, jobs, window):
-        """Generator: apply ``(loid, diff)`` jobs, windowed; returns acks."""
+    def _apply_jobs(self, jobs, window, term=None):
+        """Generator: apply ``(loid, diff)`` jobs, windowed; returns acks.
+
+        ``term`` is the sending manager's fencing token; re-stamping it
+        on every downstream ``applyConfiguration`` keeps the batch path
+        as fenced as direct delivery — a deposed manager's batch is
+        rejected per instance, and the rejection rides back in the acks.
+        """
         jobs = list(jobs)
         calls = [
             (loid, "applyConfiguration", (diff,)) for loid, diff in jobs
@@ -85,6 +93,7 @@ class HostRelay(LegionObject):
             calls,
             window=window or RELAY_APPLY_WINDOW,
             timeout_schedule=RELAY_APPLY_TIMEOUTS,
+            term=term,
         )
         acks = []
         for (loid, __), (ok, value) in zip(jobs, outcomes):
@@ -98,8 +107,8 @@ class HostRelay(LegionObject):
         self.runtime.network.count("relay.batch_instances", len(jobs))
         return acks
 
-    def _m_evolve_batch(self, ctx, jobs, window=None):
-        acks = yield from self._apply_jobs(jobs, window)
+    def _m_evolve_batch(self, ctx, jobs, window=None, term=None):
+        acks = yield from self._apply_jobs(jobs, window, term)
         return acks
 
     # ------------------------------------------------------------------
@@ -120,8 +129,10 @@ class HostRelay(LegionObject):
 
         window = bundle.get("window") or RELAY_APPLY_WINDOW
         children = list(bundle.get("children") or ())
+        term = bundle.get("term")
 
         def forward(child):
+            child = dict(child, term=term)
             try:
                 acks = yield from self.invoker.invoke(
                     child["relay"],
@@ -129,6 +140,7 @@ class HostRelay(LegionObject):
                     (child,),
                     payload_bytes=BATCH_JOB_BYTES * count_jobs(child),
                     timeout_schedule=RELAY_APPLY_TIMEOUTS,
+                    term=term,
                 )
             except (LegionError, TransportError):
                 # The whole subtree is unreachable through this child;
@@ -146,7 +158,7 @@ class HostRelay(LegionObject):
                 ]
             return acks
 
-        thunks = [lambda: self._apply_jobs(bundle.get("jobs") or (), window)]
+        thunks = [lambda: self._apply_jobs(bundle.get("jobs") or (), window, term)]
         thunks += [lambda c=child: forward(c) for child in children]
         outcomes = yield from run_windowed(self.sim, thunks, len(thunks))
         acks = []

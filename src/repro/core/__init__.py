@@ -57,6 +57,7 @@ from repro.core.errors import (
     FunctionNotExported,
     IncompatibleImplementationType,
     MandatoryViolation,
+    ManagerRecoveryError,
     MarkingConflict,
     PermanenceViolation,
     RollbackFailed,
@@ -80,8 +81,10 @@ from repro.core.recovery import (
     DeliveryStatus,
     ManagerJournal,
     PropagationTracker,
+    estimate_entry_bytes,
     recover_manager,
 )
+from repro.core.replication import ReplicationLink, StandbyReplica
 from repro.core.stub import DCDOStub, InterfaceCache
 from repro.core.version import VersionId, VersionTree
 
@@ -124,11 +127,14 @@ __all__ = [
     "Marking",
     "MarkingConflict",
     "NATIVE",
+    "ManagerRecoveryError",
     "PermanenceViolation",
     "PropagationTracker",
     "RemoveMode",
     "RemovePolicy",
+    "ReplicationLink",
     "RollbackFailed",
+    "StandbyReplica",
     "UnknownVersion",
     "VersionId",
     "VersionNotConfigurable",
@@ -142,6 +148,7 @@ __all__ = [
     "annotate_component",
     "check_closure",
     "define_dcdo_type",
+    "estimate_entry_bytes",
     "recover_manager",
     "derive_structural_dependencies",
     "diff_descriptors",

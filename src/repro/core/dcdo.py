@@ -172,6 +172,21 @@ class DCDO(LegionObject):
         return self._manager_loid
 
     @property
+    def observed_manager_term(self):
+        """Highest fencing term seen from this object's manager.
+
+        None until a term-stamped management RPC has arrived.  After a
+        failover this is the promoted manager's term, and any traffic
+        still carrying a lower number is rejected (see
+        :meth:`~repro.legion.objects.LegionObject.observed_term`) — so
+        comparing this across a fleet shows exactly which instances a
+        zombie primary could still confuse.
+        """
+        if self._manager_loid is None:
+            return None
+        return self.observed_term(self._manager_loid.type_name)
+
+    @property
     def implementation_type(self):
         """The implementation type of this object's current build.
 

@@ -133,6 +133,15 @@ class RollbackFailed(DCDOError):
         self.rollback_error = rollback_error
 
 
+class ManagerRecoveryError(DCDOError):
+    """Manager recovery could not proceed (e.g. no live host to run on).
+
+    Distinct from transient delivery failures: the recovery call itself
+    is impossible right now and should be retried after conditions
+    change, not treated as a half-done recovery.
+    """
+
+
 class WaveAborted(VersionError):
     """An evolution wave crossed its abort threshold and was rolled
     back; instances that had committed the new version were returned

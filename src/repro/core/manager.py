@@ -31,10 +31,10 @@ from repro.core.policies.evolution import SingleVersionPolicy
 from repro.core.policies.update import ExplicitUpdatePolicy
 from repro.core.recovery import DeliveryStatus, PropagationTracker
 from repro.core.version import VersionTree
-from repro.legion.errors import LegionError, UnknownObject
+from repro.legion.errors import LegionError, StaleManagerTerm, UnknownObject
 from repro.legion.klass import ClassObject, InstanceRecord
 from repro.legion.loid import mint_loid
-from repro.net import RetryPolicy, TransportError, run_windowed
+from repro.net import ManagerTerm, RetryPolicy, TransportError, run_windowed
 
 #: Spacing for at-least-once propagation deliveries: patient enough to
 #: ride out a host outage plus stale-binding rediscovery, bounded so a
@@ -175,6 +175,14 @@ class DCDOManager(ClassObject):
         self._relay_batch_window = None
         self.wave_policy = wave_policy or WavePolicy.converge()
         self.evolutions_performed = 0
+        #: Monotonic fencing term: every management RPC this manager
+        #: sends carries (type_name, term).  Recovery bumps it, so a
+        #: deposed primary's traffic is rejected by anything the newer
+        #: primary already touched.
+        self._term = 1
+        #: Set once a peer proves a newer term exists; the manager has
+        #: deactivated itself and must never act again.
+        self.deposed = False
         self._register_manager_methods()
         if journal is not None:
             self.attach_journal(journal)
@@ -205,9 +213,70 @@ class DCDOManager(ClassObject):
     def _journal_append(self, kind, **data):
         if self._journal is not None:
             self._journal.append(kind, **data)
+            self._publish_journal_gauges()
+
+    def _publish_journal_gauges(self):
+        if self._journal is None:
+            return
+        metrics = self._runtime.network.metrics
+        metrics.gauge("journal.entries").set(len(self._journal))
+        metrics.gauge("journal.bytes").set(self._journal.bytes)
 
     def _count(self, name, amount=1):
         self._runtime.network.count(name, amount)
+
+    # ------------------------------------------------------------------
+    # Fencing terms (failover safety)
+    # ------------------------------------------------------------------
+
+    @property
+    def term(self):
+        """This manager's fencing term number."""
+        return self._term
+
+    def current_term(self):
+        """The :class:`~repro.net.ManagerTerm` stamped on outgoing RPCs."""
+        return ManagerTerm(self.type_name, self._term)
+
+    def bump_term(self):
+        """Advance the fencing term (journaled); returns the new number.
+
+        Called on every recovery/promotion, so a standby taking over
+        always outranks the primary it replaces — even across double
+        failover, because the bump is journaled and shipped like any
+        other durable decision.
+        """
+        self._term += 1
+        self._journal_append("term", number=self._term)
+        self._count("manager.term_bumps")
+        self._runtime.trace("manager-term", self.loid, term=self._term)
+        return self._term
+
+    def _fence(self, error):
+        """Stand down: a peer proved a newer term exists.
+
+        A healed old primary discovers its deposal the first time one
+        of its RPCs reaches an object the new primary already touched;
+        the only safe reaction is to stop acting entirely — the journal
+        the new primary recovered from already owns the durable state.
+        """
+        if self.deposed:
+            return
+        self.deposed = True
+        self._count("manager.fenced_stepdowns")
+        self._runtime.trace(
+            "manager-fenced",
+            self.loid,
+            term=self._term,
+            latest=getattr(error, "latest", None),
+        )
+        self.deactivate()
+
+    def activate(self):
+        binding = yield from super().activate()
+        # Stamp every outgoing management RPC with the current term.
+        self._invoker.term_source = self.current_term
+        return binding
 
     # ------------------------------------------------------------------
     # Component registration (ICOs)
@@ -445,12 +514,20 @@ class DCDOManager(ClassObject):
         )
         self._runtime.attach_object(obj)
         yield from obj.activate()
-        for component_id in sorted(descriptor.component_ids):
-            __, ico_loid = self._components_entry(component_id)
-            yield from obj.incorporate_component(ico_loid, bootstrap=True)
-        obj.dfm.apply_entry_states(descriptor)
-        obj.dfm.adopt_restrictions(descriptor)
-        obj.set_version(version)
+        try:
+            for component_id in sorted(descriptor.component_ids):
+                __, ico_loid = self._components_entry(component_id)
+                yield from obj.incorporate_component(ico_loid, bootstrap=True)
+            obj.dfm.apply_entry_states(descriptor)
+            obj.dfm.adopt_restrictions(descriptor)
+            obj.set_version(version)
+        except Exception:
+            # A failed component fetch must not leave a half-configured
+            # but reachable DCDO behind: journal replays and recovery
+            # passes would mistake it for a live instance and never
+            # retry the rebuild.
+            obj.deactivate()
+            raise
         return obj, str(version)
 
     def _instance_created(self, record):
@@ -844,6 +921,10 @@ class DCDOManager(ClassObject):
                     self._relay_fanout_k,
                     window=self._relay_batch_window,
                 )
+                # The relays re-stamp this on every downstream apply,
+                # so the whole diffusion tree is fenced, not just the
+                # manager->root hop.
+                bundle["term"] = self.current_term()
                 self._count("relay.tree_waves")
                 try:
                     acks = yield from self.invoker.invoke(
@@ -854,6 +935,9 @@ class DCDOManager(ClassObject):
                         timeout_schedule=RELAY_APPLY_TIMEOUTS,
                     )
                 except (LegionError, TransportError, RuntimeError) as error:
+                    if isinstance(error, StaleManagerTerm):
+                        self._fence(error)
+                        return
                     if isinstance(error, RuntimeError) and self.is_active:
                         raise
                     if not self.is_active:
@@ -865,7 +949,7 @@ class DCDOManager(ClassObject):
                     lambda h=host, j=tuple(remaining[host]): self.invoker.invoke(
                         directory[h],
                         "evolveBatch",
-                        (j, self._relay_batch_window),
+                        (j, self._relay_batch_window, self.current_term()),
                         payload_bytes=BATCH_JOB_BYTES * len(j),
                         timeout_schedule=RELAY_APPLY_TIMEOUTS,
                     )
@@ -877,6 +961,9 @@ class DCDOManager(ClassObject):
                     if ok:
                         acks.extend(value)
                         continue
+                    if isinstance(value, StaleManagerTerm):
+                        self._fence(value)
+                        return
                     if isinstance(value, (LegionError, TransportError)):
                         self._count("relay.batch_failures")
                         continue
@@ -892,6 +979,11 @@ class DCDOManager(ClassObject):
                     continue  # stale or duplicate ack
                 if ok:
                     self._commit_relay_ack(tracker, loid, version)
+                elif isinstance(value, StaleManagerTerm):
+                    # The relay forwarded our term and a downstream
+                    # instance outranked it: we are deposed.
+                    self._fence(value)
+                    return
                 elif isinstance(value, UnknownObject):
                     tracker.fail(loid, value)
                     self._journal_append(
@@ -963,6 +1055,9 @@ class DCDOManager(ClassObject):
                         delivery.loid, prior, enforce_policy=False
                     )
                 except (LegionError, TransportError) as error:
+                    if isinstance(error, StaleManagerTerm):
+                        self._fence(error)
+                        return
                     delivery.last_error = error
                     if not self.is_active:
                         return
@@ -1009,6 +1104,11 @@ class DCDOManager(ClassObject):
                 self._count("propagation.deliveries_failed")
                 return False
             except (LegionError, TransportError, RuntimeError) as error:
+                if isinstance(error, StaleManagerTerm):
+                    # We are the deposed primary: stand down, leave the
+                    # delivery to the manager that outranks us.
+                    self._fence(error)
+                    return False
                 if isinstance(error, RuntimeError) and self.is_active:
                     # A real bug, not the "our invoker vanished because
                     # we crashed mid-delivery" case — don't mask it.
@@ -1130,6 +1230,8 @@ class DCDOManager(ClassObject):
                 instantiable=True,
                 parent=data.get("parent"),
             )
+        elif kind == "term":
+            self._term = max(self._term, data["number"])
         elif kind == "current-version":
             self._current_version = data["version"]
         elif kind == "instance":
@@ -1220,6 +1322,9 @@ class DCDOManager(ClassObject):
         from repro.core.recovery import JournalEntry
 
         entries = []
+        # The term leads the checkpoint: replay must outrank any older
+        # primary before acting on anything else.
+        entries.append(JournalEntry("term", {"number": self._term}))
         for component_id in sorted(self._components):
             component, ico_loid = self._components[component_id]
             ico = self._runtime.live_object(ico_loid)
@@ -1316,6 +1421,7 @@ class DCDOManager(ClassObject):
                     JournalEntry("propagation-complete", {"version": version})
                 )
         self._journal.write_checkpoint(entries)
+        self._publish_journal_gauges()
         return len(entries)
 
     # ------------------------------------------------------------------
@@ -1328,6 +1434,12 @@ class DCDOManager(ClassObject):
         self.register_method("updateInstance", self._m_update_instance)
         self.register_method("syncInstance", self._m_sync_instance)
         self.register_method("getDCDOTable", self._m_get_dcdo_table)
+        self.register_method("ping", self._m_ping)
+
+    def _m_ping(self, ctx):
+        """Liveness probe for the failure detector; returns the term."""
+        return ("pong", self._term)
+        yield  # pragma: no cover - uniform generator shape
 
     def _m_get_current_version(self, ctx):
         return self._current_version

@@ -32,6 +32,47 @@ a recovered manager never re-issues an id.
 import enum
 from dataclasses import dataclass, field
 
+#: CPU seconds charged per journal entry replayed during recovery.  A
+#: cold restart pays this for the whole journal; a hot standby that has
+#: been replaying shipped entries as they arrive pays only for the
+#: un-replayed tail (see ``recover_manager(skip_entries=...)``).
+REPLAY_ENTRY_S = 0.0002
+
+#: Fixed per-entry framing estimate (kind tag, lengths, sequencing).
+ENTRY_BASE_BYTES = 48
+
+
+def _estimate_value_bytes(value):
+    """Rough serialized size of one journal-entry value."""
+    if value is None or isinstance(value, (bool, int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 16 + sum(_estimate_value_bytes(item) for item in value)
+    if isinstance(value, dict):
+        return 16 + sum(
+            len(str(key)) + _estimate_value_bytes(item)
+            for key, item in value.items()
+        )
+    # Rich objects (version ids, descriptors, component refs) journal as
+    # compact references, not blobs.
+    return 64
+
+
+def estimate_entry_bytes(entry):
+    """Estimated on-disk/wire size of one :class:`JournalEntry`.
+
+    Deterministic and cheap — used for journal size gauges and for
+    charging replication shipping traffic.  Sizes are estimates in the
+    same spirit as the rest of the simulation: what matters is that
+    they scale with content, not that they match any real encoding.
+    """
+    size = ENTRY_BASE_BYTES + len(entry.kind)
+    for key, value in entry.data.items():
+        size += len(str(key)) + _estimate_value_bytes(value)
+    return size
+
 
 class DeliveryStatus(enum.Enum):
     """Where one instance stands in a propagation."""
@@ -206,22 +247,59 @@ class ManagerJournal:
         self._entries = []
         self.appends = 0
         self.checkpoints = 0
+        self._checkpoint_bytes = 0
+        self._tail_bytes = 0
+        self._observers = []
 
     @property
     def entries(self):
         """Entries appended since the last checkpoint."""
         return list(self._entries)
 
+    @property
+    def bytes(self):
+        """Estimated durable size: checkpoint plus appended tail."""
+        return self._checkpoint_bytes + self._tail_bytes
+
+    def subscribe(self, observer):
+        """Register ``observer(event, payload)`` for journal writes.
+
+        ``event`` is ``"append"`` (payload: the :class:`JournalEntry`)
+        or ``"checkpoint"`` (payload: the new checkpoint entry list).
+        Observers fire synchronously after the write lands — the hook
+        hot-standby replication ships from.  Returns the observer so
+        callers can hold it for :meth:`unsubscribe`.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer):
+        """Remove a previously subscribed observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, event, payload):
+        for observer in list(self._observers):
+            observer(event, payload)
+
     def append(self, kind, **data):
         """Append one write-ahead entry."""
-        self._entries.append(JournalEntry(kind, dict(data)))
+        entry = JournalEntry(kind, dict(data))
+        self._entries.append(entry)
         self.appends += 1
+        self._tail_bytes += estimate_entry_bytes(entry)
+        self._notify("append", entry)
 
     def write_checkpoint(self, entries):
         """Replace the checkpoint with ``entries``; truncate the log."""
         self._checkpoint = list(entries)
         self._entries = []
         self.checkpoints += 1
+        self._checkpoint_bytes = sum(
+            estimate_entry_bytes(entry) for entry in self._checkpoint
+        )
+        self._tail_bytes = 0
+        self._notify("checkpoint", list(self._checkpoint))
 
     def replay(self):
         """All durable entries in application order."""
@@ -245,20 +323,28 @@ def recover_manager(
     update_policy=None,
     remove_policy=None,
     resume=True,
+    skip_entries=0,
 ):
     """Generator: rebuild a crashed DCDO Manager from its journal.
 
     Constructs a fresh manager (the class LOID is deterministic, so it
     *is* the same object identity), replays the journal into it,
     re-links still-live instances and ICOs, reactivates it — new
-    endpoint, bumped binding incarnation — swaps it into the runtime's
-    registries, and (by default) resumes any propagation the crash
-    interrupted.  Returns the recovered manager.
+    endpoint, bumped binding incarnation, bumped fencing term — swaps
+    it into the runtime's registries, and (by default) resumes any
+    propagation the crash interrupted.  Returns the recovered manager.
 
     Policies default to the ones recorded in the journal's ``meta``
     (policy objects are code, which survives a crash on disk); pass
     explicit policies to override.
+
+    Replay costs :data:`REPLAY_ENTRY_S` CPU per journal entry.  A hot
+    standby that already replayed a prefix of the journal as it was
+    shipped passes that prefix length as ``skip_entries`` and pays only
+    for the tail — the "near-instant takeover" half of the standby
+    design.
     """
+    from repro.core.errors import ManagerRecoveryError
     from repro.core.manager import DCDOManager
 
     type_name = journal.meta.get("type_name")
@@ -270,7 +356,19 @@ def recover_manager(
         host = journal.meta.get("host_name")
         host = runtime.host(host) if host in runtime.hosts else None
         if host is None or not host.is_up:
-            host = next(h for h in runtime.hosts.values() if h.is_up)
+            host = None
+            for candidate in runtime.hosts.values():
+                if candidate.is_up:
+                    host = candidate
+                    break
+            if host is None:
+                # A bare ``next()`` here would leak StopIteration out of
+                # this generator (PEP 479 turns it into RuntimeError);
+                # fail with a recovery error callers can act on.
+                raise ManagerRecoveryError(
+                    f"cannot recover manager for type {type_name!r}: "
+                    f"no live host available"
+                )
     if not host.is_up:
         from repro.cluster.host import HostDown
 
@@ -284,8 +382,12 @@ def recover_manager(
         update_policy=update_policy or journal.meta.get("update_policy"),
         remove_policy=remove_policy or journal.meta.get("remove_policy"),
     )
+    unreplayed = max(0, len(journal) - max(0, skip_entries))
+    if unreplayed:
+        yield host.cpu_work(REPLAY_ENTRY_S * unreplayed)
     yield from manager.restore_from_journal(journal)
     manager.attach_journal(journal)
+    manager.bump_term()
     yield from manager.activate()
     runtime.adopt_class(manager)
     runtime.network.count("manager.recoveries")

@@ -38,5 +38,21 @@ class ObjectDeactivated(LegionError):
     """The object exists but is not currently active on any host."""
 
 
+class StaleManagerTerm(LegionError):
+    """A management RPC carried a fencing term older than one already seen.
+
+    Raised by the receiving object; the deposed sender should treat it
+    as a signal to stand down rather than retry.
+    """
+
+    def __init__(self, term, latest):
+        super().__init__(
+            f"stale manager term {term.number} for scope {term.scope!r} "
+            f"(latest seen {latest})"
+        )
+        self.term = term
+        self.latest = latest
+
+
 class ImplementationUnavailable(LegionError):
     """No implementation compatible with the target host exists."""

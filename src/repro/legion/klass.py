@@ -65,7 +65,12 @@ class ClassObject(LegionObject):
 
         Concurrent migrations and evolutions of one instance would
         otherwise race (e.g. an evolution RPC chasing an incarnation
-        that a migration is tearing down).
+        that a migration is tearing down).  The locks are deliberately
+        per class-object *incarnation*, not global: a deposed
+        predecessor's stuck operations must not convoy the promoted
+        manager's — conflicts across incarnations are resolved by term
+        fencing at the instance, and :meth:`recover_instance` adopts an
+        incarnation a racing rebuild already brought up.
         """
         from repro.sim import Semaphore
 
@@ -269,6 +274,18 @@ class ClassObject(LegionObject):
             record = self.record(loid)
             if record.active:
                 raise ValueError(f"instance {loid} is already active")
+            live = self._runtime.live_object(loid)
+            if live is not None and live.is_active and live.host.is_up:
+                # Another class-object incarnation already rebuilt this
+                # instance (recovery racing a manager promotion): adopt
+                # the live incarnation instead of rebuilding over it.
+                record.obj = live
+                record.host = live.host
+                record.process = live.host.process_for(loid)
+                record.active = True
+                version = getattr(live, "version", None)
+                record.version_tag = str(version) if version else None
+                return live._binding
             target_host = (
                 self._runtime.host(host_name) if host_name else record.host
             )

@@ -113,6 +113,10 @@ class LegionObject:
         self.state_bytes = state_bytes
         self.active_requests = 0
         self.requests_completed = 0
+        # Highest fencing term number seen per scope; stale-term
+        # requests are rejected so a deposed manager cannot disturb
+        # state a newer one already owns.
+        self._terms_seen = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -302,11 +306,31 @@ class LegionObject:
         result, context = yield from self._run_body(name, body, args)
         return result, context.reply_bytes
 
+    def observed_term(self, scope):
+        """Highest fencing term number seen for ``scope`` (None if unseen)."""
+        return self._terms_seen.get(scope)
+
     def _handle_request(self, message):
         """Generator: serve one inbound method invocation."""
         payload = message.payload
         if payload.get("op") != "invoke":
             raise ValueError(f"unknown object op {payload.get('op')!r}")
+        term = message.term
+        if term is not None:
+            latest = self._terms_seen.get(term.scope)
+            if latest is not None and term.number < latest:
+                self._runtime.network.count("manager.stale_term_rejections")
+                self._runtime.trace(
+                    "stale-term-rejected",
+                    self._loid,
+                    scope=term.scope,
+                    stale=term.number,
+                    latest=latest,
+                )
+                from repro.legion.errors import StaleManagerTerm
+
+                raise StaleManagerTerm(term, latest)
+            self._terms_seen[term.scope] = term.number
         # Server-side unmarshalling + dispatch cost.
         yield self._host.cpu_work(self.calibration.method_dispatch_s)
         self.active_requests += 1

@@ -94,6 +94,11 @@ class MethodInvoker:
         self.retry_policy = retry_policy
         self.stats = InvokeStats()
         self._observed_epochs = {}
+        #: Optional zero-arg callable returning the current
+        #: :class:`~repro.net.ManagerTerm` to stamp on outgoing
+        #: invocations (used by managers to fence their traffic).
+        #: None leaves invocations unfenced.
+        self.term_source = None
 
     def observed_epoch(self, loid):
         """The latest configuration epoch piggybacked by ``loid``.
@@ -147,6 +152,7 @@ class MethodInvoker:
         timeout_schedule=None,
         retry_policy=None,
         breaker=None,
+        term=None,
     ):
         """Generator: invoke ``method`` on the object named ``loid``.
 
@@ -178,7 +184,15 @@ class MethodInvoker:
         binding and re-resolves before sending: the binding predates
         the outage, and a target that recovered at a new address would
         otherwise cost the probe a full stale walk.
+
+        ``term`` is an optional fencing token stamped on every attempt;
+        when None, :attr:`term_source` (if set) supplies one.  A target
+        that has already seen a newer term for the same scope raises
+        :class:`~repro.legion.errors.StaleManagerTerm`, which surfaces
+        here unchanged — the cue for a deposed sender to stand down.
         """
+        if term is None and self.term_source is not None:
+            term = self.term_source()
         if breaker is not None:
             probing = breaker.state is not CircuitState.CLOSED
             if not breaker.allow():
@@ -195,7 +209,8 @@ class MethodInvoker:
                 self._endpoint.network.count("breaker.probe_rebinds")
             try:
                 result = yield from self._invoke_inner(
-                    loid, method, args, payload_bytes, timeout_schedule, retry_policy
+                    loid, method, args, payload_bytes, timeout_schedule,
+                    retry_policy, term,
                 )
             except (RequestTimeout, ObjectUnreachable, UnknownObject):
                 breaker.record_failure()
@@ -203,7 +218,7 @@ class MethodInvoker:
             breaker.record_success()
             return result
         result = yield from self._invoke_inner(
-            loid, method, args, payload_bytes, timeout_schedule, retry_policy
+            loid, method, args, payload_bytes, timeout_schedule, retry_policy, term
         )
         return result
 
@@ -215,6 +230,7 @@ class MethodInvoker:
         payload_bytes=None,
         timeout_schedule=None,
         retry_policy=None,
+        term=None,
     ):
         """Generator: the breaker-free invocation body (see invoke)."""
         retry_policy = retry_policy or self.retry_policy
@@ -238,7 +254,8 @@ class MethodInvoker:
         for stale_round in range(2):
             try:
                 result = yield from self._attempt_at(
-                    binding, request, payload_bytes, timeout_schedule, retry_policy
+                    binding, request, payload_bytes, timeout_schedule,
+                    retry_policy, term,
                 )
                 return self._unwrap_envelope(loid, result)
             except RequestTimeout:
@@ -256,7 +273,13 @@ class MethodInvoker:
                 binding = fresh
 
     def _attempt_at(
-        self, binding, request, payload_bytes, timeout_schedule=None, retry_policy=None
+        self,
+        binding,
+        request,
+        payload_bytes,
+        timeout_schedule=None,
+        retry_policy=None,
+        term=None,
     ):
         """Generator: walk the timeout schedule against one address."""
         schedule = self._timeout_schedule(timeout_schedule)
@@ -276,6 +299,7 @@ class MethodInvoker:
                     size_bytes=payload_bytes,
                     timeout_s=timeout_s,
                     max_attempts=1,
+                    term=term,
                 )
             except RequestTimeout as timeout_error:
                 last_error = timeout_error
@@ -333,6 +357,7 @@ class MethodInvoker:
         timeout_schedule=None,
         retry_policy=None,
         breaker=None,
+        term=None,
     ):
         """Generator: heterogeneous windowed invocations.
 
@@ -353,6 +378,7 @@ class MethodInvoker:
                 timeout_schedule=timeout_schedule,
                 retry_policy=retry_policy,
                 breaker=breaker,
+                term=term,
             )
             for call in calls
         ]

@@ -13,7 +13,7 @@ tests can exercise timeout/retry behaviour in the layers above.
 from repro.net.fabric import Network, NetworkStats
 from repro.net.faults import DropRule, FaultPlan, Partition, PrefixPartition
 from repro.net.link import Port
-from repro.net.message import Message, next_message_id
+from repro.net.message import ManagerTerm, Message, next_message_id
 from repro.net.retry import (
     DEFAULT_REQUEST_RETRY,
     CircuitBreaker,
@@ -39,6 +39,7 @@ __all__ = [
     "DropRule",
     "Endpoint",
     "FaultPlan",
+    "ManagerTerm",
     "Message",
     "Network",
     "NetworkStats",

@@ -22,6 +22,25 @@ def next_message_id():
     return next(_message_counter)
 
 
+@dataclass(frozen=True)
+class ManagerTerm:
+    """A fencing token for management traffic.
+
+    ``scope`` names the coordination domain (for DCDO traffic, the
+    managed type name) and ``number`` is the monotonically increasing
+    term of the coordinator that stamped the message.  Receivers track
+    the highest number seen per scope and reject anything lower, so a
+    deposed primary that heals from a partition cannot disturb state a
+    newer primary already owns.
+    """
+
+    scope: str
+    number: int
+
+    def __repr__(self):
+        return f"<ManagerTerm {self.scope}#{self.number}>"
+
+
 @dataclass
 class Message:
     """A single message in flight on the network.
@@ -41,6 +60,9 @@ class Message:
         the transport layer and by fault-injection predicates.
     correlation_id:
         For replies, the id of the request being answered.
+    term:
+        Optional :class:`ManagerTerm` fencing token.  ``None`` (the
+        default) means unfenced traffic; receivers skip the term check.
     """
 
     source: str
@@ -49,6 +71,7 @@ class Message:
     size_bytes: int = 0
     kind: str = "oneway"
     correlation_id: int = 0
+    term: object = None
     message_id: int = field(default_factory=next_message_id)
 
     def __post_init__(self):

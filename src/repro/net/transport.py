@@ -405,6 +405,7 @@ class Endpoint:
         timeout_s=None,
         max_attempts=None,
         retry_policy=None,
+        term=None,
     ):
         """Generator: send a request and wait for its reply.
 
@@ -438,6 +439,7 @@ class Endpoint:
                 payload=payload,
                 size_bytes=size_bytes,
                 kind="request",
+                term=term,
             )
             reply_event = self._sim.event(name=f"reply#{message.message_id}")
             self._pending_replies[message.message_id] = reply_event

@@ -28,6 +28,14 @@ class SystemReport:
     #: Per-host evolution-relay activity (batches served, instances
     #: evolved/failed), keyed by host name.
     relays: dict = field(default_factory=dict)
+    #: Per-type manager availability state: fencing term, journal size
+    #: (entries and estimated bytes), deposed flag — the operator's
+    #: view of who the authority is and how big its durable state has
+    #: grown.
+    managers: dict = field(default_factory=dict)
+    #: Per-host availability ledger: up/down now, crash count,
+    #: cumulative downtime seconds.
+    availability: dict = field(default_factory=dict)
 
     @property
     def total_active_objects(self):
@@ -55,6 +63,11 @@ def collect_system_report(runtime):
             "cache_hits": host.cache.hits,
             "cache_misses": host.cache.misses,
             "cache_evictions": host.cache.evictions,
+        }
+        report.availability[name] = {
+            "up": host.is_up,
+            "crashes": host.crash_count,
+            "downtime_s": host.total_downtime_s,
         }
     from repro.cluster.relay import HostRelay
 
@@ -98,6 +111,20 @@ def collect_system_report(runtime):
             status = class_object.propagation_status()
             if status:
                 report.propagations[type_name] = status
+        if hasattr(class_object, "term"):
+            journal = class_object.journal
+            report.managers[type_name] = {
+                "host": class_object.host.name,
+                "active": class_object.is_active,
+                "term": class_object.term,
+                "deposed": class_object.deposed,
+                "journal_entries": len(journal) if journal is not None else 0,
+                "journal_bytes": journal.bytes if journal is not None else 0,
+                "journal_appends": journal.appends if journal is not None else 0,
+                "journal_checkpoints": (
+                    journal.checkpoints if journal is not None else 0
+                ),
+            }
         report.types[type_name] = entry
     report.faults = runtime.network.metrics.snapshot()
     report.breakers = runtime.network.breakers_snapshot()
@@ -154,6 +181,31 @@ def render_report(report):
             f"  relay {name}: {state}, {relay['batches_served']} batches, "
             f"{relay['instances_evolved']} evolved / "
             f"{relay['instances_failed']} failed"
+        )
+    for type_name, manager in sorted(report.managers.items()):
+        if manager["deposed"]:
+            state = "DEPOSED"
+        elif manager["active"]:
+            state = "up"
+        else:
+            state = "down"
+        lines.append(
+            f"  manager {type_name}: {state} on {manager['host']}, "
+            f"term {manager['term']}, journal {manager['journal_entries']} "
+            f"entries / {manager['journal_bytes']} B "
+            f"({manager['journal_appends']} appends, "
+            f"{manager['journal_checkpoints']} checkpoints)"
+        )
+    downtime = {
+        name: entry
+        for name, entry in report.availability.items()
+        if entry["crashes"] or not entry["up"]
+    }
+    for name, entry in sorted(downtime.items()):
+        state = "up" if entry["up"] else "DOWN"
+        lines.append(
+            f"  availability {name}: {state}, {entry['crashes']} crash(es), "
+            f"{entry['downtime_s']:.1f}s down"
         )
     if report.faults:
         lines.append("fault/recovery counters:")
