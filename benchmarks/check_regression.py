@@ -27,6 +27,13 @@ third of it), MTTR must grow with the heartbeat interval (detection
 dominates), and the split-brain run must show the zombie primary
 actually fenced — at least one stale-term rejection and zero duplicate
 applications.
+
+``--slo`` gates the P5 SLO-gated canary invariants on a freshly
+produced ``BENCH_slo.json``: the healthy rollout must ramp to full
+adoption with client p99 inside the objective, the gated degraded
+rollout must stop at the canary (blast radius far below the ungated
+baseline's full-fleet infection) and recover within 60 simulated
+seconds of the breach.
 """
 
 import argparse
@@ -159,6 +166,58 @@ def check_p4(path):
     return failures
 
 
+def check_p5(path):
+    """Gate the P5 SLO-gated wave invariants; returns failure strings."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        healthy = extra["healthy"]
+        gated = extra["gated"]
+        ungated = extra["ungated"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P5 result?")
+    failures = []
+    if healthy["admitted"] != extra["instances"]:
+        failures.append(
+            f"healthy rollout stopped at {healthy['admitted']}/"
+            f"{extra['instances']} instances"
+        )
+    if healthy["during_p99_s"] > 0.200:
+        failures.append(
+            f"healthy rollout p99 {healthy['during_p99_s'] * 1000:.1f} ms "
+            f"breached the 200 ms objective"
+        )
+    if gated["blast_radius"] >= ungated["blast_radius"]:
+        failures.append(
+            f"gate stopped containing the blast: gated "
+            f"{gated['blast_radius']:.3f} vs ungated "
+            f"{ungated['blast_radius']:.3f}"
+        )
+    if gated["infected"] != 1:
+        failures.append(
+            f"gated rollout infected {gated['infected']} instances — the "
+            f"breach should land during the canary bake"
+        )
+    if not 0.0 < gated["mttr_s"] <= 60.0:
+        failures.append(
+            f"gated rollback MTTR {gated['mttr_s']:.1f} s outside (0, 60]"
+        )
+    if ungated["infected"] != extra["instances"]:
+        failures.append(
+            f"ungated baseline infected {ungated['infected']}/"
+            f"{extra['instances']} — the comparison fleet changed"
+        )
+    status = "OK" if not failures else "REGRESSED"
+    print(
+        f"P5 gated blast {gated['blast_radius']:.3f} "
+        f"(ungated {ungated['blast_radius']:.3f}), rollback MTTR "
+        f"{gated['mttr_s']:.1f} s, healthy-rollout p99 "
+        f"{healthy['during_p99_s'] * 1000:.1f} ms {status}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -179,6 +238,11 @@ def main(argv=None):
         default=None,
         help="freshly generated BENCH_availability.json to gate P4 invariants",
     )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        help="freshly generated BENCH_slo.json to gate P5 invariants",
+    )
     args = parser.parse_args(argv)
 
     failures = check_p2(args.baseline, args.current, args.threshold)
@@ -186,6 +250,8 @@ def main(argv=None):
         failures += check_p3(args.scaleout)
     if args.availability:
         failures += check_p4(args.availability)
+    if args.slo:
+        failures += check_p5(args.slo)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

@@ -1,0 +1,28 @@
+"""P5 — SLO-gated canary blast radius + MTTR; writes BENCH_slo.json."""
+
+import json
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p5
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_slo.json"
+
+
+def test_p5_slo_waves(benchmark):
+    result = run_experiment(benchmark, run_p5)
+    benchmark.extra_info["gated_mttr_s"] = result.extra["gated"]["mttr_s"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -1,0 +1,126 @@
+"""An SLO-gated canary deploy: catch a bad build before it spreads.
+
+The rollout story behind the gate machinery: a fleet serves live
+open-loop traffic under a tail-latency SLO while the manager rolls a
+new version out through :func:`~repro.core.policies.run_canary_wave`.
+Act one ships a healthy build — the canary bakes clean, the gate passes
+each ramp stage, and the fleet adopts it.  Act two ships a build whose
+``ping`` is 300 ms slower: the canary instance ruins the p99 within one
+bake window, the gate journals the breach, the transactional abort
+rolls the canary back, and the other seven instances never see it.
+
+Canary fleets need two §3 policies set deliberately: a multi-version
+evolution policy (a canary *is* a multi-version deployment state, which
+the default single-version policy vetoes) and a drain-based removal
+policy (rolling back under live traffic must drain busy components,
+not error on them).
+
+Run with::
+
+    python examples/canary_deploy.py
+"""
+
+from repro.cluster import build_lan
+from repro.core import ManagerJournal, RemovePolicy
+from repro.core.policies import (
+    CanaryWavePolicy,
+    IncreasingVersionPolicy,
+    run_canary_wave,
+)
+from repro.legion import LegionRuntime
+from repro.net import RetryPolicy
+from repro.obs import SLO
+from repro.workloads import (
+    OpenLoopLoad,
+    PoissonArrivals,
+    build_degraded_version,
+    make_noop_manager,
+)
+
+RETRY = RetryPolicy(base_s=1.0, multiplier=2.0, max_backoff_s=30.0, max_attempts=8)
+INSTANCES = 8
+RAMP = CanaryWavePolicy(stages=(0.125, 0.5, 1.0), bake_s=8.0, check_interval_s=1.0)
+
+
+def build_fleet(seed):
+    runtime = LegionRuntime(build_lan(6, seed=seed))
+    manager, __ = make_noop_manager(
+        runtime,
+        "Service",
+        2,
+        3,
+        evolution_policy=IncreasingVersionPolicy(),
+        remove_policy=RemovePolicy.timeout(2.0),
+        journal=ManagerJournal(name="Service"),
+        host_name="host00",
+        propagation_retry_policy=RETRY,
+    )
+    loids = [
+        runtime.sim.run_process(
+            manager.create_instance(host_name=f"host{(index % 4) + 1:02d}")
+        )
+        for index in range(INSTANCES)
+    ]
+    return runtime, manager, loids
+
+
+def deploy(title, added_latency_s, seed):
+    runtime, manager, loids = build_fleet(seed)
+    sim = runtime.sim
+    v2 = build_degraded_version(manager, added_latency_s=added_latency_s)
+    slo = SLO(
+        name="svc",
+        latency_targets={0.99: 0.200},
+        max_error_rate=0.05,
+        min_samples=30,
+    )
+    monitor = runtime.network.slo_monitor("svc", slo=slo, window_s=6.0)
+    load = OpenLoopLoad(
+        runtime.make_client(host_name="host05"),
+        loids,
+        PoissonArrivals(40.0),
+        runtime.rng.stream("traffic"),
+        monitor=monitor,
+        duration_s=600.0,
+    ).start()
+    result = {}
+
+    def rollout():
+        yield sim.timeout(5.0)
+        result["outcome"] = yield from run_canary_wave(
+            runtime, "Service", v2, RAMP,
+            monitor=monitor, retry_policy=RETRY, deadline_s=300.0,
+        )
+        yield sim.timeout(5.0)  # let the post-rollout window settle
+        load.stop()
+
+    sim.run_process(rollout())
+    sim.run()
+
+    outcome = result["outcome"]
+    print(f"\n=== {title} ===")
+    print(f"outcome: {'ADOPTED' if outcome.completed else 'ROLLED BACK'}")
+    if outcome.breached:
+        print(f"breach:  {outcome.breach_reason}")
+    print(
+        f"blast:   {outcome.admitted}/{outcome.fleet_size} instances "
+        f"({outcome.blast_radius:.1%}) after {outcome.stage_reached} gate(s)"
+    )
+    for at, violations in monitor.breach_log:
+        print(f"  breach t={at:.1f}s: {'; '.join(violations)}")
+    versions = {}
+    for loid in loids:
+        versions.setdefault(str(manager.record(loid).obj.version), 0)
+        versions[str(manager.record(loid).obj.version)] += 1
+    print(f"fleet:   {versions}  (current: {manager.current_version})")
+    status = monitor.evaluate()
+    print(f"slo:     {'healthy' if status.healthy else 'BREACHED'}")
+
+
+def main():
+    deploy("act 1: healthy build rides the gate to adoption", 0.0, seed=21)
+    deploy("act 2: slow build is caught at the canary", 0.3, seed=22)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ from repro.bench.experiments.p1_fastpath import run_p1
 from repro.bench.experiments.p2_fanout import run_p2
 from repro.bench.experiments.p3_scaleout import run_p3
 from repro.bench.experiments.p4_availability import run_p4
+from repro.bench.experiments.p5_slo_waves import run_p5
 
 __all__ = [
     "run_a2",
@@ -23,6 +24,7 @@ __all__ = [
     "run_p2",
     "run_p3",
     "run_p4",
+    "run_p5",
     "run_e1",
     "run_e2",
     "run_e3",

@@ -1,0 +1,273 @@
+"""P5 — SLO-gated canary waves: tail latency, blast radius, rollback MTTR.
+
+PR 3's transactional waves abort on *delivery* failures; they are blind
+to a version that installs perfectly and then ruins the service.  This
+experiment measures what the SLO gate (PR 6) buys against exactly that
+failure mode, under live open-loop traffic:
+
+- **Healthy rollout** — a well-behaved v2 ramps through the gate
+  (12.5% → 50% → 100%) to adoption; client p99/p999 during the rollout
+  stays within the SLO (continuous availability through evolution,
+  §2.4, now measured at the tail).
+- **Degraded rollout, gated** — a v2 with injected ping latency is
+  caught at the canary stage: blast radius one instance of eight, the
+  breach-triggered abort rolls it back, and the service is healthy
+  again within seconds (rollback MTTR = breach → monitor healthy).
+- **Degraded rollout, ungated** — the same v2 pushed with a plain
+  converge wave: every delivery "succeeds", the whole fleet is
+  infected, and the SLO stays breached until an operator notices.
+"""
+
+from repro.bench.harness import ExperimentResult, seconds
+from repro.cluster import build_lan
+from repro.core import ManagerJournal, RemovePolicy
+from repro.core.policies import (
+    CanaryWavePolicy,
+    IncreasingVersionPolicy,
+    run_canary_wave,
+)
+from repro.legion import LegionRuntime
+from repro.net import RetryPolicy
+from repro.obs import SLO, Timer
+from repro.workloads import (
+    OpenLoopLoad,
+    PoissonArrivals,
+    build_degraded_version,
+    make_noop_manager,
+)
+
+INSTANCES = 8
+MANAGER_HOST = "host00"
+CLIENT_HOST = "host05"
+RATE_HZ = 40.0
+#: Injected ping latency of the degraded build — an order of magnitude
+#: over the p99 objective, unmistakable within one bake window.
+DEGRADED_LATENCY_S = 0.3
+RAMP = CanaryWavePolicy(stages=(0.125, 0.5, 1.0), bake_s=8.0, check_interval_s=1.0)
+
+FAST_RETRY = RetryPolicy(
+    base_s=1.0, multiplier=2.0, max_backoff_s=30.0, max_attempts=8
+)
+
+
+def _slo():
+    return SLO(
+        name="svc",
+        latency_targets={0.99: 0.200},
+        max_error_rate=0.05,
+        min_samples=30,
+    )
+
+
+def _build_fleet(seed, type_name, added_latency_s):
+    """Gated-rollout fleet: multi-version policy + drain-based removal.
+
+    A canary *is* a §3.5 multi-version deployment state, so the
+    single-version policy would veto it; and rollback under live
+    traffic needs the §3 thread-activity policy to drain briefly
+    instead of erroring on busy components.
+    """
+    runtime = LegionRuntime(build_lan(6, seed=seed))
+    journal = ManagerJournal(name=type_name)
+    manager, __ = make_noop_manager(
+        runtime,
+        type_name,
+        2,
+        3,
+        evolution_policy=IncreasingVersionPolicy(),
+        remove_policy=RemovePolicy.timeout(2.0),
+        journal=journal,
+        host_name=MANAGER_HOST,
+        propagation_retry_policy=FAST_RETRY,
+    )
+    loids = [
+        runtime.sim.run_process(
+            manager.create_instance(host_name=f"host{(index % 4) + 1:02d}")
+        )
+        for index in range(INSTANCES)
+    ]
+    v2 = build_degraded_version(manager, added_latency_s=added_latency_s)
+    return runtime, manager, loids, v2
+
+
+def _start_load(runtime, loids, monitor, timer):
+    load = OpenLoopLoad(
+        runtime.make_client(host_name=CLIENT_HOST),
+        loids,
+        PoissonArrivals(RATE_HZ),
+        runtime.rng.stream("traffic"),
+        monitor=monitor,
+        timer=timer,
+        duration_s=600.0,
+    )
+    load.start()
+    return load
+
+
+def _measure_healthy(seed):
+    """Gated rollout of a well-behaved v2; tail latency through it."""
+    runtime, manager, loids, v2 = _build_fleet(seed, "P5Healthy", 0.0)
+    sim = runtime.sim
+    monitor = runtime.network.slo_monitor("svc", slo=_slo(), window_s=6.0)
+    before, during = Timer("p5.before"), Timer("p5.during")
+    load = _start_load(runtime, loids, monitor, before)
+    results = {}
+
+    def scenario():
+        yield sim.timeout(10.0)  # steady-state baseline window
+        load.timer = during
+        outcome = yield from run_canary_wave(
+            runtime, manager.type_name, v2, RAMP,
+            monitor=monitor, retry_policy=FAST_RETRY, deadline_s=300.0,
+        )
+        results["outcome"] = outcome
+        results["rollout_s"] = sim.now - 10.0
+        yield sim.timeout(3.0)  # drain in-flight calls
+        load.stop()
+
+    sim.run_process(scenario())
+    sim.run()
+    outcome = results["outcome"]
+    assert outcome.completed, f"healthy rollout did not complete: {outcome}"
+    assert manager.current_version == v2
+    results["before_p99_s"] = before.percentile(0.99)
+    results["before_p999_s"] = before.percentile(0.999)
+    results["during_p99_s"] = during.percentile(0.99)
+    results["during_p999_s"] = during.percentile(0.999)
+    results["admitted"] = outcome.admitted
+    results["error_rate"] = load.error_rate()
+    results["outcome"] = None  # not JSON-serializable
+    return results
+
+
+def _measure_gated(seed):
+    """Gated rollout of the degraded v2: breach, blast radius, MTTR."""
+    runtime, manager, loids, v2 = _build_fleet(
+        seed + 100, "P5Gated", DEGRADED_LATENCY_S
+    )
+    v1 = manager.current_version
+    sim = runtime.sim
+    monitor = runtime.network.slo_monitor("svc", slo=_slo(), window_s=6.0)
+    load = _start_load(runtime, loids, monitor, None)
+    results = {}
+
+    def scenario():
+        yield sim.timeout(5.0)
+        outcome = yield from run_canary_wave(
+            runtime, manager.type_name, v2, RAMP,
+            monitor=monitor, retry_policy=FAST_RETRY, deadline_s=300.0,
+        )
+        results["breached"] = outcome.breached
+        results["admitted"] = outcome.admitted
+        results["blast_radius"] = outcome.blast_radius
+        # MTTR: first healthy evaluation after the breach, with the
+        # rollback done — traffic keeps flowing, so the window refills.
+        deadline = sim.now + 120.0
+        healthy_at = None
+        while sim.now < deadline:
+            status = monitor.evaluate()
+            if status.healthy and not status.insufficient:
+                healthy_at = sim.now
+                break
+            yield sim.timeout(0.5)
+        results["healthy_at"] = healthy_at
+        load.stop()
+
+    sim.run_process(scenario())
+    sim.run()
+    assert results["breached"], "gate never fired on the degraded build"
+    assert results["healthy_at"] is not None, "service never recovered"
+    assert all(
+        manager.record(loid).obj.version == v1 for loid in loids
+    ), "rollback left instances on the degraded version"
+    breach_at = monitor.breach_log[0][0]
+    results["mttr_s"] = results["healthy_at"] - breach_at
+    results["breach_at"] = breach_at
+    results.pop("healthy_at")
+    results["infected"] = results["admitted"]
+    return results
+
+
+def _measure_ungated(seed):
+    """The same degraded v2 through a plain converge wave: no gate."""
+    runtime, manager, loids, v2 = _build_fleet(
+        seed + 200, "P5Ungated", DEGRADED_LATENCY_S
+    )
+    sim = runtime.sim
+    monitor = runtime.network.slo_monitor("svc", slo=_slo(), window_s=6.0)
+    load = _start_load(runtime, loids, monitor, None)
+    results = {}
+
+    def scenario():
+        yield sim.timeout(5.0)
+        yield from manager.propagate_version(v2, retry_policy=FAST_RETRY)
+        yield sim.timeout(10.0)  # let the damage register on the SLO
+        results["healthy_after"] = monitor.healthy()
+        load.stop()
+
+    sim.run_process(scenario())
+    sim.run()
+    infected = sum(
+        1 for loid in loids if manager.record(loid).obj.version == v2
+    )
+    results["infected"] = infected
+    results["blast_radius"] = infected / len(loids)
+    results["breaches"] = len(monitor.breach_log)
+    return results
+
+
+def run_p5(seed=0):
+    """Run P5; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        experiment_id="P5",
+        title="SLO-gated canary waves: blast radius and rollback MTTR",
+    )
+    healthy = _measure_healthy(seed)
+    result.add(
+        "healthy rollout ramps to full adoption",
+        f"{INSTANCES}/{INSTANCES} instances, gate never fires",
+        f"{healthy['admitted']}/{INSTANCES}",
+        "",
+        ok=healthy["admitted"] == INSTANCES,
+    )
+    result.add(
+        "client p99 during healthy rollout",
+        "<= 0.200 (SLO objective holds through evolution)",
+        seconds(healthy["during_p99_s"]),
+        "s",
+        ok=healthy["during_p99_s"] <= 0.200,
+    )
+    gated = _measure_gated(seed)
+    result.add(
+        "gated degraded rollout: blast radius",
+        "canary only (1/8 = 0.125)",
+        f"{gated['blast_radius']:.3f}",
+        "",
+        ok=gated["infected"] == 1 and gated["breached"],
+    )
+    result.add(
+        "gated rollback MTTR (breach -> healthy)",
+        "seconds, not operator-hours",
+        seconds(gated["mttr_s"]),
+        "s",
+        ok=0.0 < gated["mttr_s"] <= 60.0,
+    )
+    ungated = _measure_ungated(seed)
+    result.add(
+        "ungated degraded rollout: blast radius",
+        "1.0 (whole fleet infected)",
+        f"{ungated['blast_radius']:.3f}",
+        "",
+        ok=ungated["infected"] == INSTANCES and not ungated["healthy_after"],
+    )
+    result.extra = {
+        "instances": INSTANCES,
+        "rate_hz": RATE_HZ,
+        "degraded_latency_s": DEGRADED_LATENCY_S,
+        "stages": list(RAMP.stages),
+        "bake_s": RAMP.bake_s,
+        "healthy": healthy,
+        "gated": gated,
+        "ungated": ungated,
+    }
+    return result

@@ -181,12 +181,19 @@ class ChaosSchedule:
         ``(prefixes_a, prefixes_b, start, end)`` prefix partitions.
     drops:
         ``(count, start, end)`` bounded random-drop windows.
+    degradations:
+        ``(kind, amount)`` version-quality regressions — ``("latency",
+        seconds)`` or ``("errors", every_k)``.  Not installed on the
+        network: the harness feeds them to
+        :func:`repro.workloads.generator.build_degraded_version` to
+        stage the bad build whose rollout the SLO gate must catch.
     """
 
-    def __init__(self, crashes=(), partitions=(), drops=()):
+    def __init__(self, crashes=(), partitions=(), drops=(), degradations=()):
         self.crashes = list(crashes)
         self.partitions = list(partitions)
         self.drops = list(drops)
+        self.degradations = list(degradations)
         #: Simulated time :meth:`install` rebased the offsets onto.
         self.installed_at = None
 
@@ -208,6 +215,7 @@ class ChaosSchedule:
         manager_hosts=(),
         max_manager_partitions=0,
         max_failovers=0,
+        max_degradations=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
@@ -250,6 +258,12 @@ class ChaosSchedule:
           land after the previous promotion: the double-failover
           scenario.  Crash times are chained, not overlapping, so a
           supervisor is always chasing the *current* primary.
+
+        ``max_degradations`` (default off, draws strictly last) rolls
+        version-quality faults: ``("latency", s)`` or ``("errors", k)``
+        pairs the harness turns into a degraded build (see
+        :func:`repro.workloads.generator.build_degraded_version`)
+        whose gated rollout must breach and roll back.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -349,7 +363,25 @@ class ChaosSchedule:
                 crashes.append((name, crash_at, restart_at))
                 scheduled += 1
                 crash_at += rng.uniform(8.0, 20.0)
-        return cls(crashes=crashes, partitions=partitions, drops=drops)
+        degradations = []
+        if max_degradations > 0:
+            # Strictly after every network/crash draw, preserving
+            # legacy seed schedules.  These are *version* faults, not
+            # network faults: the k-th deploy is a build that works but
+            # violates the SLO, which only a live traffic gate catches.
+            for __ in range(rng.randint(1, max_degradations)):
+                if rng.random() < 0.5:
+                    degradations.append(
+                        ("latency", round(rng.uniform(0.1, 0.5), 3))
+                    )
+                else:
+                    degradations.append(("errors", rng.randint(1, 3)))
+        return cls(
+            crashes=crashes,
+            partitions=partitions,
+            drops=drops,
+            degradations=degradations,
+        )
 
     @property
     def heal_time(self):
@@ -387,7 +419,8 @@ class ChaosSchedule:
     def __repr__(self):
         return (
             f"<ChaosSchedule crashes={len(self.crashes)} "
-            f"partitions={len(self.partitions)} drops={len(self.drops)}>"
+            f"partitions={len(self.partitions)} drops={len(self.drops)} "
+            f"degradations={len(self.degradations)}>"
         )
 
 
@@ -429,8 +462,17 @@ def drive_to_convergence(
         yield from coordinator.restore_relays()
         yield from coordinator.restore_components()
         yield from coordinator.recover_instances()
+        # Leave canary-frozen instances alone: their rollout's gate
+        # runner owns them until it completes or aborts.
+        frozen = manager.canary_frozen_loids()
+        loids = None
+        if frozen:
+            loids = [
+                loid for loid in manager.instance_loids() if loid not in frozen
+            ]
         tracker = yield from manager.propagate_version(
             manager.current_version,
+            loids=loids,
             retry_policy=retry_policy,
             wave_policy=WavePolicy.converge(),
         )

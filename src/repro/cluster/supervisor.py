@@ -362,8 +362,22 @@ class Supervisor:
                 except (LegionError, TransportError):
                     pass
             try:
+                # Instances admitted to a still-open canary are frozen:
+                # converging them back onto the fleet's current version
+                # would silently undo the rollout the SLO gate is
+                # judging (the gate runner itself finishes or aborts
+                # the canary using the journaled state).
+                frozen = manager.canary_frozen_loids()
+                loids = None
+                if frozen:
+                    loids = [
+                        loid
+                        for loid in manager.instance_loids()
+                        if loid not in frozen
+                    ]
                 tracker = yield from manager.propagate_version(
                     manager.current_version,
+                    loids=loids,
                     retry_policy=self.retry_policy,
                     wave_policy=WavePolicy.converge(),
                 )

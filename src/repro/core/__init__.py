@@ -70,11 +70,17 @@ from repro.core.functions import FunctionDef, Marking
 from repro.core.ico import ImplementationComponentObject
 from repro.core.impltype import NATIVE, ImplementationType
 from repro.core.manager import (
+    CanaryState,
     DCDOManager,
     VersionRecord,
     WaveMode,
     WavePolicy,
     define_dcdo_type,
+)
+from repro.core.policies.canary import (
+    CanaryOutcome,
+    CanaryWavePolicy,
+    run_canary_wave,
 )
 from repro.core.recovery import (
     Delivery,
@@ -90,6 +96,10 @@ from repro.core.version import VersionId, VersionTree
 
 __all__ = [
     "AmbiguousFunction",
+    "CanaryOutcome",
+    "CanaryState",
+    "CanaryWavePolicy",
+    "run_canary_wave",
     "ComponentAlreadyIncorporated",
     "ComponentBuilder",
     "ComponentBusy",

@@ -100,6 +100,56 @@ class VersionRecord:
     parent: object = None
 
 
+@dataclass
+class CanaryState:
+    """Durable gate state for one SLO-gated canary rollout.
+
+    Every transition (stage admitted, gate passed, breach declared,
+    rollout completed) is journaled by the manager, so a promoted
+    standby knows exactly which instances a half-finished canary had
+    already touched — it resumes the frozen admitted set (or completes
+    the abort) instead of blindly re-converging the whole fleet.
+    """
+
+    version: object
+    #: Cumulative fleet fractions per ramp stage, e.g. (0.01, 0.1, 1.0).
+    stages: tuple
+    #: Bake window (seconds of healthy SLO) each stage must survive.
+    bake_s: float
+    #: Instances admitted to the wave so far, admission order.
+    admitted: list = None
+    #: Number of stages whose health gate has passed.
+    stage_index: int = 0
+    breached: bool = False
+    breach_reason: str = None
+    #: True when the final gate passed and the version was adopted.
+    complete: bool = False
+    #: True when a breach-triggered abort finished rolling back.
+    aborted: bool = False
+
+    def __post_init__(self):
+        if self.admitted is None:
+            self.admitted = []
+
+    @property
+    def closed(self):
+        """True when the rollout is finished, either way."""
+        return self.complete or self.aborted
+
+    def summary(self):
+        """Plain-dict view for reports and assertions."""
+        return {
+            "version": str(self.version),
+            "stages": list(self.stages),
+            "stage_index": self.stage_index,
+            "admitted": len(self.admitted),
+            "breached": self.breached,
+            "breach_reason": self.breach_reason,
+            "complete": self.complete,
+            "aborted": self.aborted,
+        }
+
+
 class DCDOManager(ClassObject):
     """Coordinates creation and evolution for one DCDO type.
 
@@ -163,6 +213,7 @@ class DCDOManager(ClassObject):
         self._instance_versions = {}
         self._instance_impl_types = {}
         self._propagations = {}
+        self._canaries = {}
         self._journal = None
         self.propagation_retry_policy = (
             propagation_retry_policy or DEFAULT_PROPAGATION_RETRY
@@ -592,6 +643,15 @@ class DCDOManager(ClassObject):
             if enforce_policy:
                 self.evolution_policy.check_transition(self, from_version, target_version)
             if from_version == target_version:
+                # Even a no-op delivery must assert this manager's term
+                # on the instance.  After a failover the promoted
+                # manager's resume can find the instance already at the
+                # target (the deposed primary's delivery landed before
+                # the promotion) — without an RPC the instance would
+                # keep honouring the old term, letting the zombie's
+                # later compensations through unfenced.
+                if self.invoker.term_source is not None:
+                    yield from self.invoker.invoke(loid, "getVersion", ())
                 return from_version
             current_descriptor = (
                 self.version_record(from_version).descriptor
@@ -1074,11 +1134,84 @@ class DCDOManager(ClassObject):
             for delivery in tracker.deliveries()
         ):
             return
+        state = self._canaries.get(tracker.version)
+        if state is not None:
+            settled = yield from self._reconcile_canary_abort(state, tracker)
+            if not settled or not self.is_active:
+                return
         tracker.aborted = True
         tracker.complete = True
         tracker.completed_at = sim.now
         self._journal_append("wave-aborted", version=tracker.version)
+        if state is not None:
+            state.aborted = True
         self._runtime.trace("wave-aborted", self.loid, **tracker.summary())
+
+    def _reconcile_canary_abort(self, state, tracker):
+        """Generator: verify admitted instances really left the version.
+
+        A promoted authority's replica journal can be missing the old
+        primary's last entries (they ship asynchronously), so a
+        delivery it restored as PENDING may in fact have landed on the
+        instance.  Before declaring a breached canary aborted, ask each
+        admitted instance for its *actual* version — the query also
+        stamps this manager's term on the instance, fencing the old
+        primary — and drive a compensating evolution for any instance
+        still serving the aborted version.  Returns True once every
+        reachable admitted instance is off it; False means stay
+        ABORTING and let a later resume retry.
+        """
+        prior = self._current_version
+        settled = True
+        for loid in list(state.admitted):
+            if not self.is_active:
+                return False
+            if tracker is not None:
+                delivery = next(
+                    (d for d in tracker.deliveries() if d.loid == loid), None
+                )
+                if (
+                    delivery is not None
+                    and delivery.status is DeliveryStatus.ROLLED_BACK
+                ):
+                    continue  # this manager rolled it back itself
+            try:
+                record = self.record(loid)
+            except UnknownObject:
+                continue
+            if not record.active:
+                continue  # crashed: rebuilds at its table version
+            try:
+                reported = yield from self.invoker.invoke(
+                    loid, "getVersion", ()
+                )
+            except (LegionError, TransportError) as error:
+                if isinstance(error, StaleManagerTerm):
+                    self._fence(error)
+                    return False
+                settled = False
+                continue
+            if reported != str(state.version):
+                continue
+            # The old primary's delivery landed but its ack never
+            # shipped: adopt the fact, then undo it.
+            if self._instance_versions.get(loid) != state.version:
+                self._instance_versions[loid] = state.version
+                self._journal_append(
+                    "instance-version", loid=loid, version=state.version
+                )
+            try:
+                yield from self.evolve_instance(
+                    loid, prior, enforce_policy=False
+                )
+            except (LegionError, TransportError) as error:
+                if isinstance(error, StaleManagerTerm):
+                    self._fence(error)
+                    return False
+                settled = False
+                continue
+            self._count("wave.rollbacks")
+        return settled
 
     def _deliver(self, tracker, loid, policy):
         """Process body: drive one delivery to ack or exhaustion."""
@@ -1151,15 +1284,228 @@ class DCDOManager(ClassObject):
         completes the rollback instead, and the resulting
         :class:`WaveAborted` is absorbed here (the abort is the wave's
         journaled, final outcome — not an error of the recovery).
+
+        A wave that belongs to an open canary rollout resumes with its
+        journaled *admitted* set only — never the whole fleet: the
+        default ``loids=None`` expansion would turn a 1%-canary the
+        crash interrupted into a full-fleet rollout of an unvetted
+        version.  A canary the journal shows breached has its abort
+        driven here even if the crash landed between the breach
+        decision and the wave-aborting entry.
         """
         for version in list(self._propagations):
             tracker = self._propagations[version]
+            state = self._canaries.get(version)
+            if state is not None and state.breached and not tracker.aborted:
+                yield from self._finish_abort(tracker)
+                continue
             if tracker.complete:
                 continue
+            loids = None
+            if state is not None and not state.closed:
+                loids = list(state.admitted)
             try:
-                yield from self.propagate_version(version, retry_policy=retry_policy)
+                yield from self.propagate_version(
+                    version, loids=loids, retry_policy=retry_policy
+                )
             except WaveAborted:
                 continue
+        # Breached canaries whose wave tracker never reached this
+        # journal (a promotion raced the shipping) still need closing.
+        for version, state in list(self._canaries.items()):
+            if state.closed or not state.breached:
+                continue
+            if version in self._propagations:
+                continue
+            yield from self.abort_wave(
+                version, state.breach_reason or "slo-breach"
+            )
+
+    # ------------------------------------------------------------------
+    # SLO-gated canary rollouts (durable gate decisions)
+    # ------------------------------------------------------------------
+
+    def begin_canary(self, version, stages, bake_s):
+        """Open (or re-open after recovery) a canary rollout of ``version``.
+
+        Idempotent: a state restored from the journal is returned as-is
+        — with its admitted set, passed gates, and any breach intact —
+        so a failed-over manager's gate runner picks up mid-rollout.
+        Returns the :class:`CanaryState`.
+        """
+        record = self.version_record(version)
+        if not record.instantiable:
+            raise VersionNotInstantiable(
+                f"cannot canary configurable version {version}"
+            )
+        state = self._canaries.get(version)
+        if state is None:
+            state = CanaryState(
+                version=version, stages=tuple(stages), bake_s=bake_s
+            )
+            self._canaries[version] = state
+            self._journal_append(
+                "canary-started",
+                version=version,
+                stages=tuple(stages),
+                bake_s=bake_s,
+            )
+            self._count("canary.waves")
+            self._runtime.trace(
+                "canary-started",
+                self.loid,
+                version=str(version),
+                stages=list(stages),
+            )
+        return state
+
+    def canary_state(self, version):
+        """The :class:`CanaryState` for ``version``, or None."""
+        return self._canaries.get(version)
+
+    def canary_status(self):
+        """Summaries of every canary rollout, oldest first."""
+        return [state.summary() for state in self._canaries.values()]
+
+    def canary_frozen_loids(self):
+        """Instances admitted to any still-open canary rollout.
+
+        Convergence sweeps (the supervisor's post-failover converge,
+        chaos heal drives) must exclude these: dragging a canary-
+        admitted instance back to the fleet's current version mid-bake
+        would silently undo the experiment the gate is judging.
+        """
+        frozen = set()
+        for state in self._canaries.values():
+            if not state.closed:
+                frozen.update(state.admitted)
+        return frozen
+
+    def admit_canary_stage(self, version, loids):
+        """Admit ``loids`` to the canary wave (journaled); returns the
+        newly admitted subset (already-admitted instances are skipped)."""
+        state = self._require_canary(version)
+        if state.closed:
+            raise WaveAborted(version, 0, 0) if state.aborted else ValueError(
+                f"canary for {version} already completed"
+            )
+        known = set(state.admitted)
+        fresh = [loid for loid in loids if loid not in known]
+        if fresh:
+            state.admitted.extend(fresh)
+            self._journal_append(
+                "canary-stage",
+                version=version,
+                stage=state.stage_index,
+                loids=list(fresh),
+            )
+            self._count("canary.admitted", len(fresh))
+        return fresh
+
+    def record_canary_gate(self, version):
+        """Mark the current stage's health gate passed (journaled)."""
+        state = self._require_canary(version)
+        state.stage_index += 1
+        self._journal_append(
+            "canary-gate", version=version, stage=state.stage_index
+        )
+        self._count("canary.gates_passed")
+        self._runtime.trace(
+            "canary-gate",
+            self.loid,
+            version=str(version),
+            stage=state.stage_index,
+            admitted=len(state.admitted),
+        )
+        return state.stage_index
+
+    def mark_canary_breached(self, version, reason):
+        """Journal the breach decision; idempotent.
+
+        The write-ahead entry lands *before* any rollback RPC, so a
+        crash between the decision and the abort leaves a journal a
+        promoted manager reads as "this wave must die", never as "this
+        wave should resume delivering".
+        """
+        state = self._require_canary(version)
+        if state.breached:
+            return state
+        state.breached = True
+        state.breach_reason = reason
+        self._journal_append("canary-breached", version=version, reason=reason)
+        self._count("canary.breaches")
+        self._runtime.trace(
+            "canary-breached",
+            self.loid,
+            version=str(version),
+            reason=reason,
+            admitted=len(state.admitted),
+        )
+        return state
+
+    def abort_wave(self, version, reason="slo-breach"):
+        """Generator: breach-abort an open wave and roll everyone back.
+
+        The public entry point the SLO gate (or an operator) uses when
+        the wave itself is healthy at the delivery level but the
+        *service* is not: journals the breach, then drives the existing
+        transactional abort machinery — every ACKED instance evolves
+        back to its prior version, write-ahead logged, resumable by a
+        recovered or promoted manager.  Returns the tracker.
+        """
+        tracker = self._propagations.get(version)
+        state = self._canaries.get(version)
+        if state is not None:
+            self.mark_canary_breached(version, reason)
+        if tracker is None:
+            # A promoted authority can inherit the canary record but
+            # not its wave (the journal shipped the admission and then
+            # the partition hit).  Reconcile straight from the admitted
+            # set and close the canary with its own journal entry.
+            if state is not None and not state.aborted:
+                settled = yield from self._reconcile_canary_abort(state, None)
+                if settled and self.is_active and not self.deposed:
+                    state.aborted = True
+                    self._journal_append("canary-aborted", version=version)
+                    self._runtime.trace(
+                        "canary-aborted", self.loid, version=str(version)
+                    )
+            return None
+        if not tracker.aborted:
+            yield from self._finish_abort(tracker)
+        if state is not None and tracker.aborted and not state.aborted:
+            state.aborted = True
+        return tracker
+
+    def complete_canary(self, version):
+        """Adopt ``version`` after the final gate passed (journaled).
+
+        The fleet already converged stage by stage, so the update
+        policy is *not* fired again — the current-version designation
+        simply catches up with reality (new instances start on it).
+        """
+        state = self._require_canary(version)
+        if state.breached:
+            raise WaveAborted(version, 0, 0)
+        if not state.complete:
+            state.complete = True
+            self._journal_append("canary-complete", version=version)
+            self._current_version = version
+            self._journal_append("current-version", version=version)
+            self._count("canary.completions")
+            self._runtime.trace(
+                "canary-complete",
+                self.loid,
+                version=str(version),
+                admitted=len(state.admitted),
+            )
+        return state
+
+    def _require_canary(self, version):
+        state = self._canaries.get(version)
+        if state is None:
+            raise UnknownVersion(f"no canary rollout open for version {version}")
+        return state
 
     def restore_components(self):
         """Generator: re-serve any registered component whose ICO died.
@@ -1261,6 +1607,33 @@ class DCDOManager(ClassObject):
             tracker.aborting = True
             tracker.aborted = True
             tracker.complete = True
+            state = self._canaries.get(data["version"])
+            if state is not None:
+                state.aborted = True
+        elif kind == "canary-started":
+            version = data["version"]
+            if version not in self._canaries:
+                self._canaries[version] = CanaryState(
+                    version=version,
+                    stages=tuple(data["stages"]),
+                    bake_s=data["bake_s"],
+                )
+        elif kind == "canary-stage":
+            state = self._canaries[data["version"]]
+            known = set(state.admitted)
+            state.admitted.extend(
+                loid for loid in data["loids"] if loid not in known
+            )
+        elif kind == "canary-gate":
+            self._canaries[data["version"]].stage_index = data["stage"]
+        elif kind == "canary-breached":
+            state = self._canaries[data["version"]]
+            state.breached = True
+            state.breach_reason = data.get("reason")
+        elif kind == "canary-complete":
+            self._canaries[data["version"]].complete = True
+        elif kind == "canary-aborted":
+            self._canaries[data["version"]].aborted = True
         else:
             raise ValueError(f"unknown journal entry kind {kind!r}")
         return
@@ -1376,6 +1749,54 @@ class DCDOManager(ClassObject):
                     JournalEntry(
                         "instance-version", {"loid": loid, "version": version}
                     )
+                )
+        # Canary states precede the trackers so a checkpointed
+        # "wave-aborted" replay finds (and closes) the canary it ended.
+        for version, state in self._canaries.items():
+            entries.append(
+                JournalEntry(
+                    "canary-started",
+                    {
+                        "version": version,
+                        "stages": tuple(state.stages),
+                        "bake_s": state.bake_s,
+                    },
+                )
+            )
+            if state.admitted:
+                entries.append(
+                    JournalEntry(
+                        "canary-stage",
+                        {
+                            "version": version,
+                            "stage": state.stage_index,
+                            "loids": list(state.admitted),
+                        },
+                    )
+                )
+            if state.stage_index:
+                entries.append(
+                    JournalEntry(
+                        "canary-gate",
+                        {"version": version, "stage": state.stage_index},
+                    )
+                )
+            if state.breached:
+                entries.append(
+                    JournalEntry(
+                        "canary-breached",
+                        {"version": version, "reason": state.breach_reason},
+                    )
+                )
+            if state.complete:
+                entries.append(
+                    JournalEntry("canary-complete", {"version": version})
+                )
+            if state.aborted and version not in self._propagations:
+                # Closed without a wave (orphan reconcile): the closure
+                # has no "wave-aborted" entry to replay.
+                entries.append(
+                    JournalEntry("canary-aborted", {"version": version})
                 )
         for version, tracker in self._propagations.items():
             loids = [entry.loid for entry in tracker.deliveries()]

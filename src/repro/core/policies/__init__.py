@@ -16,6 +16,11 @@ this composition is exactly that.
 """
 
 from repro.core.policies.base import EvolutionPolicy, UpdatePolicy
+from repro.core.policies.canary import (
+    CanaryOutcome,
+    CanaryWavePolicy,
+    run_canary_wave,
+)
 from repro.core.policies.evolution import (
     GeneralEvolutionPolicy,
     HybridEvolutionPolicy,
@@ -31,6 +36,8 @@ from repro.core.policies.update import (
 )
 
 __all__ = [
+    "CanaryOutcome",
+    "CanaryWavePolicy",
     "EvolutionPolicy",
     "ExplicitUpdatePolicy",
     "GeneralEvolutionPolicy",
@@ -42,4 +49,5 @@ __all__ = [
     "ReliableUpdatePolicy",
     "SingleVersionPolicy",
     "UpdatePolicy",
+    "run_canary_wave",
 ]

@@ -75,6 +75,10 @@ class Network:
         # dead ICO, the whole fleet fails fast instead of each instance
         # burning its own timeout schedule.
         self._breakers = {}
+        # SLO monitors keyed by stream name (e.g. "canary:Sorter"),
+        # registered by traffic harnesses and canary gates so system
+        # reports can show service health fleet-wide.
+        self._slo_monitors = {}
 
     def breaker(self, key, **kwargs):
         """Get-or-create the shared :class:`CircuitBreaker` for ``key``.
@@ -112,6 +116,35 @@ class Network:
                 "short_circuits": breaker.short_circuits,
             }
             for key, breaker in sorted(self._breakers.items())
+        }
+
+    def slo_monitor(self, key, slo=None, **kwargs):
+        """Get-or-create the shared SLO monitor for ``key``.
+
+        ``slo`` (plus construction keyword arguments) applies only on
+        first creation; later callers get the registered monitor.
+        """
+        from repro.obs.slo import SLOMonitor
+
+        monitor = self._slo_monitors.get(key)
+        if monitor is None:
+            if slo is None:
+                raise ValueError(f"no SLO monitor registered under {key!r}")
+            monitor = self._slo_monitors[key] = SLOMonitor(
+                self._sim, slo, **kwargs
+            )
+        return monitor
+
+    def register_slo_monitor(self, key, monitor):
+        """Register an externally built monitor under ``key``."""
+        self._slo_monitors[key] = monitor
+        return monitor
+
+    def slo_snapshot(self):
+        """Plain-dict view of every registered SLO monitor."""
+        return {
+            key: monitor.snapshot()
+            for key, monitor in sorted(self._slo_monitors.items())
         }
 
     @property

@@ -9,12 +9,16 @@ one structured report.
 
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.report import SystemReport, collect_system_report, render_report
+from repro.obs.slo import SLO, SLOMonitor, SLOStatus
 from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "SLO",
+    "SLOMonitor",
+    "SLOStatus",
     "SystemReport",
     "Timer",
     "TraceEvent",

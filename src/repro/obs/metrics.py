@@ -4,6 +4,14 @@ All timing uses the simulator clock, so metrics are deterministic and
 comparable across runs with the same seed.
 """
 
+import random
+
+#: Default reservoir capacity for :class:`Timer` percentile tracking.
+#: Below this many samples the timer is exact; beyond it, Vitter's
+#: algorithm R keeps a uniform sample so memory stays bounded no matter
+#: how long the run.
+TIMER_RESERVOIR_SIZE = 4096
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -44,23 +52,48 @@ class Gauge:
 
 
 class Timer:
-    """Accumulates duration samples (simulated seconds)."""
+    """Accumulates duration samples (simulated seconds).
 
-    def __init__(self, name, sim=None):
+    Count, sum, min and max are exact over every sample ever recorded.
+    The per-sample store backing :meth:`percentile` is a bounded
+    reservoir (uniform without replacement, seeded per timer name so
+    runs stay deterministic): exact below ``reservoir_size`` samples,
+    a statistically uniform subset beyond it — tail quantiles over
+    million-call open-loop runs cost O(reservoir), not O(calls).
+    """
+
+    def __init__(self, name, sim=None, reservoir_size=TIMER_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
         self.name = name
         self._sim = sim
         self.samples = []
+        self.reservoir_size = reservoir_size
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+        self._rng = random.Random(f"timer-reservoir:{name}")
 
     @property
     def count(self):
-        """Number of recorded samples."""
-        return len(self.samples)
+        """Number of recorded samples (exact, not reservoir-bounded)."""
+        return self._count
 
     def record(self, duration):
         """Record one duration sample."""
         if duration < 0:
             raise ValueError(f"durations must be >= 0, got {duration}")
-        self.samples.append(duration)
+        self._count += 1
+        self._sum += duration
+        self._min = duration if self._min is None else min(self._min, duration)
+        self._max = duration if self._max is None else max(self._max, duration)
+        if len(self.samples) < self.reservoir_size:
+            self.samples.append(duration)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.reservoir_size:
+                self.samples[slot] = duration
 
     def measure(self, body):
         """Generator: time the simulated duration of ``body``.
@@ -77,25 +110,25 @@ class Timer:
         return result
 
     def mean(self):
-        """Mean sample, or None when empty."""
-        if not self.samples:
+        """Mean over all recorded samples, or None when empty."""
+        if not self._count:
             return None
-        return sum(self.samples) / len(self.samples)
+        return self._sum / self._count
 
     def max(self):
-        """Largest sample, or None when empty."""
-        if not self.samples:
-            return None
-        return max(self.samples)
+        """Largest sample ever recorded, or None when empty."""
+        return self._max
 
     def min(self):
-        """Smallest sample, or None when empty."""
-        if not self.samples:
-            return None
-        return min(self.samples)
+        """Smallest sample ever recorded, or None when empty."""
+        return self._min
 
     def percentile(self, fraction):
-        """The ``fraction`` percentile (0..1) by nearest-rank."""
+        """The ``fraction`` quantile (0..1) by nearest-rank.
+
+        Exact while the sample count fits the reservoir; beyond that,
+        computed over the uniform reservoir sample.
+        """
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.samples:
@@ -155,7 +188,12 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 out[name] = {"value": metric.value, "peak": metric.peak}
             else:
-                out[name] = {"count": metric.count, "mean": metric.mean()}
+                out[name] = {
+                    "count": metric.count,
+                    "mean": metric.mean(),
+                    "p50": metric.percentile(0.50),
+                    "p99": metric.percentile(0.99),
+                }
         return out
 
     def __len__(self):

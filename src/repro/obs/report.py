@@ -25,6 +25,9 @@ class SystemReport:
     #: Per-target circuit-breaker state (ICO fetch guards and any
     #: other breakers registered with the network).
     breakers: dict = field(default_factory=dict)
+    #: Per-stream SLO state (health, windowed quantiles, error rate,
+    #: breach count) from monitors registered with the network.
+    slos: dict = field(default_factory=dict)
     #: Per-host evolution-relay activity (batches served, instances
     #: evolved/failed), keyed by host name.
     relays: dict = field(default_factory=dict)
@@ -128,6 +131,7 @@ def collect_system_report(runtime):
         report.types[type_name] = entry
     report.faults = runtime.network.metrics.snapshot()
     report.breakers = runtime.network.breakers_snapshot()
+    report.slos = runtime.network.slo_snapshot()
     return report
 
 
@@ -162,6 +166,21 @@ def render_report(report):
             if wave.get("rolled_back"):
                 line += f" / {wave['rolled_back']} rolled back"
             lines.append(line)
+    for key, slo in sorted(report.slos.items()):
+        state = "healthy" if slo["healthy"] else "BREACHED"
+        quantiles = ", ".join(
+            f"{name} {value * 1000:.1f}ms"
+            for name, value in slo["quantiles"].items()
+        )
+        line = (
+            f"  slo {key}: {state}, {slo['samples']} in window, "
+            f"error rate {slo['error_rate']:.3f}, {slo['breaches']} breach(es)"
+        )
+        if quantiles:
+            line += f", {quantiles}"
+        if slo["violations"]:
+            line += f" [{'; '.join(slo['violations'])}]"
+        lines.append(line)
     for key, breaker in sorted(report.breakers.items()):
         lines.append(
             f"  breaker {key}: {breaker['state']}, "

@@ -1,0 +1,209 @@
+"""Service-level objectives evaluated on the simulator clock.
+
+The guarded-reconfiguration discipline needs a *guard*: something that
+can say, mid-evolution-wave, "clients are still fine" or "clients are
+burning".  An :class:`SLO` declares the objectives (tail-latency bounds
+per quantile plus a maximum error rate); an :class:`SLOMonitor` keeps a
+sliding window of per-call outcomes (bounded memory) and evaluates the
+objectives against it on demand — the health gate canary wave policies
+poll during their bake windows.
+
+Monitors register with the network fabric (mirroring the circuit-
+breaker registry) so system reports can show SLO state fleet-wide.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Declared service objectives for one traffic stream.
+
+    ``latency_targets`` maps a quantile fraction (e.g. ``0.99``) to the
+    maximum acceptable latency in seconds at that quantile.
+    ``max_error_rate`` bounds the fraction of failed calls over the
+    window.  Either axis may be omitted (None / empty).  Below
+    ``min_samples`` observations the monitor refuses to judge — a gate
+    must not trip (or pass) on noise.
+    """
+
+    name: str = "slo"
+    latency_targets: dict = field(default_factory=dict)
+    max_error_rate: float = None
+    min_samples: int = 20
+
+    def __post_init__(self):
+        for fraction, bound in self.latency_targets.items():
+            if not 0 < fraction <= 1:
+                raise ValueError(f"latency quantile must be in (0, 1], got {fraction}")
+            if bound <= 0:
+                raise ValueError(f"latency bound must be > 0, got {bound}")
+        if self.max_error_rate is not None and not 0 <= self.max_error_rate <= 1:
+            raise ValueError(
+                f"max_error_rate must be in [0, 1], got {self.max_error_rate}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+@dataclass
+class SLOStatus:
+    """One evaluation of an :class:`SLOMonitor` at one instant."""
+
+    at: float
+    healthy: bool
+    #: Human-readable objective violations ("p99 0.41s > 0.05s", ...).
+    violations: list
+    samples: int
+    error_rate: float
+    #: quantile fraction -> observed latency at that quantile.
+    quantiles: dict
+    #: True when fewer than ``min_samples`` observations were in the
+    #: window — the monitor abstained (healthy by default).
+    insufficient: bool = False
+
+
+class SLOMonitor:
+    """Sliding-window objective evaluation with bounded memory.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (the window slides on its clock).
+    slo:
+        The :class:`SLO` to evaluate.
+    window_s:
+        How far back observations count (default 10 simulated seconds).
+    max_window_samples:
+        Hard cap on retained observations; at sustained rates above
+        ``max_window_samples / window_s`` the window is effectively
+        sample-bounded (oldest dropped first), keeping memory constant
+        under open-loop load of any aggregate rate.
+    """
+
+    def __init__(self, sim, slo, window_s=10.0, max_window_samples=8192):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if max_window_samples < slo.min_samples:
+            raise ValueError("max_window_samples must be >= slo.min_samples")
+        self.sim = sim
+        self.slo = slo
+        self.window_s = window_s
+        self.max_window_samples = max_window_samples
+        #: (time, latency_s, ok) observations, oldest first.
+        self._window = []
+        self.total_calls = 0
+        self.total_errors = 0
+        #: Times at which an evaluation transitioned healthy -> breached.
+        self.breach_log = []
+        self._last_healthy = True
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_success(self, latency_s):
+        """Record one successful call and its observed latency."""
+        self._record(latency_s, True)
+
+    def record_error(self, latency_s=0.0):
+        """Record one failed call (time-to-failure as its latency)."""
+        self._record(latency_s, False)
+
+    def _record(self, latency_s, ok):
+        self.total_calls += 1
+        if not ok:
+            self.total_errors += 1
+        self._window.append((self.sim.now, latency_s, ok))
+        if len(self._window) > self.max_window_samples:
+            del self._window[0 : len(self._window) - self.max_window_samples]
+        self._expire()
+
+    def _expire(self):
+        horizon = self.sim.now - self.window_s
+        drop = 0
+        for at, __, __ in self._window:
+            if at >= horizon:
+                break
+            drop += 1
+        if drop:
+            del self._window[:drop]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self):
+        """Judge the window now; returns an :class:`SLOStatus`.
+
+        A healthy-to-breached transition is appended to ``breach_log``
+        so harnesses can measure detection latency and MTTR.
+        """
+        self._expire()
+        samples = len(self._window)
+        errors = sum(1 for __, __, ok in self._window if not ok)
+        error_rate = errors / samples if samples else 0.0
+        quantiles = {}
+        violations = []
+        insufficient = samples < self.slo.min_samples
+        if not insufficient:
+            latencies = sorted(latency for __, latency, __ in self._window)
+            for fraction in sorted(self.slo.latency_targets):
+                index = min(
+                    len(latencies) - 1,
+                    max(0, round(fraction * (len(latencies) - 1))),
+                )
+                quantiles[fraction] = latencies[index]
+            for fraction, bound in sorted(self.slo.latency_targets.items()):
+                observed = quantiles[fraction]
+                if observed > bound:
+                    violations.append(
+                        f"p{fraction * 100:g} {observed:.3f}s > {bound:.3f}s"
+                    )
+            if (
+                self.slo.max_error_rate is not None
+                and error_rate > self.slo.max_error_rate
+            ):
+                violations.append(
+                    f"error rate {error_rate:.3f} > {self.slo.max_error_rate:.3f}"
+                )
+        healthy = not violations
+        if self._last_healthy and not healthy:
+            self.breach_log.append((self.sim.now, list(violations)))
+        self._last_healthy = healthy
+        return SLOStatus(
+            at=self.sim.now,
+            healthy=healthy,
+            violations=violations,
+            samples=samples,
+            error_rate=error_rate,
+            quantiles=quantiles,
+            insufficient=insufficient,
+        )
+
+    def healthy(self):
+        """True when the current window satisfies every objective."""
+        return self.evaluate().healthy
+
+    def snapshot(self):
+        """Plain-dict view for system reports."""
+        status = self.evaluate()
+        return {
+            "healthy": status.healthy,
+            "samples": status.samples,
+            "error_rate": round(status.error_rate, 6),
+            "quantiles": {
+                f"p{fraction * 100:g}": round(value, 6)
+                for fraction, value in sorted(status.quantiles.items())
+            },
+            "violations": list(status.violations),
+            "breaches": len(self.breach_log),
+            "total_calls": self.total_calls,
+            "total_errors": self.total_errors,
+        }
+
+    def __repr__(self):
+        return (
+            f"<SLOMonitor {self.slo.name} window={self.window_s}s "
+            f"samples={len(self._window)} breaches={len(self.breach_log)}>"
+        )

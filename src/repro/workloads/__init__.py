@@ -1,15 +1,32 @@
 """Synthetic workload generators for experiments and examples."""
 
 from repro.workloads.generator import (
+    DegradedCallError,
     build_component_version,
+    build_degraded_version,
+    degraded_body,
     make_noop_manager,
     synthetic_components,
 )
-from repro.workloads.traffic import ClosedLoopClient, run_clients
+from repro.workloads.traffic import (
+    BurstyArrivals,
+    ClosedLoopClient,
+    DiurnalArrivals,
+    OpenLoopLoad,
+    PoissonArrivals,
+    run_clients,
+)
 
 __all__ = [
+    "BurstyArrivals",
     "ClosedLoopClient",
+    "DegradedCallError",
+    "DiurnalArrivals",
+    "OpenLoopLoad",
+    "PoissonArrivals",
     "build_component_version",
+    "build_degraded_version",
+    "degraded_body",
     "make_noop_manager",
     "run_clients",
     "synthetic_components",

@@ -68,6 +68,64 @@ def build_component_version(manager, components, enable_all=True):
     return version
 
 
+class DegradedCallError(Exception):
+    """Raised by a fault-injected function body: the bad build failing."""
+
+
+def degraded_body(added_latency_s=0.0, error_every=0):
+    """A ``ping``-compatible body with built-in regressions.
+
+    The returned body charges ``added_latency_s`` extra CPU per call
+    and (with ``error_every=k > 0``) raises :class:`DegradedCallError`
+    on every ``k``-th call — a component version that is *functionally*
+    deployable but violates service objectives, which is exactly what
+    structural dependency checks (§3.2) cannot catch and SLO gates can.
+    """
+
+    def body(ctx, *args):
+        if added_latency_s > 0:
+            yield ctx.work(added_latency_s)
+        if error_every > 0:
+            count = ctx.state["degraded_calls"] = (
+                ctx.state.get("degraded_calls", 0) + 1
+            )
+            if count % error_every == 0:
+                raise DegradedCallError(
+                    f"injected failure (call {count}, every {error_every})"
+                )
+        return args
+
+    return body
+
+
+def build_degraded_version(
+    manager, added_latency_s=0.0, error_every=0, prefix="degraded", size_bytes=64_000
+):
+    """Stage a v-next that regresses the ``ping`` path; returns its id.
+
+    Builds one new component whose ``ping`` (enabled with
+    ``replace_current``) carries the injected latency/error behaviour
+    of :func:`degraded_body`, derives a version from the manager's
+    current one incorporating it, and marks it instantiable.  Pair with
+    :func:`make_noop_manager` fleets: after evolution, client pings hit
+    the degraded build.
+    """
+    builder = ComponentBuilder(f"{prefix}-{added_latency_s:g}-{error_every}")
+    builder.function("ping", degraded_body(added_latency_s, error_every))
+    builder.variant(size_bytes=size_bytes)
+    component = builder.build()
+    if component.component_id not in manager.registered_components():
+        manager.register_component(component)
+    parent = manager.current_version
+    version = manager.derive_version(parent) if parent is not None else manager.new_version()
+    descriptor = manager.descriptor_of(version)
+    if component.component_id not in descriptor.component_ids:
+        manager.incorporate_into(version, component.component_id)
+    descriptor.enable("ping", component.component_id, replace_current=True)
+    manager.mark_instantiable(version)
+    return version
+
+
 def make_noop_manager(
     runtime,
     type_name,

@@ -1,9 +1,28 @@
 """Client traffic generators.
 
-Closed-loop clients issue a call, wait for the reply, optionally think,
-and repeat — the standard model for request/response experiments.
-Latency samples are collected per client for the harness to aggregate.
+Two traffic models:
+
+- **Closed loop** (:class:`ClosedLoopClient`): issue a call, wait for
+  the reply, optionally think, repeat — the standard model for
+  request/response experiments.  Errors count: failed calls record
+  their time-to-failure and show up in ``error_rate()``.
+- **Open loop** (:class:`OpenLoopLoad`): arrivals fire on a schedule
+  regardless of outstanding replies.  One generator process draws
+  inter-arrival gaps at the *aggregate* rate of the whole client
+  population — a million clients each calling once every 1000 s is one
+  Poisson stream at 1000 calls/s — so simulating planet-scale traffic
+  costs O(arrivals), not O(clients).  Each arrival spawns a short-lived
+  invocation process; per-call success/error and latency feed an
+  optional :class:`~repro.obs.slo.SLOMonitor` and
+  :class:`~repro.obs.metrics.Timer`.
+
+Arrival schedules (:class:`PoissonArrivals`, :class:`BurstyArrivals`,
+:class:`DiurnalArrivals`) are pure inter-arrival calculators over a
+caller-supplied ``random.Random``, so traffic is deterministic per
+(seed, stream name).
 """
+
+import math
 
 
 class ClosedLoopClient:
@@ -32,6 +51,11 @@ class ClosedLoopClient:
         self._think_time_s = think_time_s
         self.latencies = []
         self.errors = []
+        #: Time-to-failure samples, one per error, parallel to
+        #: ``errors`` — how long each failed call burned before giving
+        #: up.  Failed calls are *not* free: a harness that drops them
+        #: from its aggregates under-reports what clients experienced.
+        self.failure_latencies = []
         self._stopped = False
 
     def stop(self):
@@ -42,6 +66,23 @@ class ClosedLoopClient:
     def completed_calls(self):
         """Number of successful calls so far."""
         return len(self.latencies)
+
+    @property
+    def failed_calls(self):
+        """Number of calls that raised."""
+        return len(self.errors)
+
+    @property
+    def total_calls(self):
+        """Every call issued: successes plus failures."""
+        return len(self.latencies) + len(self.errors)
+
+    def error_rate(self):
+        """Fraction of issued calls that failed, or None before any."""
+        total = self.total_calls
+        if not total:
+            return None
+        return len(self.errors) / total
 
     def mean_latency(self):
         """Mean latency over successful calls, or None."""
@@ -60,6 +101,7 @@ class ClosedLoopClient:
                 yield from self._client.invoke(self._loid, self._method, *self._args)
             except Exception as error:  # noqa: BLE001 - experiments record errors
                 self.errors.append((sim.now, error))
+                self.failure_latencies.append(sim.now - started)
             else:
                 self.latencies.append(sim.now - started)
             if self._think_time_s:
@@ -82,3 +124,266 @@ def _join_all(runtime, processes):
     if processes:
         yield AllOf(runtime.sim, processes)
     return None
+
+
+# ----------------------------------------------------------------------
+# Open-loop arrival schedules
+# ----------------------------------------------------------------------
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at a constant aggregate rate.
+
+    ``rate_hz`` is the whole population's rate; use
+    :meth:`population` to derive it from a client count and a
+    per-client rate without ever materializing the clients.
+    """
+
+    def __init__(self, rate_hz):
+        if rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+        self.rate_hz = rate_hz
+
+    @classmethod
+    def population(cls, clients, per_client_rate_hz):
+        """Aggregate ``clients`` independent Poisson callers into one
+        stream — the superposition of Poisson processes is Poisson at
+        the summed rate, so a million-client population is a single
+        arrival generator."""
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        return cls(clients * per_client_rate_hz)
+
+    def rate(self, now):
+        """Instantaneous aggregate rate (constant here)."""
+        return self.rate_hz
+
+    def interarrival(self, now, rng):
+        """Seconds until the next arrival after ``now``."""
+        return rng.expovariate(self.rate_hz)
+
+
+class BurstyArrivals:
+    """On/off (interrupted Poisson) arrivals: bursts over a base load.
+
+    Each ``period_s`` cycle spends ``burst_fraction`` of its start at
+    ``burst_rate_hz`` and the rest at ``base_rate_hz`` — flash crowds
+    over a steady background.
+    """
+
+    def __init__(self, base_rate_hz, burst_rate_hz, period_s=60.0, burst_fraction=0.2):
+        if base_rate_hz <= 0 or burst_rate_hz < base_rate_hz:
+            raise ValueError("need burst_rate_hz >= base_rate_hz > 0")
+        if not 0 < burst_fraction < 1:
+            raise ValueError(f"burst_fraction must be in (0, 1), got {burst_fraction}")
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self.base_rate_hz = base_rate_hz
+        self.burst_rate_hz = burst_rate_hz
+        self.period_s = period_s
+        self.burst_fraction = burst_fraction
+
+    def rate(self, now):
+        """Burst rate inside the burst window, base rate outside."""
+        phase = (now % self.period_s) / self.period_s
+        return self.burst_rate_hz if phase < self.burst_fraction else self.base_rate_hz
+
+    def interarrival(self, now, rng):
+        """Thinning against the burst (peak) rate."""
+        return _thinned_interarrival(self, now, rng, self.burst_rate_hz)
+
+
+class DiurnalArrivals:
+    """Sinusoidal day/night load between a trough and a peak rate."""
+
+    def __init__(self, peak_rate_hz, trough_rate_hz, period_s=86_400.0, phase_s=0.0):
+        if trough_rate_hz <= 0 or peak_rate_hz < trough_rate_hz:
+            raise ValueError("need peak_rate_hz >= trough_rate_hz > 0")
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self.peak_rate_hz = peak_rate_hz
+        self.trough_rate_hz = trough_rate_hz
+        self.period_s = period_s
+        self.phase_s = phase_s
+
+    def rate(self, now):
+        """Instantaneous rate: peak at phase 0, trough half a period on."""
+        mid = (self.peak_rate_hz + self.trough_rate_hz) / 2.0
+        amplitude = (self.peak_rate_hz - self.trough_rate_hz) / 2.0
+        angle = 2.0 * math.pi * ((now + self.phase_s) % self.period_s) / self.period_s
+        return mid + amplitude * math.cos(angle)
+
+    def interarrival(self, now, rng):
+        """Thinning against the peak rate."""
+        return _thinned_interarrival(self, now, rng, self.peak_rate_hz)
+
+
+def _thinned_interarrival(schedule, now, rng, peak_rate_hz):
+    """Lewis-Shedler thinning: exact non-homogeneous Poisson sampling.
+
+    Draw candidates at the peak rate; accept each with probability
+    rate(t)/peak.  Pure computation — no simulated time passes here.
+    """
+    t = now
+    while True:
+        t += rng.expovariate(peak_rate_hz)
+        if rng.random() * peak_rate_hz <= schedule.rate(t):
+            return t - now
+
+
+class OpenLoopLoad:
+    """Open-loop traffic: arrivals never wait for replies.
+
+    One driver process draws inter-arrival gaps from ``arrivals`` and
+    spawns a per-call process for each — so offered load is governed by
+    the schedule, not by service latency, and a slow fleet shows up as
+    latency (and queue) growth instead of silently shedding offered
+    work the way a closed loop does.
+
+    Parameters
+    ----------
+    client:
+        A :class:`~repro.legion.runtime.Client` issuing the calls.
+    loids:
+        Target objects; arrivals round-robin across them.
+    arrivals:
+        A :class:`PoissonArrivals` / :class:`BurstyArrivals` /
+        :class:`DiurnalArrivals` (anything with ``interarrival``).
+    rng:
+        A ``random.Random`` (e.g. ``runtime.rng.stream("traffic")``).
+    method, args:
+        The invocation each arrival issues.
+    duration_s:
+        How long to generate arrivals (None = until :meth:`stop`).
+    monitor:
+        Optional :class:`~repro.obs.slo.SLOMonitor` fed per call.
+    timer:
+        Optional :class:`~repro.obs.metrics.Timer` fed success latency.
+    timeout_schedule:
+        Per-call invocation timeouts (keep short under chaos: a dead
+        target should cost an error sample, not minutes of rebinding).
+    max_in_flight:
+        Arrivals beyond this many outstanding calls are *shed* (counted
+        in ``shed_calls``) — the harness's own memory guard; an SLO
+        breach should fire long before this trips.
+    """
+
+    def __init__(
+        self,
+        client,
+        loids,
+        arrivals,
+        rng,
+        method="ping",
+        args=(),
+        duration_s=None,
+        monitor=None,
+        timer=None,
+        timeout_schedule=(2.0, 5.0),
+        max_in_flight=10_000,
+        name="open-loop",
+    ):
+        if not loids:
+            raise ValueError("open-loop load needs at least one target")
+        self._client = client
+        self._loids = list(loids)
+        self._arrivals = arrivals
+        self._rng = rng
+        self._method = method
+        self._args = tuple(args)
+        self._duration_s = duration_s
+        self.monitor = monitor
+        self.timer = timer
+        self._timeout_schedule = timeout_schedule
+        self._max_in_flight = max_in_flight
+        self.name = name
+        self.issued_calls = 0
+        self.ok_calls = 0
+        self.error_calls = 0
+        self.shed_calls = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self._stopped = False
+        self._process = None
+
+    def stop(self):
+        """Stop generating arrivals (in-flight calls finish)."""
+        self._stopped = True
+
+    @property
+    def done_calls(self):
+        """Calls that finished, either way."""
+        return self.ok_calls + self.error_calls
+
+    def error_rate(self):
+        """Fraction of finished calls that failed, or None before any."""
+        done = self.done_calls
+        if not done:
+            return None
+        return self.error_calls / done
+
+    def start(self):
+        """Spawn the driver process; returns self."""
+        sim = self._client.sim
+        self._process = sim.spawn(self.run(), name=f"open-loop:{self.name}")
+        return self
+
+    def run(self):
+        """Generator: the arrival driver; spawn or ``yield from``."""
+        sim = self._client.sim
+        end = None if self._duration_s is None else sim.now + self._duration_s
+        while not self._stopped:
+            gap = self._arrivals.interarrival(sim.now, self._rng)
+            if end is not None and sim.now + gap >= end:
+                # Daemon wait-out so an open-ended run() caller sees the
+                # full duration without keeping the sim alive forever.
+                if end > sim.now:
+                    yield sim.timeout(end - sim.now, daemon=True)
+                break
+            yield sim.timeout(gap, daemon=True)
+            if self._stopped:
+                break
+            if self.in_flight >= self._max_in_flight:
+                self.shed_calls += 1
+                continue
+            target = self._loids[self.issued_calls % len(self._loids)]
+            self.issued_calls += 1
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            sim.spawn(
+                self._one_call(target),
+                name=f"open-loop-call:{self.name}:{self.issued_calls}",
+            )
+        return self.issued_calls
+
+    def _one_call(self, loid):
+        sim = self._client.sim
+        started = sim.now
+        try:
+            yield from self._client.invoke(
+                loid,
+                self._method,
+                *self._args,
+                timeout_schedule=self._timeout_schedule,
+            )
+        except Exception:  # noqa: BLE001 - per-call outcome is the datum
+            elapsed = sim.now - started
+            self.error_calls += 1
+            if self.monitor is not None:
+                self.monitor.record_error(elapsed)
+        else:
+            elapsed = sim.now - started
+            self.ok_calls += 1
+            if self.monitor is not None:
+                self.monitor.record_success(elapsed)
+            if self.timer is not None:
+                self.timer.record(elapsed)
+        finally:
+            self.in_flight -= 1
+
+    def __repr__(self):
+        return (
+            f"<OpenLoopLoad {self.name} issued={self.issued_calls} "
+            f"ok={self.ok_calls} err={self.error_calls} "
+            f"in_flight={self.in_flight}>"
+        )

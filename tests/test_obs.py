@@ -90,7 +90,7 @@ def test_registry_get_or_create_and_snapshot():
     snapshot = registry.snapshot()
     assert snapshot["a"] == 1
     assert snapshot["b"] == {"value": 7, "peak": 7}
-    assert snapshot["c"] == {"count": 1, "mean": 1.0}
+    assert snapshot["c"] == {"count": 1, "mean": 1.0, "p50": 1.0, "p99": 1.0}
     assert len(registry) == 3
 
 

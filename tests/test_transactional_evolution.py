@@ -552,3 +552,126 @@ def test_manager_crash_mid_abort_recovery_completes_the_abort():
     kinds = [entry.kind for entry in journal.replay()]
     assert "wave-aborting" in kinds and "wave-aborted" in kinds
     assert kinds.count("wave-rollback") == 3
+
+
+# ----------------------------------------------------------------------
+# WavePolicy.abort_after boundary regressions
+# ----------------------------------------------------------------------
+
+
+def test_abort_after_zero_tolerates_no_failures():
+    """The zero boundary, both sides: with every delivery acked the
+    wave completes (0 failures is not "more than 0"); with exactly one
+    failure it aborts."""
+    runtime, manager, journal, loids = build_sorter_fleet(
+        hosts=6, instances=3, ico_host="host05"
+    )
+    v1, v2 = manager.current_version, derive_v2(manager)
+    manager.set_current_version(v2)  # explicit policy: no auto-propagation
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(
+            v2, retry_policy=ONE_SHOT, wave_policy=WavePolicy.abort_after(0)
+        )
+    )
+    assert tracker.complete and tracker.all_acked and not tracker.aborted
+    for loid in loids:
+        assert manager.instance_version(loid) == v2
+
+    # Second fleet, one unreachable instance: exactly one failure must
+    # trip the threshold-0 abort.
+    runtime, manager, journal, loids = build_sorter_fleet(
+        hosts=6, instances=3, ico_host="host05"
+    )
+    v1, v2 = manager.current_version, derive_v2(manager)
+    manager.set_current_version(v2)
+    runtime.network.faults.add_partition(
+        PrefixPartition(["host00/"], ["host03/"], start=0.0, end=10_000.0)
+    )
+
+    def wave():
+        try:
+            yield from manager.propagate_version(
+                v2, retry_policy=ONE_SHOT, wave_policy=WavePolicy.abort_after(0)
+            )
+        except WaveAborted as error:
+            return error
+        return None
+
+    error = runtime.sim.run_process(wave())
+    assert error is not None and error.failed == 1 and error.threshold == 0
+    tracker = manager.propagation(v2)
+    assert tracker.aborted
+    for loid in loids:
+        assert manager.instance_version(loid) == v1
+
+
+def test_abort_after_final_ack_rolls_back_completed_wave():
+    """An abort requested *after* the final ack (nothing failed, the
+    wave is complete) still rolls every acked instance back — the
+    SLO-breach case, where delivery succeeded but the version is bad."""
+    runtime, manager, journal, loids = build_sorter_fleet(
+        hosts=6, instances=3, ico_host="host05"
+    )
+    v1, v2 = manager.current_version, derive_v2(manager)
+    manager.set_current_version(v2)
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(
+            v2, retry_policy=ONE_SHOT, wave_policy=WavePolicy.abort_after(0)
+        )
+    )
+    assert tracker.complete and tracker.all_acked
+
+    aborted = runtime.sim.run_process(manager.abort_wave(v2, reason="slo-breach"))
+    assert aborted is tracker
+    assert tracker.aborted and tracker.complete
+    assert tracker.count(DeliveryStatus.ROLLED_BACK) == len(loids)
+    for loid in loids:
+        obj = manager.record(loid).obj
+        assert obj.version == v1
+        assert manager.instance_version(loid) == v1
+        # Committed once, compensated once — never more.
+        assert obj.applications_by_version.get(v2) == 1
+    kinds = [entry.kind for entry in journal.replay()]
+    assert "wave-aborting" in kinds and "wave-aborted" in kinds
+    assert kinds.count("wave-rollback") == len(loids)
+
+
+def test_wave_abort_during_relay_phase_rolls_back_batches():
+    """Abort tripped while the wave runs through per-host relays: the
+    committed relay batches roll back exactly like direct deliveries."""
+    from repro.cluster import deploy_relays
+
+    runtime, manager, journal, loids = build_sorter_fleet(
+        hosts=6, instances=4, ico_host="host05"
+    )
+    v1, v2 = manager.current_version, derive_v2(manager)
+    manager.set_current_version(v2)
+    relays = deploy_relays(runtime)
+    manager.use_relays(relays)
+    # host03/host04's instances (and their relays) are unreachable:
+    # those batches fail while host01/host02's commit.
+    runtime.network.faults.add_partition(
+        PrefixPartition(["host00/"], ["host03/", "host04/"], start=0.0, end=10_000.0)
+    )
+
+    def wave():
+        try:
+            yield from manager.propagate_version(
+                v2, retry_policy=ONE_SHOT, wave_policy=WavePolicy.abort_after(1)
+            )
+        except WaveAborted as error:
+            return error
+        return None
+
+    error = runtime.sim.run_process(wave())
+    assert error is not None and error.failed == 2
+    tracker = manager.propagation(v2)
+    assert tracker.aborted and tracker.count(DeliveryStatus.ROLLED_BACK) == 2
+    for loid in loids[:2]:
+        obj = manager.record(loid).obj
+        assert obj.version == v1
+        assert obj.applications_by_version.get(v2) == 1
+        assert manager.instance_version(loid) == v1
+    for loid in loids[2:]:
+        assert manager.record(loid).obj.version == v1
+    assert runtime.network.count_value("wave.rollbacks") == 2
