@@ -34,6 +34,14 @@ adoption with client p99 inside the objective, the gated degraded
 rollout must stop at the canary (blast radius far below the ungated
 baseline's full-fleet infection) and recover within 60 simulated
 seconds of the breach.
+
+``--scale`` gates the P6 kernel/runtime scale invariants on a freshly
+produced ``BENCH_scale.json``: the largest measured fleet must reach
+``--scale-floor`` live instances (default 100,000; CI smoke runs pass
+a reduced floor matching their reduced ladder), the message-storm
+speedup over the reproduced pre-PR stack must hold at >= 5x, and the
+announcement wave must stay flat (within the experiment's recorded
+tolerance) from the smallest to the largest fleet.
 """
 
 import argparse
@@ -218,6 +226,57 @@ def check_p5(path):
     return failures
 
 
+def check_p6(path, instance_floor):
+    """Gate the P6 kernel/runtime scale invariants; returns failures."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        speedup = extra["storm"]["speedup"]
+        speedup_floor = extra["speedup_floor"]
+        flatness = extra["wave_flatness"]
+        tolerance = extra["flatness_tolerance"]
+        max_instances = extra["max_instances"]
+        scales = extra["scales"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P6 result?")
+    failures = []
+    if max_instances < instance_floor:
+        failures.append(
+            f"largest fleet held {max_instances} live instances, below "
+            f"the {instance_floor} floor"
+        )
+    if speedup < speedup_floor:
+        failures.append(
+            f"storm speedup {speedup:.2f}x fell below the "
+            f"{speedup_floor:.0f}x floor over the pre-PR stack"
+        )
+    if abs(flatness - 1.0) > tolerance:
+        failures.append(
+            f"wave latency ratio {flatness:.3f}x across the scale ladder "
+            f"is outside ±{tolerance:.0%}"
+        )
+    for size in sorted(scales, key=int):
+        entry = scales[size]
+        if entry["fallback_instances"]:
+            failures.append(
+                f"scale {size}: {entry['fallback_instances']} instances "
+                f"fell back off the announcement path"
+            )
+        print(
+            f"P6 scale {size:>6} instances / {entry['hosts']:>4} hosts: "
+            f"wave {entry['wave_s'] * 1000:8.2f} ms, "
+            f"{entry['events_per_s']:12,.0f} ev/s"
+        )
+    status = "OK" if not failures else "REGRESSED"
+    print(
+        f"P6 storm speedup {speedup:.2f}x (floor {speedup_floor:.0f}x), "
+        f"wave flatness {flatness:.3f}x (±{tolerance:.0%}), "
+        f"max fleet {max_instances} (floor {instance_floor}) {status}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -243,6 +302,18 @@ def main(argv=None):
         default=None,
         help="freshly generated BENCH_slo.json to gate P5 invariants",
     )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="freshly generated BENCH_scale.json to gate P6 invariants",
+    )
+    parser.add_argument(
+        "--scale-floor",
+        type=int,
+        default=100_000,
+        help="minimum live instances the largest P6 fleet must reach "
+        "(default 100000; CI smoke ladders pass their own top scale)",
+    )
     args = parser.parse_args(argv)
 
     failures = check_p2(args.baseline, args.current, args.threshold)
@@ -252,6 +323,8 @@ def main(argv=None):
         failures += check_p4(args.availability)
     if args.slo:
         failures += check_p5(args.slo)
+    if args.scale:
+        failures += check_p6(args.scale, args.scale_floor)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

@@ -1,0 +1,47 @@
+"""P6 — kernel + runtime scale to 100k DCDOs; writes BENCH_scale.json.
+
+The full ladder (1k / 10k / 100k instances) takes a few minutes of
+wall time; CI smoke runs set ``P6_SCALES=1024,10240`` to measure the
+reduced ladder (the regression gate's instance floor is then lowered
+to match via ``check_regression.py --scale-floor``).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p6
+from repro.bench.experiments.p6_scale import SCALES
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+
+def _scales():
+    spec = os.environ.get("P6_SCALES", "").strip()
+    if not spec:
+        return SCALES
+    return tuple(int(field) for field in spec.split(","))
+
+
+def test_p6_scale(benchmark):
+    scales = _scales()
+    result = run_experiment(
+        benchmark, lambda seed: run_p6(seed=seed, scales=scales)
+    )
+    benchmark.extra_info["scales"] = result.extra["scales"]
+    benchmark.extra_info["storm_speedup"] = result.extra["storm"]["speedup"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

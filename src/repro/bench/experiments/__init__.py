@@ -15,6 +15,7 @@ from repro.bench.experiments.p2_fanout import run_p2
 from repro.bench.experiments.p3_scaleout import run_p3
 from repro.bench.experiments.p4_availability import run_p4
 from repro.bench.experiments.p5_slo_waves import run_p5
+from repro.bench.experiments.p6_scale import run_p6
 
 __all__ = [
     "run_a2",
@@ -25,6 +26,7 @@ __all__ = [
     "run_p3",
     "run_p4",
     "run_p5",
+    "run_p6",
     "run_e1",
     "run_e2",
     "run_e3",

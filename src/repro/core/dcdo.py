@@ -456,7 +456,9 @@ class DCDO(LegionObject):
                     return  # grace expired: proceed anyway
                 from repro.sim.events import AnyOf
 
-                yield AnyOf(self.sim, [self._thread_exit.wait(), self.sim.timeout(remaining)])
+                grace = self.sim.timeout(remaining)
+                yield AnyOf(self.sim, [self._thread_exit.wait(), grace])
+                grace.cancel()
             else:
                 yield self._thread_exit.wait()
 

@@ -224,6 +224,7 @@ class DCDOManager(ClassObject):
         self._relay_directory = None
         self._relay_fanout_k = 0
         self._relay_batch_window = None
+        self._relay_announce = False
         self.wave_policy = wave_policy or WavePolicy.converge()
         self.evolutions_performed = 0
         #: Monotonic fencing term: every management RPC this manager
@@ -827,7 +828,7 @@ class DCDOManager(ClassObject):
     # Host-relay fan-out (scale-out waves)
     # ------------------------------------------------------------------
 
-    def use_relays(self, directory, fanout_k=0, batch_window=None):
+    def use_relays(self, directory, fanout_k=0, batch_window=None, announce=False):
         """Route propagation waves through per-host relays.
 
         ``directory`` maps host name -> relay LOID (see
@@ -848,12 +849,25 @@ class DCDOManager(ClassObject):
         ``batch_window`` bounds each relay's local in-flight
         ``applyConfiguration`` calls.  Pass ``directory=None`` to go
         back to direct-only delivery.
+
+        ``announce=True`` (requires ``fanout_k >= 2``) switches tree
+        waves from job bundles to *announcements*: the tree carries
+        only the configuration diffs and subtree routing — constant
+        bytes per host, never per instance — each relay enumerates its
+        own colocated instances, and acks come back as per-host
+        ``(count, digest)`` summaries.  The manager commits a host only
+        when the relay's applied-set digest matches the instances it
+        expected; any mismatch falls back to job batches / direct
+        delivery, so guarantees are unchanged.
         """
         if fanout_k and fanout_k < 2:
             raise ValueError(f"fanout_k must be 0 or >= 2, got {fanout_k}")
+        if announce and (not directory or fanout_k < 2):
+            raise ValueError("announce waves need relays and fanout_k >= 2")
         self._relay_directory = dict(directory) if directory else None
         self._relay_fanout_k = fanout_k if directory else 0
         self._relay_batch_window = batch_window
+        self._relay_announce = bool(announce) if directory else False
 
     def _relay_deliveries(self, tracker, policy, window):
         """Generator: the host-batched phase of a propagation wave.
@@ -934,12 +948,14 @@ class DCDOManager(ClassObject):
                     diff_cache[from_version] = diff
                 host_jobs.setdefault(host_name, []).append((loid, diff))
             if host_jobs:
-                yield from self._drive_relay_wave(tracker, host_jobs, policy, window)
+                yield from self._drive_relay_wave(
+                    tracker, host_jobs, policy, window, diffs=diff_cache
+                )
         finally:
             for lock in locks:
                 lock.release()
 
-    def _drive_relay_wave(self, tracker, host_jobs, policy, window):
+    def _drive_relay_wave(self, tracker, host_jobs, policy, window, diffs=None):
         """Generator: push per-host job batches until acked or exhausted.
 
         Each round ships one ``evolveBatch`` per host with unconfirmed
@@ -949,6 +965,17 @@ class DCDOManager(ClassObject):
         When the retry budget runs out the survivors are left PENDING
         — the direct path takes over with a fresh budget, so relays
         only ever mark FAILED for the terminal deleted-instance case.
+
+        With announcement mode on (``use_relays(..., announce=True)``)
+        the tree rounds ship announcements instead of per-instance
+        jobs.  The first round tries the fleet form (roster index
+        ranges down, one aggregated ``(hosts, count, digest)`` summary
+        up — constant bytes at every hop); an exact aggregate match
+        commits the whole wave at once.  Any shortfall drops to the
+        per-host form for the rest of the wave: subtree routing tables
+        down, per-host ``(count, digest)`` summaries up, whole hosts
+        committing iff their digest matches — which localizes failures
+        the aggregate can only detect.
         """
         from repro.cluster.relay import (
             BATCH_JOB_BYTES,
@@ -966,6 +993,7 @@ class DCDOManager(ClassObject):
         }
         started = sim.now
         attempts = 0
+        fleet_mode = True
         while remaining:
             if not self.is_active:
                 return
@@ -974,7 +1002,34 @@ class DCDOManager(ClassObject):
                 for loid, __ in jobs:
                     tracker.delivery(loid).attempts += 1
             acks = []
-            if self._relay_fanout_k >= 2 and len(remaining) > 1:
+            if (
+                self._relay_announce
+                and diffs
+                and self._relay_fanout_k >= 2
+                and len(remaining) > 1
+                and self._announce_covers_fleet(tracker)
+            ):
+                handled = False
+                if fleet_mode:
+                    status = yield from self._announce_fleet_round(
+                        tracker, remaining, diffs
+                    )
+                    if status == "stop":
+                        return
+                    handled = status == "committed"
+                    if not handled:
+                        # Aggregate shortfall (dead subtree, roster
+                        # drift): finish the wave on per-host rounds,
+                        # which localize the failure to specific hosts.
+                        fleet_mode = False
+                if not handled and remaining:
+                    done = yield from self._announce_round(
+                        tracker, remaining, diffs
+                    )
+                    if done:
+                        return
+                acks = None  # host-level commits happened in the round
+            elif self._relay_fanout_k >= 2 and len(remaining) > 1:
                 bundle = build_relay_tree(
                     remaining,
                     directory,
@@ -1032,7 +1087,7 @@ class DCDOManager(ClassObject):
                     return
             if not self.is_active:
                 return
-            for loid, ok, value in acks:
+            for loid, ok, value in acks or ():
                 host = host_of.get(loid)
                 jobs = remaining.get(host)
                 if jobs is None or all(l != loid for l, __ in jobs):
@@ -1065,6 +1120,232 @@ class DCDOManager(ClassObject):
                 return
             self._count("propagation.retries")
             yield sim.timeout(policy.backoff_s(attempts))
+
+    def _announce_covers_fleet(self, tracker):
+        """True when this wave may use announcement rounds.
+
+        An announcement tells a relay to bring *every* colocated
+        instance of the type to the target version, so it is only safe
+        when the wave targets the full fleet: a subset wave (e.g. a
+        canary stage admitting a fraction of instances) must ship
+        explicit job batches, or the announcement would evolve
+        instances the wave never admitted.
+        """
+        version = tracker.version
+        targeted = {delivery.loid for delivery in tracker.deliveries()}
+        for loid in self.instance_loids():
+            if loid in targeted:
+                continue
+            record = self._instances.get(loid)
+            if record is None or not record.active:
+                continue
+            if self._instance_versions.get(loid) == version:
+                continue
+            return False
+        return True
+
+    def _announce_fleet_round(self, tracker, remaining, diffs):
+        """Generator: one roster-range fleet announcement round.
+
+        Ships the diffs plus a constant-size roster index range to the
+        roster head and expects one aggregated ``(hosts, count,
+        digest)`` summary back — digests are additive, so every relay
+        folds its subtree into constant reply bytes and root egress
+        stays independent of fleet size.  On an exact aggregate match
+        every remaining job commits at once.  Returns ``"committed"``,
+        ``"stop"`` (fenced or deactivated), ``"skip"`` (roster does not
+        cover the remaining hosts), or ``"mismatch"`` — the caller
+        finishes the wave on per-host rounds for the latter two, which
+        localize whatever the aggregate could only detect.
+        """
+        from repro.cluster.relay import (
+            RELAY_APPLY_TIMEOUTS,
+            announce_fleet_bytes,
+            set_digest,
+        )
+
+        roster = tuple(sorted(self._relay_directory.items()))
+        roster_hosts = {host for host, __ in roster}
+        if not roster or not set(remaining) <= roster_hosts:
+            return "skip"
+        version = tracker.version
+        # The relays count every colocated instance at the target —
+        # both this round's jobs and instances already there (acked
+        # earlier in the wave, or current before it started) on any
+        # roster host — so both belong in the expected aggregate.
+        expected = [loid for jobs in remaining.values() for loid, __ in jobs]
+        for loid, current in self._instance_versions.items():
+            if current != version:
+                continue
+            record = self._instances.get(loid)
+            if record is None or not record.active:
+                continue
+            if record.host.name in roster_hosts:
+                expected.append(loid)
+        bundle = {
+            "type_name": self.type_name,
+            "target_version": version,
+            "diffs": dict(diffs),
+            "window": self._relay_batch_window,
+            "term": self.current_term(),
+            "lo": 0,
+            "hi": len(roster),
+            "fanout_k": self._relay_fanout_k,
+        }
+        self._count("relay.announce_waves")
+        try:
+            ack = yield from self.invoker.invoke(
+                roster[0][1],
+                "announceFleet",
+                (bundle,),
+                payload_bytes=announce_fleet_bytes(bundle),
+                timeout_schedule=RELAY_APPLY_TIMEOUTS,
+            )
+        except (LegionError, TransportError, RuntimeError) as error:
+            if isinstance(error, StaleManagerTerm):
+                self._fence(error)
+                return "stop"
+            if isinstance(error, RuntimeError) and self.is_active:
+                raise
+            if not self.is_active:
+                return "stop"
+            self._count("relay.batch_failures")
+            return "mismatch"
+        if not self.is_active:
+            return "stop"
+        for loid, value in ack["failures"]:
+            if isinstance(value, StaleManagerTerm):
+                # A downstream instance outranked our term: deposed.
+                self._fence(value)
+                return "stop"
+            record = self._instances.get(loid)
+            host = record.host.name if record is not None else None
+            jobs = remaining.get(host)
+            if jobs is None or all(l != loid for l, __ in jobs):
+                continue
+            if isinstance(value, UnknownObject):
+                tracker.fail(loid, value)
+                self._journal_append(
+                    "propagation-failed", version=version, loid=loid
+                )
+                self._count("propagation.deliveries_failed")
+                remaining[host] = [job for job in jobs if job[0] != loid]
+                if not remaining[host]:
+                    del remaining[host]
+            else:
+                tracker.delivery(loid).last_error = value
+        if (
+            ack["hosts"] == len(roster)
+            and ack["count"] == len(expected)
+            and ack["digest"] == set_digest(expected)
+        ):
+            for host, jobs in list(remaining.items()):
+                for loid, __ in jobs:
+                    self._commit_relay_ack(tracker, loid, version)
+                del remaining[host]
+            return "committed"
+        return "mismatch"
+
+    def _announce_round(self, tracker, remaining, diffs):
+        """Generator: one announcement-tree round over ``remaining``.
+
+        Ships the configuration diffs (not per-instance jobs) down the
+        relay tree and commits whole hosts whose applied-set digest
+        matches the instances this manager expects to be at the target
+        version there — the batched jobs plus instances this wave
+        already acked.  Mutates ``remaining`` in place; returns True
+        when the wave must stop (fenced or deactivated).
+        """
+        from repro.cluster.relay import (
+            RELAY_APPLY_TIMEOUTS,
+            announce_bundle_bytes,
+            build_announce_tree,
+            set_digest,
+        )
+
+        version = tracker.version
+        node = build_announce_tree(
+            remaining, self._relay_directory, self._relay_fanout_k
+        )
+        bundle = {
+            "type_name": self.type_name,
+            "target_version": version,
+            "diffs": dict(diffs),
+            "window": self._relay_batch_window,
+            "term": self.current_term(),
+            "node": node,
+        }
+        self._count("relay.announce_waves")
+        try:
+            acks = yield from self.invoker.invoke(
+                node["relay"],
+                "announceTree",
+                (bundle,),
+                payload_bytes=announce_bundle_bytes(bundle),
+                timeout_schedule=RELAY_APPLY_TIMEOUTS,
+            )
+        except (LegionError, TransportError, RuntimeError) as error:
+            if isinstance(error, StaleManagerTerm):
+                self._fence(error)
+                return True
+            if isinstance(error, RuntimeError) and self.is_active:
+                raise
+            if not self.is_active:
+                return True
+            self._count("relay.batch_failures")
+            return False
+        if not self.is_active:
+            return True
+        # Every active instance already recorded at the target — acked
+        # earlier in this wave or current before it started — also
+        # shows up in a relay's applied set (counted without an RPC),
+        # so they belong in the expected digest.
+        acked_by_host = {}
+        for loid, current in self._instance_versions.items():
+            if current != version:
+                continue
+            record = self._instances.get(loid)
+            if record is None or not record.active:
+                continue
+            host = record.host.name
+            if host in remaining:
+                acked_by_host.setdefault(host, []).append(loid)
+        for host, count, digest, failures in acks:
+            jobs = remaining.get(host)
+            if jobs is None:
+                continue
+            for loid, value in failures:
+                if isinstance(value, StaleManagerTerm):
+                    # A downstream instance outranked our term: deposed.
+                    self._fence(value)
+                    return True
+                if all(l != loid for l, __ in jobs):
+                    continue
+                if isinstance(value, UnknownObject):
+                    tracker.fail(loid, value)
+                    self._journal_append(
+                        "propagation-failed", version=version, loid=loid
+                    )
+                    self._count("propagation.deliveries_failed")
+                    jobs = remaining[host] = [
+                        job for job in jobs if job[0] != loid
+                    ]
+                else:
+                    tracker.delivery(loid).last_error = value
+            if not jobs:
+                del remaining[host]
+                continue
+            acked = acked_by_host.get(host, ())
+            if (
+                digest is not None
+                and count == len(jobs) + len(acked)
+                and digest
+                == set_digest([loid for loid, __ in jobs] + list(acked))
+            ):
+                for loid, __ in jobs:
+                    self._commit_relay_ack(tracker, loid, version)
+                del remaining[host]
+        return False
 
     def _commit_relay_ack(self, tracker, loid, version):
         """Commit one relay-confirmed evolution.

@@ -5,12 +5,21 @@ Managers, service objects — is named by a :class:`LOID`: a globally
 unique, location-independent identifier.  LOIDs carry a *domain*, a
 *type name*, and an *instance number*, mirroring Legion's structured
 identifiers while staying printable and hashable.
+
+LOIDs minted through :func:`mint_loid` / :func:`class_loid` are
+*interned*: one canonical object per (domain, type_name, instance)
+triple, so the dict lookups that dominate the ``core``/``net`` hot
+paths hit CPython's identity fast path instead of comparing strings,
+and ``a is b`` is a valid equality check for runtime-minted LOIDs.
+Directly constructed LOIDs keep plain value semantics (they compare
+and hash by fields); :func:`intern_loid` folds one into the canon.
 """
 
 import itertools
 from dataclasses import dataclass
 
 _instance_counters = {}
+_intern = {}
 
 
 @dataclass(frozen=True, order=True)
@@ -31,8 +40,33 @@ class LOID:
     type_name: str
     instance: int
 
+    def __post_init__(self):
+        # Frozen dataclass: stash the caches via object.__setattr__.
+        # str() and hash() of LOIDs run inside every directory lookup
+        # and lock-ordering sort, so both are computed exactly once.
+        object.__setattr__(
+            self, "_str", f"{self.domain}/{self.type_name}#{self.instance}"
+        )
+        object.__setattr__(
+            self, "_hash", hash((self.domain, self.type_name, self.instance))
+        )
+
     def __str__(self):
-        return f"{self.domain}/{self.type_name}#{self.instance}"
+        return self._str
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is LOID:
+            return (
+                self.instance == other.instance
+                and self.type_name == other.type_name
+                and self.domain == other.domain
+            )
+        return NotImplemented
 
     @property
     def is_class(self):
@@ -40,18 +74,30 @@ class LOID:
         return self.instance == 0
 
 
+def intern_loid(loid):
+    """Return the canonical instance equal to ``loid``."""
+    return _intern.setdefault((loid.domain, loid.type_name, loid.instance), loid)
+
+
 def mint_loid(domain, type_name):
     """Create a fresh instance LOID for (domain, type_name).
 
     Instance numbers start at 1; 0 is reserved for the class object
-    itself (see :func:`class_loid`).
+    itself (see :func:`class_loid`).  The result is registered in the
+    intern table, so it *is* the canonical object for its triple.
     """
     key = (domain, type_name)
     if key not in _instance_counters:
         _instance_counters[key] = itertools.count(1)
-    return LOID(domain, type_name, next(_instance_counters[key]))
+    loid = LOID(domain, type_name, next(_instance_counters[key]))
+    _intern[(domain, type_name, loid.instance)] = loid
+    return loid
 
 
 def class_loid(domain, type_name):
-    """The LOID of the class object for (domain, type_name)."""
-    return LOID(domain, type_name, 0)
+    """The (interned) LOID of the class object for (domain, type_name)."""
+    key = (domain, type_name, 0)
+    loid = _intern.get(key)
+    if loid is None:
+        loid = _intern.setdefault(key, LOID(domain, type_name, 0))
+    return loid

@@ -28,6 +28,8 @@ class CallContext:
     something to ``yield`` (or is itself driven by ``yield from``).
     """
 
+    __slots__ = ("_obj", "_method_name", "reply_bytes")
+
     def __init__(self, obj, method_name):
         self._obj = obj
         self._method_name = method_name
@@ -99,7 +101,29 @@ class LegionObject:
         The host the object activates on.
     state_bytes:
         Logical size of the object's state, charged by capture/restore.
+
+    The base class carries ``__slots__`` so the per-instance footprint
+    of a large fleet stays flat; subclasses that add ad-hoc attributes
+    (DCDOs, managers) simply declare none and get a ``__dict__`` for
+    their own fields on top of the slotted base.
     """
+
+    __slots__ = (
+        "_runtime",
+        "_loid",
+        "_host",
+        "_methods",
+        "_endpoint",
+        "_process",
+        "_binding",
+        "_invoker",
+        "state",
+        "state_bytes",
+        "active_requests",
+        "requests_completed",
+        "_terms_seen",
+        "__weakref__",
+    )
 
     def __init__(self, runtime, loid, host, state_bytes=0):
         self._runtime = runtime
@@ -109,6 +133,7 @@ class LegionObject:
         self._endpoint = None
         self._process = None
         self._binding = None
+        self._invoker = None
         self.state = {}
         self.state_bytes = state_bytes
         self.active_requests = 0
@@ -236,8 +261,6 @@ class LegionObject:
         self._endpoint = None
         self._invoker = None
 
-    _invoker = None
-
     # ------------------------------------------------------------------
     # State capture / restore (used by migration and baseline evolution)
     # ------------------------------------------------------------------
@@ -252,7 +275,9 @@ class LegionObject:
 
     def moved_to(self, host):
         """Rebase the object onto ``host`` (migration bookkeeping)."""
+        old_host_name = self._host.name
         self._host = host
+        self._runtime.reindex_object(self, old_host_name)
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -87,6 +87,11 @@ class LegionRuntime:
         self.tracer = None
         self._classes = {}
         self._objects = {}
+        # Host name -> {loid: obj} in attach order.  Lets per-host
+        # agents (relays serving announcement waves) enumerate their
+        # colocated objects without an O(total objects) scan; kept in
+        # sync by :meth:`attach_object` and migration's ``moved_to``.
+        self._objects_by_host = {}
 
     def trace(self, category, subject, **details):
         """Record a trace event if a tracer is attached (else no-op)."""
@@ -180,6 +185,7 @@ class LegionRuntime:
         self.sim.run_process(class_object.activate())
         self._classes[type_name] = class_object
         self._objects[class_object.loid] = class_object
+        self._index_on_host(class_object, class_object.host.name)
         self.context_space.bind(f"/classes/{type_name}", class_object.loid)
         return class_object
 
@@ -204,6 +210,7 @@ class LegionRuntime:
         """
         self._classes[class_object.type_name] = class_object
         self._objects[class_object.loid] = class_object
+        self._index_on_host(class_object, class_object.host.name)
         self.context_space.bind(
             f"/classes/{class_object.type_name}", class_object.loid
         )
@@ -212,6 +219,21 @@ class LegionRuntime:
     def attach_object(self, obj):
         """Register a live object so the runtime can find it by LOID."""
         self._objects[obj.loid] = obj
+        self._index_on_host(obj, obj.host.name)
+
+    def _index_on_host(self, obj, host_name):
+        self._objects_by_host.setdefault(host_name, {})[obj.loid] = obj
+
+    def reindex_object(self, obj, old_host_name):
+        """Move ``obj``'s per-host index entry after a migration."""
+        stale = self._objects_by_host.get(old_host_name)
+        if stale is not None:
+            stale.pop(obj.loid, None)
+        self._index_on_host(obj, obj.host.name)
+
+    def objects_on_host(self, host_name):
+        """Live objects attached on ``host_name``, in attach order."""
+        return list(self._objects_by_host.get(host_name, {}).values())
 
     def live_object(self, loid):
         """The attached object for ``loid``, or None (recovery helper)."""

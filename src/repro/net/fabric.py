@@ -18,6 +18,25 @@ DEFAULT_BANDWIDTH_BPS = 100e6 / 8
 DEFAULT_LATENCY_S = 100e-6
 
 
+class _DeliveryEnvelope:
+    """One scheduled arrival instant, shared by all messages landing then.
+
+    Envelopes are pooled by the :class:`Network` and recycled after
+    each batch fires, so the per-message delivery path allocates no
+    process, no generator, and (at steady state) no envelope either.
+    """
+
+    __slots__ = ("network", "time", "messages")
+
+    def __init__(self, network):
+        self.network = network
+        self.time = 0.0
+        self.messages = []
+
+    def fire(self):
+        self.network._arrive(self)
+
+
 @dataclass
 class NetworkStats:
     """Aggregate counters for a fabric, used by tests and reports."""
@@ -79,6 +98,11 @@ class Network:
         # registered by traffic harnesses and canary gates so system
         # reports can show service health fleet-wide.
         self._slo_monitors = {}
+        # Arrival batching: every message landing at the same instant
+        # shares one scheduled kernel event; spent envelopes are pooled
+        # and reused so steady-state delivery allocates nothing.
+        self._pending_arrivals = {}
+        self._envelope_pool = []
 
     def breaker(self, key, **kwargs):
         """Get-or-create the shared :class:`CircuitBreaker` for ``key``.
@@ -270,34 +294,52 @@ class Network:
         )
 
     def send(self, message):
-        """Start delivering ``message``; returns the delivery process.
+        """Put ``message`` in flight; delivery is fire-and-forget.
 
-        The returned :class:`~repro.sim.Process` completes when the
-        message has been delivered or silently destroyed; senders
-        normally do not wait on it (fire-and-forget, like a datagram).
+        The egress serialization and the propagation delay are computed
+        up front (see :meth:`Port.reserve_egress`), so a send costs no
+        process and no per-message kernel event: every message arriving
+        on the fabric at the same instant shares one scheduled arrival
+        batch — broadcast and relay fan-out pay one kernel event per
+        (arrival instant) wave, not one per message.
         """
-        if message.source not in self._ports:
+        source_port = self._ports.get(message.source)
+        if source_port is None:
             raise ValueError(f"unknown source address {message.source!r}")
-        return self._sim.spawn(self._deliver(message), name=f"deliver#{message.message_id}")
+        now = self._sim.now
+        departure = source_port.reserve_egress(message.wire_bytes, now)
+        arrival = departure + self.latency_between(message.source, message.destination)
+        envelope = self._pending_arrivals.get(arrival)
+        if envelope is None:
+            pool = self._envelope_pool
+            envelope = pool.pop() if pool else _DeliveryEnvelope(self)
+            envelope.time = arrival
+            self._pending_arrivals[arrival] = envelope
+            self._sim._schedule_call(envelope.fire, delay=arrival - now)
+        envelope.messages.append(message)
+        return None
 
-    def _deliver(self, message):
-        source_port = self._ports[message.source]
-        # Serialize on the sender's egress port (bandwidth).
-        yield from source_port.transmit(message)
-        # Propagate across the switch (or the wide-area path).
-        yield self._sim.timeout(self.latency_between(message.source, message.destination))
-        if self.faults.swallows(message, self._sim.now):
-            self.stats.record_drop()
-            return False
-        destination_port = self._ports.get(message.destination)
-        if destination_port is None:
-            # Destination vanished (crashed / detached): silent loss,
-            # exactly like a frame to a dead NIC.
-            self.stats.record_drop()
-            return False
-        destination_port.deliver(message)
-        self.stats.record_delivery(message)
-        return True
+    def _arrive(self, envelope):
+        """Land every message in one arrival batch (envelope callback)."""
+        self._pending_arrivals.pop(envelope.time, None)
+        now = self._sim.now
+        ports = self._ports
+        stats = self.stats
+        faults = self.faults if self.faults.is_active else None
+        for message in envelope.messages:
+            if faults is not None and faults.swallows(message, now):
+                stats.record_drop()
+                continue
+            destination_port = ports.get(message.destination)
+            if destination_port is None:
+                # Destination vanished (crashed / detached): silent
+                # loss, exactly like a frame to a dead NIC.
+                stats.record_drop()
+                continue
+            destination_port.deliver(message)
+            stats.record_delivery(message)
+        envelope.messages.clear()
+        self._envelope_pool.append(envelope)
 
     def transfer_time(self, size_bytes):
         """Ideal one-way time to move ``size_bytes`` (no contention)."""

@@ -141,6 +141,11 @@ class FaultPlan:
         self._partitions = []
 
     @property
+    def is_active(self):
+        """True when any fault is registered (fast-path check)."""
+        return bool(self._drop_rules or self._partitions)
+
+    @property
     def drop_rules(self):
         """The registered drop rules (read-only view by convention)."""
         return list(self._drop_rules)

@@ -1,13 +1,20 @@
 """Per-host network ports.
 
 A :class:`Port` models one host's full-duplex connection to the
-switch: an egress queue serialized at the port's bandwidth, and an
-ingress queue that the endpoint's receive loop drains.  Transmissions
-from different hosts never contend (switched Ethernet), but messages
-leaving one host go out one at a time in FIFO order.
+switch: an egress transmitter serialized at the port's bandwidth, and
+an ingress queue that the endpoint's receive loop drains.
+Transmissions from different hosts never contend (switched Ethernet),
+but messages leaving one host go out one at a time in FIFO order.
+
+Egress serialization is *computed*, not simulated: instead of parking
+a process on a semaphore for the duration of each transmission, the
+port tracks the instant its transmitter next falls idle and hands the
+fabric a departure time directly.  Reservation order equals send
+order, so the FIFO behaviour of the old semaphore model is preserved
+exactly — without two kernel events and a process per message.
 """
 
-from repro.sim import Queue, Semaphore
+from repro.sim import Queue
 
 
 class Port:
@@ -23,13 +30,25 @@ class Port:
         Egress bandwidth in *bytes* per second.
     """
 
+    __slots__ = (
+        "_sim",
+        "_address",
+        "_bandwidth_bps",
+        "_egress_free_at",
+        "_inbox",
+        "bytes_sent",
+        "bytes_received",
+        "messages_sent",
+        "messages_received",
+    )
+
     def __init__(self, sim, address, bandwidth_bps):
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
         self._sim = sim
         self._address = address
         self._bandwidth_bps = float(bandwidth_bps)
-        self._egress = Semaphore(sim, permits=1, name=f"{address}.egress")
+        self._egress_free_at = 0.0
         self._inbox = Queue(sim, name=f"{address}.inbox")
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -55,20 +74,22 @@ class Port:
         """Seconds this port's transmitter is busy sending ``wire_bytes``."""
         return wire_bytes / self._bandwidth_bps
 
-    def transmit(self, message):
-        """Process body: occupy the egress port for the message's wire time.
+    def reserve_egress(self, wire_bytes, now):
+        """Reserve the transmitter for ``wire_bytes``; returns departure time.
 
-        Returns a generator to be driven with ``yield from``.  On
-        return, the message has fully left the host; propagation and
-        delivery are the fabric's job.
+        The transmission starts when the port falls idle (or ``now``,
+        whichever is later) and occupies the transmitter for the wire
+        time.  Back-to-back reservations therefore serialize exactly
+        like the semaphore-held transmit they replace.
         """
-        yield self._egress.acquire()
-        try:
-            yield self._sim.timeout(self.transmission_time(message.wire_bytes))
-        finally:
-            self._egress.release()
-        self.bytes_sent += message.wire_bytes
+        start = self._egress_free_at
+        if start < now:
+            start = now
+        departure = start + wire_bytes / self._bandwidth_bps
+        self._egress_free_at = departure
+        self.bytes_sent += wire_bytes
         self.messages_sent += 1
+        return departure
 
     def deliver(self, message):
         """Place a fully-propagated message in this port's inbox."""

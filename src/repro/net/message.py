@@ -22,7 +22,7 @@ def next_message_id():
     return next(_message_counter)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ManagerTerm:
     """A fencing token for management traffic.
 
@@ -41,7 +41,7 @@ class ManagerTerm:
         return f"<ManagerTerm {self.scope}#{self.number}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single message in flight on the network.
 

@@ -264,10 +264,11 @@ class Endpoint:
     # ------------------------------------------------------------------
 
     def send(self, destination, payload, size_bytes=0, kind="oneway"):
-        """Fire-and-forget datagram; returns the fabric delivery process.
+        """Fire-and-forget datagram.
 
-        With batching enabled the message may be coalesced, in which
-        case None is returned (the batch's delivery is shared).
+        With batching enabled the message may be coalesced into a
+        shared wire message; either way delivery is asynchronous and
+        nothing is returned to wait on (datagram semantics).
         """
         if self._closed:
             raise TransportError(f"endpoint {self._address!r} is closed")
@@ -450,6 +451,9 @@ class Endpoint:
             outcome = yield AnyOf(self._sim, [reply_event, timeout])
             self._pending_replies.pop(message.message_id, None)
             if reply_event in outcome:
+                # The reply won the race: cancel the guard timeout so it
+                # stops occupying the event queue and keeping run() alive.
+                timeout.cancel()
                 reply = outcome[reply_event]
                 if isinstance(reply.payload, _ErrorReply):
                     raise RemoteError(destination, reply.payload.cause)

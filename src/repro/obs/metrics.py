@@ -16,6 +16,8 @@ TIMER_RESERVOIR_SIZE = 4096
 class Counter:
     """A monotonically increasing count."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name):
         self.name = name
         self.value = 0
@@ -33,15 +35,26 @@ class Counter:
 class Gauge:
     """A value that can move in both directions, tracking its peak."""
 
+    __slots__ = ("name", "value", "_peak")
+
     def __init__(self, name):
         self.name = name
         self.value = 0
-        self.peak = 0
+        # None until the first set(): the peak of a gauge that has only
+        # ever seen negative values must be that (negative) value, not
+        # a phantom 0 it never held.
+        self._peak = None
+
+    @property
+    def peak(self):
+        """Highest value ever set (the current value before any set)."""
+        return self.value if self._peak is None else self._peak
 
     def set(self, value):
         """Set the gauge to ``value``."""
         self.value = value
-        self.peak = max(self.peak, value)
+        if self._peak is None or value > self._peak:
+            self._peak = value
 
     def adjust(self, delta):
         """Move the gauge by ``delta``."""
@@ -60,7 +73,25 @@ class Timer:
     runs stay deterministic): exact below ``reservoir_size`` samples,
     a statistically uniform subset beyond it — tail quantiles over
     million-call open-loop runs cost O(reservoir), not O(calls).
+
+    The sorted view of the reservoir is cached and invalidated by
+    :meth:`record`, so ``record`` stays O(1) amortized and repeated
+    percentile reads between records sort nothing.
     """
+
+    __slots__ = (
+        "name",
+        "_sim",
+        "samples",
+        "reservoir_size",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+        "_sorted",
+        "sorted_rebuilds",
+    )
 
     def __init__(self, name, sim=None, reservoir_size=TIMER_RESERVOIR_SIZE):
         if reservoir_size < 1:
@@ -74,6 +105,10 @@ class Timer:
         self._min = None
         self._max = None
         self._rng = random.Random(f"timer-reservoir:{name}")
+        # Cached sorted reservoir; None while stale.  The rebuild count
+        # is exposed so tests can assert the cache actually amortizes.
+        self._sorted = None
+        self.sorted_rebuilds = 0
 
     @property
     def count(self):
@@ -81,7 +116,7 @@ class Timer:
         return self._count
 
     def record(self, duration):
-        """Record one duration sample."""
+        """Record one duration sample (O(1): no sorting happens here)."""
         if duration < 0:
             raise ValueError(f"durations must be >= 0, got {duration}")
         self._count += 1
@@ -94,6 +129,9 @@ class Timer:
             slot = self._rng.randrange(self._count)
             if slot < self.reservoir_size:
                 self.samples[slot] = duration
+            else:
+                return  # reservoir untouched: the sorted view stands
+        self._sorted = None
 
     def measure(self, body):
         """Generator: time the simulated duration of ``body``.
@@ -123,17 +161,25 @@ class Timer:
         """Smallest sample ever recorded, or None when empty."""
         return self._min
 
+    def _ordered(self):
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
+            self.sorted_rebuilds += 1
+        return ordered
+
     def percentile(self, fraction):
         """The ``fraction`` quantile (0..1) by nearest-rank.
 
         Exact while the sample count fits the reservoir; beyond that,
-        computed over the uniform reservoir sample.
+        computed over the uniform reservoir sample.  Reads between
+        records share one cached sort of the reservoir.
         """
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.samples:
             return None
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
@@ -144,9 +190,15 @@ class Timer:
 class MetricsRegistry:
     """A named collection of metrics, one per subsystem or experiment."""
 
+    __slots__ = ("_sim", "_metrics", "_sorted_items")
+
     def __init__(self, sim=None):
         self._sim = sim
         self._metrics = {}
+        # Name-sorted (name, metric) pairs, rebuilt only when a metric
+        # is created — snapshot() stops paying an O(n log n) sort per
+        # call on a registry whose membership is long since stable.
+        self._sorted_items = None
 
     def counter(self, name):
         """Get-or-create a :class:`Counter`."""
@@ -164,11 +216,18 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = factory()
+            self._sorted_items = None
         elif not isinstance(metric, expected_type):
             raise TypeError(
                 f"metric {name!r} already exists as {type(metric).__name__}"
             )
         return metric
+
+    def _ordered_items(self):
+        items = self._sorted_items
+        if items is None:
+            items = self._sorted_items = sorted(self._metrics.items())
+        return items
 
     def snapshot(self, prefix=None):
         """A plain-dict snapshot of every metric's headline value.
@@ -178,7 +237,7 @@ class MetricsRegistry:
         subsystem's counters without pinning the whole registry.
         """
         out = {}
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._ordered_items():
             if prefix is not None and not (
                 name == prefix or name.startswith(prefix + ".")
             ):

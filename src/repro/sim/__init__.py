@@ -37,6 +37,7 @@ from repro.sim.events import (
 )
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+from repro.sim.scheduler import CalendarScheduler, HeapScheduler
 from repro.sim.primitives import (
     Queue,
     QueueEmpty,
@@ -49,8 +50,10 @@ from repro.sim.rng import DeterministicRNG
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarScheduler",
     "DeterministicRNG",
     "Event",
+    "HeapScheduler",
     "Interrupt",
     "Process",
     "Queue",

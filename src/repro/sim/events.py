@@ -21,6 +21,8 @@ class Event:
     event's value, or throws the event's exception into it.
     """
 
+    __slots__ = ("_sim", "_name", "_callbacks", "_value", "_ok")
+
     def __init__(self, sim, name=None):
         self._sim = sim
         self._name = name
@@ -113,6 +115,8 @@ class Timeout(Event):
     simulation can still run to completion.
     """
 
+    __slots__ = ("_delay", "_handle")
+
     def __init__(self, sim, delay, value=None, daemon=False):
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
@@ -120,12 +124,27 @@ class Timeout(Event):
         self._delay = delay
         self._ok = True
         self._value = value
-        sim._schedule_event(self, delay=delay, daemon=daemon)
+        self._handle = sim._schedule_event(self, delay=delay, daemon=daemon)
 
     @property
     def delay(self):
         """The delay this timeout was created with."""
         return self._delay
+
+    def cancel(self):
+        """Lazily cancel the pending trigger; returns True if it was live.
+
+        A cancelled timeout never runs its callbacks and never keeps an
+        unbounded ``run()`` alive.  Cancelling after the timeout has
+        fired (or twice) is a harmless no-op — the kernel just skips
+        the dead queue entry, so losers of ``AnyOf`` races can always
+        be cancelled unconditionally.
+        """
+        handle = self._handle
+        if handle is None:
+            return False
+        self._handle = None
+        return self._sim._cancel_entry(handle)
 
     def succeed(self, value=None):
         raise EventAlreadyTriggered("Timeout triggers itself")
@@ -136,6 +155,8 @@ class Timeout(Event):
 
 class _ConditionEvent(Event):
     """Shared machinery for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim, events):
         super().__init__(sim, name=self.__class__.__name__)
@@ -162,6 +183,8 @@ class AllOf(_ConditionEvent):
     with the first child failure.
     """
 
+    __slots__ = ()
+
     def _result(self):
         return {event: event.value for event in self._events if event.ok}
 
@@ -182,6 +205,8 @@ class AnyOf(_ConditionEvent):
     The value is a dict with the single triggering event and its value.
     Fails only if *all* children fail (with the last failure).
     """
+
+    __slots__ = ()
 
     def _result(self):
         return {event: event.value for event in self._events if event.triggered and event.ok}

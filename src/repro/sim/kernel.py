@@ -1,38 +1,17 @@
 """The simulation event loop.
 
-:class:`Simulator` owns the clock and the pending-event heap.  Events
-are processed in (time, sequence) order, so two events scheduled for
-the same instant run in the order they were scheduled — this makes
-every simulation run fully deterministic.
+:class:`Simulator` owns the clock and delegates the pending-event set
+to a pluggable scheduler (see :mod:`repro.sim.scheduler`).  Events are
+processed in (time, sequence) order, so two events scheduled for the
+same instant run in the order they were scheduled — this makes every
+simulation run fully deterministic regardless of which scheduler backs
+the queue.
 """
-
-import heapq
 
 from repro.sim.errors import SimulationError, StaleScheduleError
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
-
-
-class _HeapEntry:
-    """Heap node ordered by (time, sequence number).
-
-    ``daemon`` entries never keep the simulation alive: an unbounded
-    ``run()`` stops once only daemon work remains (used by background
-    pollers that would otherwise make run-to-completion diverge).
-    """
-
-    __slots__ = ("time", "seq", "action", "daemon")
-
-    def __init__(self, time, seq, action, daemon=False):
-        self.time = time
-        self.seq = seq
-        self.action = action
-        self.daemon = daemon
-
-    def __lt__(self, other):
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+from repro.sim.scheduler import CalendarScheduler
 
 
 class Simulator:
@@ -43,15 +22,19 @@ class Simulator:
     start_time:
         Initial value of the simulated clock (seconds by convention
         throughout this repository).
+    scheduler:
+        Event-queue backend; defaults to a fresh
+        :class:`~repro.sim.scheduler.CalendarScheduler`.  Pass a
+        :class:`~repro.sim.scheduler.HeapScheduler` to reproduce the
+        pre-calendar kernel (used by the P6 A/B benchmark).
     """
 
-    def __init__(self, start_time=0.0):
+    __slots__ = ("_now", "_scheduler", "_active_process")
+
+    def __init__(self, start_time=0.0, scheduler=None):
         self._now = float(start_time)
-        self._heap = []
-        self._seq = 0
+        self._scheduler = scheduler if scheduler is not None else CalendarScheduler()
         self._active_process = None
-        self._processed_events = 0
-        self._nondaemon_pending = 0
 
     @property
     def now(self):
@@ -65,8 +48,13 @@ class Simulator:
 
     @property
     def processed_events(self):
-        """Count of processed heap entries (for diagnostics and tests)."""
-        return self._processed_events
+        """Count of processed entries (for diagnostics and tests)."""
+        return self._scheduler.processed
+
+    @property
+    def pending(self):
+        """Count of live scheduled entries (cancelled ones excluded)."""
+        return self._scheduler.pending
 
     # ------------------------------------------------------------------
     # Factory helpers
@@ -95,35 +83,38 @@ class Simulator:
     def _push(self, delay, action, daemon=False):
         if delay < 0:
             raise StaleScheduleError(f"cannot schedule {delay} seconds in the past")
-        self._seq += 1
-        heapq.heappush(self._heap, _HeapEntry(self._now + delay, self._seq, action, daemon))
-        if not daemon:
-            self._nondaemon_pending += 1
+        return self._scheduler.push(self._now + delay, action, daemon)
 
     def _schedule_event(self, event, delay=0.0, daemon=False):
-        """Queue a triggered event's callbacks to run after ``delay``."""
-        self._push(delay, event._process, daemon=daemon)
+        """Queue a triggered event's callbacks to run after ``delay``.
+
+        Returns the scheduler entry so the caller can lazily cancel it.
+        """
+        return self._push(delay, event._process, daemon=daemon)
 
     def _schedule_call(self, func, delay=0.0):
         """Queue a bare callable (used for process kick-off and resume)."""
-        self._push(delay, func)
+        return self._push(delay, func)
+
+    def _cancel_entry(self, entry):
+        """Lazily cancel a scheduled entry (no-op once it has run)."""
+        return self._scheduler.cancel(entry)
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
 
     def step(self):
-        """Process the single next heap entry; returns False when empty."""
-        if not self._heap:
+        """Process the single next entry; returns False when empty."""
+        entry = self._scheduler.pop()
+        if entry is None:
             return False
-        entry = heapq.heappop(self._heap)
         if entry.time < self._now:
-            raise SimulationError("event heap corrupted: time went backwards")
+            raise SimulationError("event queue corrupted: time went backwards")
         self._now = entry.time
-        self._processed_events += 1
-        if not entry.daemon:
-            self._nondaemon_pending -= 1
-        entry.action()
+        # Mark consumed so a late cancel() of this entry is a no-op.
+        action, entry.action = entry.action, None
+        action()
         return True
 
     def run(self, until=None):
@@ -141,7 +132,8 @@ class Simulator:
             if it failed).
         """
         if until is None:
-            while self._nondaemon_pending > 0 and self.step():
+            scheduler = self._scheduler
+            while scheduler.nondaemon_pending > 0 and self.step():
                 pass
             return None
         if isinstance(until, Event):
@@ -151,7 +143,11 @@ class Simulator:
     def _run_until_time(self, deadline):
         if deadline < self._now:
             raise ValueError(f"cannot run until {deadline}; clock is at {self._now}")
-        while self._heap and self._heap[0].time < deadline:
+        scheduler = self._scheduler
+        while True:
+            when = scheduler.peek_time()
+            if when is None or when >= deadline:
+                break
             self.step()
         self._now = deadline
         return None
@@ -161,7 +157,7 @@ class Simulator:
             if not self.step():
                 raise SimulationError(f"simulation ran out of events before {event!r} triggered")
         # Drain same-instant callbacks so observers see a settled state.
-        while self._heap and self._heap[0].time == self._now:
+        while self._scheduler.peek_time() == self._now:
             self.step()
         if event.ok:
             return event.value
@@ -172,4 +168,4 @@ class Simulator:
         return self.run(self.spawn(generator, name=name))
 
     def __repr__(self):
-        return f"<Simulator t={self._now:g} pending={len(self._heap)}>"
+        return f"<Simulator t={self._now:g} pending={self.pending}>"

@@ -37,6 +37,8 @@ class Queue:
         Maximum number of queued items, or ``None`` for unbounded.
     """
 
+    __slots__ = ("_sim", "_capacity", "_name", "_items", "_getters", "_putters")
+
     def __init__(self, sim, capacity=None, name=None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
@@ -120,6 +122,8 @@ class Semaphore:
     per-host CPU occupancy are modeled.
     """
 
+    __slots__ = ("_sim", "_permits", "_capacity", "_name", "_waiters")
+
     def __init__(self, sim, permits=1, name=None):
         if permits < 1:
             raise ValueError(f"permits must be >= 1, got {permits}")
@@ -187,6 +191,8 @@ class Signal:
     ``wait()`` returns an event; ``fire(value)`` triggers every waiting
     event with ``value`` and re-arms, so the signal can fire repeatedly.
     """
+
+    __slots__ = ("_sim", "_name", "_waiters", "_fire_count")
 
     def __init__(self, sim, name=None):
         self._sim = sim

@@ -28,6 +28,8 @@ class Process(Event):
     or fails with any exception the generator raises.
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_interrupts")
+
     def __init__(self, sim, generator, name=None):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator

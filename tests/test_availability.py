@@ -400,6 +400,10 @@ def test_supervisor_promotes_standby_and_converges_mid_wave():
         crash_host(runtime, runtime.host("host00"))
 
     runtime.sim.run_process(scenario())
+    # Detection and the probe loop run on daemon timers, so drive the
+    # clock through the suspicion window explicitly, then drain the
+    # promotion/convergence work it spawned.
+    runtime.sim.run(until=60.0)
     runtime.sim.run()
 
     assert supervisor.promotions == 1

@@ -32,6 +32,48 @@ def test_gauge_tracks_peak():
     assert gauge.peak == 3
 
 
+def test_gauge_peak_of_negative_only_values_is_not_zero():
+    gauge = Gauge("headroom")
+    gauge.set(-5)
+    gauge.set(-2)
+    gauge.set(-9)
+    assert gauge.value == -9
+    # The peak is the highest value the gauge ever *held*, not a
+    # phantom 0 from initialization.
+    assert gauge.peak == -2
+
+
+def test_gauge_peak_before_any_set_matches_value():
+    gauge = Gauge("untouched")
+    assert gauge.peak == 0
+    assert gauge.value == 0
+
+
+def test_timer_repeated_percentiles_are_stable_and_cached():
+    timer = Timer("cached")
+    for sample in (4.0, 1.0, 3.0, 2.0):
+        timer.record(sample)
+    first = [timer.percentile(f) for f in (0.0, 0.5, 0.99, 1.0)]
+    for _ in range(100):
+        assert [timer.percentile(f) for f in (0.0, 0.5, 0.99, 1.0)] == first
+    # All 404 percentile calls shared a single sort of the reservoir.
+    assert timer.sorted_rebuilds == 1
+    timer.record(0.5)
+    assert timer.percentile(0.0) == 0.5
+    assert timer.sorted_rebuilds == 2
+
+
+def test_timer_record_does_not_sort():
+    """record() stays O(1) amortized: no sorted-view rebuild happens
+    until a percentile is actually read."""
+    timer = Timer("o1", reservoir_size=64)
+    for index in range(1000):
+        timer.record(float(index % 97))
+    assert timer.sorted_rebuilds == 0
+    timer.percentile(0.5)
+    assert timer.sorted_rebuilds == 1
+
+
 def test_timer_statistics():
     timer = Timer("latency")
     for sample in (1.0, 2.0, 3.0, 4.0):

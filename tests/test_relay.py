@@ -213,3 +213,175 @@ def test_use_relays_validation_and_disable():
     tracker = runtime.sim.run_process(manager.propagate_version(v2))
     assert tracker.all_acked
     assert runtime.network.count_value("relay.batches") == before
+
+
+# ----------------------------------------------------------------------
+# Announcement waves
+# ----------------------------------------------------------------------
+
+
+def test_set_digest_is_order_independent():
+    from repro.cluster.relay import set_digest
+
+    a = mint_loid("legion", "Sorter")
+    b = mint_loid("legion", "Sorter")
+    assert set_digest([a, b]) == set_digest([b, a])
+    assert set_digest([a]) != set_digest([a, b])
+    assert set_digest([]) == 0
+
+
+def test_build_announce_tree_shape():
+    from repro.cluster.relay import (
+        build_announce_tree,
+        count_tree_hosts,
+        iter_tree_hosts,
+    )
+
+    directory = {f"h{i}": f"relay{i}" for i in range(7)}
+    root = build_announce_tree(sorted(directory), directory, fanout_k=2)
+    assert root["host"] == "h0" and root["relay"] == "relay0"
+    assert [child["host"] for child in root["children"]] == ["h1", "h2"]
+    assert count_tree_hosts(root) == 7
+    assert sorted(iter_tree_hosts(root)) == sorted(directory)
+    assert build_announce_tree([], directory, fanout_k=2) is None
+    with pytest.raises(ValueError):
+        build_announce_tree(sorted(directory), directory, fanout_k=1)
+
+
+def test_announce_wave_acks_all_with_one_rpc_and_local_binds():
+    journal = ManagerJournal(name="Sorter")
+    runtime, manager, loids = build_relay_fleet(
+        hosts=4, instances_per_host=3, journal=journal
+    )
+    manager.use_relays(deploy_relays(runtime), fanout_k=2, announce=True)
+    v2 = derive_v2(manager)
+    manager.invoker.stats.reset()
+    resolves_before = runtime.binding_agent.resolutions_served
+    tracker = runtime.sim.run_process(manager.propagate_version(v2))
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+        assert manager.instance_version(loid) == v2
+    # One announcement bundle from the manager; constant-size payloads
+    # carried the wave, and every instance bound host-locally.
+    assert manager.invoker.stats.invocations == 1
+    assert runtime.network.count_value("relay.announce_waves") == 1
+    assert runtime.network.count_value("relay.local_binds") == 12
+    assert runtime.network.count_value("relay.fallback_instances") == 0
+    # Binding-agent lookups during the wave are roster-relay forwards
+    # (one per up host — the fleet form visits every roster host, even
+    # the instance-less manager host) plus one ICO resolve per host's
+    # first blob fetch — bounded by hosts, never one per instance
+    # (those bind host-locally).
+    up_hosts = len(runtime.hosts)
+    assert (
+        runtime.binding_agent.resolutions_served - resolves_before
+        <= 2 * up_hosts
+    )
+    kinds = [entry.kind for entry in journal.entries]
+    assert kinds.count("propagation-ack") == 12
+
+
+def test_announce_wave_dead_relay_falls_back():
+    from repro.cluster.relay import seed_announce_roster
+
+    runtime, manager, loids = build_relay_fleet(hosts=3, instances_per_host=2)
+    directory = deploy_relays(runtime)
+    directory["host03"] = mint_loid(runtime.domain, "HostRelay")
+    # Poison the roster too, as a real relay death would: the fleet
+    # round sees the subtree shortfall and the wave drops to per-host
+    # announcements, which localize the failure to host03.
+    seed_announce_roster(runtime, directory)
+    manager.use_relays(directory, fanout_k=2, announce=True)
+    v2 = derive_v2(manager)
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(v2, retry_policy=ONE_SHOT)
+    )
+    assert tracker.all_acked and tracker.complete
+    for loid in loids:
+        assert manager.record(loid).obj.version == v2
+    assert runtime.network.count_value("relay.fallback_instances") == 2
+    assert runtime.network.count_value("relay.subtree_failures") >= 1
+
+
+def test_chunk_spans_partition_contiguously():
+    from repro.cluster.relay import chunk_spans
+
+    assert chunk_spans(1, 1, 4) == []
+    spans = chunk_spans(1, 10, 4)
+    assert len(spans) <= 4
+    flat = [i for lo, hi in spans for i in range(lo, hi)]
+    assert flat == list(range(1, 10))
+    assert chunk_spans(0, 3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_deploy_relays_seeds_shared_roster():
+    runtime, __, ___ = build_relay_fleet(hosts=2, instances_per_host=1)
+    directory = deploy_relays(runtime)
+    rosters = {
+        runtime.live_object(loid).announce_roster
+        for loid in directory.values()
+    }
+    assert len(rosters) == 1  # every relay holds the same (shared) roster
+    roster = rosters.pop()
+    assert [(host, loid) for host, loid, __ in roster] == sorted(
+        directory.items()
+    )
+    # The roster ships each relay's current binding, membership-list
+    # style, so fleet forwards never round-trip the central agent.
+    for host, loid, binding in roster:
+        assert binding is not None and binding.loid == loid
+
+
+def test_announce_wave_foreign_instance_forces_host_fallback():
+    """A colocated instance the wave did not target keeps announcement
+    mode off: the manager must not let a relay evolve instances a
+    subset wave (e.g. a canary stage) never admitted."""
+    runtime, manager, loids = build_relay_fleet(hosts=3, instances_per_host=2)
+    manager.use_relays(deploy_relays(runtime), fanout_k=2, announce=True)
+    v2 = derive_v2(manager)
+    held_back = loids[0]
+    subset = loids[1:]
+    tracker = runtime.sim.run_process(
+        manager.propagate_version(v2, loids=subset)
+    )
+    assert tracker.all_acked and tracker.complete
+    for loid in subset:
+        assert manager.record(loid).obj.version == v2
+    # The untargeted instance stayed at v1: no announcement round ran.
+    assert manager.record(held_back).obj.version != v2
+    assert runtime.network.count_value("relay.announce_waves") == 0
+
+
+def test_use_relays_announce_validation():
+    runtime, manager, __ = build_relay_fleet(hosts=2, instances_per_host=1)
+    directory = deploy_relays(runtime)
+    with pytest.raises(ValueError):
+        manager.use_relays(directory, announce=True)  # needs a tree
+    manager.use_relays(directory, fanout_k=2, announce=True)
+    manager.use_relays(None)  # disabling clears announce mode too
+    assert manager._relay_announce is False
+
+
+# ----------------------------------------------------------------------
+# Per-host object index
+# ----------------------------------------------------------------------
+
+
+def test_objects_on_host_index_tracks_attach_and_migration():
+    runtime, manager, loids = build_relay_fleet(hosts=2, instances_per_host=2)
+    on_host01 = {
+        obj.loid for obj in runtime.objects_on_host("host01")
+    }
+    assert {loid for loid in loids[:2]} <= on_host01
+    # Migration rebases the index entry along with the object.
+    moved = runtime.find_object(loids[0])
+    moved.moved_to(runtime.host("host02"))
+    assert moved.loid not in {
+        obj.loid for obj in runtime.objects_on_host("host01")
+    }
+    assert moved.loid in {
+        obj.loid for obj in runtime.objects_on_host("host02")
+    }
+    # Unknown hosts simply have no objects.
+    assert runtime.objects_on_host("no-such-host") == []

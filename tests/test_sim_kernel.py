@@ -263,3 +263,163 @@ def test_processed_events_counter_increases():
     sim.spawn(proc())
     sim.run()
     assert sim.processed_events > 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler: daemon accounting, same-instant ordering, cancellation
+# ----------------------------------------------------------------------
+
+
+def test_nondaemon_accounting_survives_run_until_time():
+    """run(until=time) may leave unprocessed non-daemon entries behind;
+    the pending-count bookkeeping must stay exact so a later unbounded
+    run() still knows when to stop."""
+    sim = Simulator()
+    fired = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in (1.0, 5.0, 9.0):
+        sim.spawn(proc(delay))
+    sim.run(until=3.0)
+    assert fired == [1.0]
+    # Two sleeping processes remain, each one non-daemon timeout entry.
+    assert sim._scheduler.nondaemon_pending == 2
+    assert sim.pending == 2
+    sim.run()
+    assert fired == [1.0, 5.0, 9.0]
+    assert sim._scheduler.nondaemon_pending == 0
+    assert sim.pending == 0
+
+
+def test_daemon_entries_do_not_keep_run_alive_after_until():
+    sim = Simulator()
+    fired = []
+
+    def poller():
+        while True:
+            yield sim.timeout(1.0, daemon=True)
+            fired.append(sim.now)
+
+    sim.spawn(poller())
+    # The spawn kick-off itself is non-daemon; let it run, then make
+    # sure the pure-daemon remainder never keeps an unbounded run alive.
+    sim.run(until=2.5)
+    assert fired == [1.0, 2.0]
+    sim.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_same_instant_order_matches_between_schedulers():
+    """The calendar queue must reproduce the heap's (time, seq) order
+    exactly — chaos seeds depend on same-instant tie-breaks."""
+    from repro.sim import CalendarScheduler, HeapScheduler
+
+    def workload(sim, log):
+        def leaf(tag):
+            yield sim.timeout(0)
+            log.append((sim.now, tag))
+
+        def burst(tag, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, tag))
+            for child in range(3):
+                sim.spawn(leaf(f"{tag}.{child}"))
+
+        # Several bursts landing on the same instants, interleaved with
+        # zero-delay cascades — the tie-break-heavy shape.
+        for index, delay in enumerate((2.0, 1.0, 2.0, 0.0, 1.0, 0.0)):
+            sim.spawn(burst(f"b{index}", delay))
+
+    logs = []
+    for scheduler in (CalendarScheduler(), HeapScheduler()):
+        sim = Simulator(scheduler=scheduler)
+        log = []
+        workload(sim, log)
+        sim.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+    assert len(logs[0]) == 24  # 6 bursts + 18 leaves
+
+
+def test_cancelled_timeout_never_fires_and_releases_run():
+    sim = Simulator()
+    fired = []
+    timeout = sim.timeout(5.0)
+    timeout.add_callback(lambda event: fired.append(sim.now))
+    assert sim.pending == 1
+    assert timeout.cancel() is True
+    assert sim.pending == 0
+    sim.run()  # returns immediately: nothing non-daemon remains
+    assert sim.now == 0.0
+    assert fired == []
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    timeout = sim.timeout(1.0)
+    sim.run()
+    assert sim.now == 1.0
+    assert timeout.cancel() is False
+    assert timeout.cancel() is False
+
+
+def test_cancelled_entries_are_skipped_not_processed():
+    sim = Simulator()
+    sim.timeout(1.0).cancel()
+    keeper = sim.timeout(1.0, value="kept")
+
+    def waiter():
+        value = yield keeper
+        return (sim.now, value)
+
+    assert sim.run_process(waiter()) == (1.0, "kept")
+    # The cancelled entry was skipped silently: processed counts the
+    # keeper's trigger and the waiter's machinery, not the dead entry.
+    processed_with_cancel = sim.processed_events
+
+    fresh = Simulator()
+    fresh_keeper = fresh.timeout(1.0, value="kept")
+
+    def fresh_waiter():
+        value = yield fresh_keeper
+        return (fresh.now, value)
+
+    assert fresh.run_process(fresh_waiter()) == (1.0, "kept")
+    assert processed_with_cancel == fresh.processed_events
+
+
+def test_run_until_time_ignores_cancelled_head():
+    sim = Simulator()
+    sim.timeout(1.0).cancel()
+    fired = []
+
+    def proc():
+        yield sim.timeout(4.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run()
+    assert fired == [4.0]
+
+
+def test_heap_scheduler_simulator_end_to_end():
+    from repro.sim import HeapScheduler
+
+    sim = Simulator(scheduler=HeapScheduler())
+    order = []
+
+    def proc(tag, delay):
+        yield sim.timeout(delay)
+        order.append((sim.now, tag))
+
+    sim.spawn(proc("late", 2.0))
+    sim.spawn(proc("early", 1.0))
+    sim.spawn(proc("tied", 2.0))
+    sim.run()
+    assert order == [(1.0, "early"), (2.0, "late"), (2.0, "tied")]
