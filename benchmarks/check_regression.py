@@ -35,6 +35,15 @@ rollout must stop at the canary (blast radius far below the ungated
 baseline's full-fleet infection) and recover within 60 simulated
 seconds of the breach.
 
+``--gray`` gates the P7 gray-failure tolerance invariants on a freshly
+produced ``BENCH_gray.json``: the unhardened wave behind a limping
+root relay must degrade p99 by at least the recorded floor (the
+scenario stays painful), the hardened wave must recover to within the
+recorded ceiling of healthy with the limper actually quarantined and
+skipped, exactly-once must hold across all waves, and the phi-accrual
+supervisor must ride out a gray manager link with zero promotions
+where the fixed-threshold one flaps.
+
 ``--scale`` gates the P6 kernel/runtime scale invariants on a freshly
 produced ``BENCH_scale.json``: the largest measured fleet must reach
 ``--scale-floor`` live instances (default 100,000; CI smoke runs pass
@@ -277,6 +286,71 @@ def check_p6(path, instance_floor):
     return failures
 
 
+def check_p7(path):
+    """Gate the P7 gray-failure tolerance invariants; returns failures."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        unhardened_ratio = extra["unhardened_ratio"]
+        hardened_ratio = extra["hardened_ratio"]
+        unhardened_floor = extra["unhardened_floor"]
+        hardened_ceiling = extra["hardened_ceiling"]
+        hardened = extra["hardened"]
+        fixed = extra["fixed_detector"]
+        phi = extra["phi_detector"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P7 result?")
+    failures = []
+    if unhardened_ratio < unhardened_floor:
+        failures.append(
+            f"unhardened gray wave p99 only {unhardened_ratio:.1f}x healthy "
+            f"(floor {unhardened_floor:.0f}x) — the limping-relay scenario "
+            f"no longer hurts, so the hardened comparison proves nothing"
+        )
+    if hardened_ratio > hardened_ceiling:
+        failures.append(
+            f"hardened gray wave p99 {hardened_ratio:.1f}x healthy, above "
+            f"the {hardened_ceiling:.0f}x ceiling — quarantine routing "
+            f"stopped recovering the wave"
+        )
+    if not hardened["limper_quarantined"] or hardened["quarantine_skips"] < 1:
+        failures.append(
+            "hardened run never quarantined-and-skipped the limping relay "
+            f"(quarantined={hardened['limper_quarantined']}, "
+            f"skips={hardened['quarantine_skips']})"
+        )
+    duplicates = sum(
+        extra[mode]["duplicate_applications"]
+        for mode in ("healthy", "unhardened", "hardened")
+    )
+    if duplicates != 0:
+        failures.append(
+            f"{duplicates} duplicate applications under gray faults — "
+            f"exactly-once broken"
+        )
+    if fixed["promotions"] < 1:
+        failures.append(
+            "fixed-threshold supervisor no longer flaps on a slow manager "
+            "— the phi comparison proves nothing"
+        )
+    if phi["promotions"] != 0 or phi["false_positives"] != 0:
+        failures.append(
+            f"phi supervisor failed over a live-but-slow manager "
+            f"({phi['promotions']} promotions, "
+            f"{phi['false_positives']} false positives)"
+        )
+    status = "OK" if not failures else "REGRESSED"
+    print(
+        f"P7 gray wave p99: unhardened {unhardened_ratio:.1f}x / hardened "
+        f"{hardened_ratio:.1f}x healthy (floor {unhardened_floor:.0f}x, "
+        f"ceiling {hardened_ceiling:.0f}x), quarantine skips "
+        f"{hardened['quarantine_skips']}, detector failovers fixed "
+        f"{fixed['promotions']} / phi {phi['promotions']} {status}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -308,6 +382,11 @@ def main(argv=None):
         help="freshly generated BENCH_scale.json to gate P6 invariants",
     )
     parser.add_argument(
+        "--gray",
+        default=None,
+        help="freshly generated BENCH_gray.json to gate P7 invariants",
+    )
+    parser.add_argument(
         "--scale-floor",
         type=int,
         default=100_000,
@@ -325,6 +404,8 @@ def main(argv=None):
         failures += check_p5(args.slo)
     if args.scale:
         failures += check_p6(args.scale, args.scale_floor)
+    if args.gray:
+        failures += check_p7(args.gray)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

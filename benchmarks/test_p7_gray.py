@@ -1,0 +1,29 @@
+"""P7 — gray-failure tolerance gates; writes BENCH_gray.json."""
+
+import json
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p7
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_gray.json"
+
+
+def test_p7_gray(benchmark):
+    result = run_experiment(benchmark, run_p7)
+    benchmark.extra_info["unhardened_ratio"] = result.extra["unhardened_ratio"]
+    benchmark.extra_info["hardened_ratio"] = result.extra["hardened_ratio"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -16,6 +16,7 @@ from repro.bench.experiments.p3_scaleout import run_p3
 from repro.bench.experiments.p4_availability import run_p4
 from repro.bench.experiments.p5_slo_waves import run_p5
 from repro.bench.experiments.p6_scale import run_p6
+from repro.bench.experiments.p7_gray import run_p7
 
 __all__ = [
     "run_a2",
@@ -27,6 +28,7 @@ __all__ = [
     "run_p4",
     "run_p5",
     "run_p6",
+    "run_p7",
     "run_e1",
     "run_e2",
     "run_e3",

@@ -24,7 +24,15 @@ package importable on its own.
 import random
 
 from repro.cluster.host import CrashPlan
-from repro.net import DropRule, PrefixPartition
+from repro.net import (
+    DropRule,
+    DuplicateRule,
+    LinkFlap,
+    OneWayPartition,
+    PrefixPartition,
+    ReorderRule,
+    SlowLink,
+)
 
 
 def crash_host(runtime, host):
@@ -187,13 +195,50 @@ class ChaosSchedule:
         network: the harness feeds them to
         :func:`repro.workloads.generator.build_degraded_version` to
         stage the bad build whose rollout the SLO gate must catch.
+    one_way:
+        ``(from_host, to_hosts, start, end)`` asymmetric partitions:
+        traffic from ``from_host`` toward ``to_hosts`` is lost, the
+        reverse direction flows.
+    flaps:
+        ``(host, other_hosts, period_s, down_s, start, end)`` link-flap
+        schedules between one host and the rest.
+    slow_links:
+        ``(host, other_hosts, extra_s, jitter_s, rule_seed, start,
+        end)`` latency-inflation windows.
+    duplicates:
+        ``(probability, spread_s, rule_seed, start, end)`` message
+        duplication windows over all traffic.
+    reorders:
+        ``(probability, max_skew_s, rule_seed, start, end)`` bounded
+        reordering windows over all traffic.
+    limps:
+        ``(host, factor, start, end)`` limping-host windows: CPU (and
+        NIC) service times multiply by ``factor``, then heal.
     """
 
-    def __init__(self, crashes=(), partitions=(), drops=(), degradations=()):
+    def __init__(
+        self,
+        crashes=(),
+        partitions=(),
+        drops=(),
+        degradations=(),
+        one_way=(),
+        flaps=(),
+        slow_links=(),
+        duplicates=(),
+        reorders=(),
+        limps=(),
+    ):
         self.crashes = list(crashes)
         self.partitions = list(partitions)
         self.drops = list(drops)
         self.degradations = list(degradations)
+        self.one_way = list(one_way)
+        self.flaps = list(flaps)
+        self.slow_links = list(slow_links)
+        self.duplicates = list(duplicates)
+        self.reorders = list(reorders)
+        self.limps = list(limps)
         #: Simulated time :meth:`install` rebased the offsets onto.
         self.installed_at = None
 
@@ -216,6 +261,12 @@ class ChaosSchedule:
         max_manager_partitions=0,
         max_failovers=0,
         max_degradations=0,
+        gray_one_way=0,
+        gray_flaps=0,
+        gray_slow_links=0,
+        gray_duplicates=0,
+        gray_reorders=0,
+        gray_limps=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
@@ -264,6 +315,17 @@ class ChaosSchedule:
         pairs the harness turns into a degraded build (see
         :func:`repro.workloads.generator.build_degraded_version`)
         whose gated rollout must breach and roll back.
+
+        The six ``gray_*`` kinds roll *gray* failures — faults where
+        messages or hosts are degraded rather than dead: asymmetric
+        (one-way) partitions, link flaps, slow links, duplication,
+        bounded reordering, and limping hosts.  All default off; their
+        draws come strictly after every kind above, in exactly this
+        order, so legacy seeds keep their schedules and each gray kind
+        added later never perturbs the earlier ones.  Rules that need
+        per-message randomness (slow-link jitter, duplication,
+        reordering) carry their own sub-seed drawn here, keeping the
+        whole scenario a pure function of ``seed``.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -376,11 +438,81 @@ class ChaosSchedule:
                     )
                 else:
                     degradations.append(("errors", rng.randint(1, 3)))
+        # Gray kinds, strictly after everything above and in a fixed
+        # order relative to each other.
+        one_way = []
+        if gray_one_way > 0 and len(host_names) >= 2:
+            for __ in range(rng.randint(1, gray_one_way)):
+                victim = rng.choice(host_names)
+                rest = [name for name in host_names if name != victim]
+                start = rng.uniform(0.5, duration_s * 0.4)
+                end = start + rng.uniform(5.0, duration_s * 0.4)
+                if rng.random() < 0.5:
+                    # The victim goes mute: its sends vanish, it still hears.
+                    one_way.append(([victim], rest, start, end))
+                else:
+                    # The victim goes deaf: it talks, nothing reaches it.
+                    one_way.append((rest, [victim], start, end))
+        flaps = []
+        if gray_flaps > 0 and len(host_names) >= 2:
+            for __ in range(rng.randint(1, gray_flaps)):
+                victim = rng.choice(host_names)
+                rest = [name for name in host_names if name != victim]
+                period = rng.uniform(2.0, 10.0)
+                down = period * rng.uniform(0.2, 0.6)
+                start = rng.uniform(0.5, duration_s * 0.4)
+                end = start + rng.uniform(8.0, duration_s * 0.4)
+                flaps.append((victim, rest, period, down, start, end))
+        slow_links = []
+        if gray_slow_links > 0 and len(host_names) >= 2:
+            for __ in range(rng.randint(1, gray_slow_links)):
+                victim = rng.choice(host_names)
+                rest = [name for name in host_names if name != victim]
+                extra = rng.uniform(0.05, 0.3)
+                jitter = rng.uniform(0.0, 0.2)
+                rule_seed = rng.randrange(2**32)
+                start = rng.uniform(0.5, duration_s * 0.4)
+                end = start + rng.uniform(5.0, duration_s * 0.4)
+                slow_links.append(
+                    (victim, rest, extra, jitter, rule_seed, start, end)
+                )
+        duplicates = []
+        if gray_duplicates > 0:
+            for __ in range(rng.randint(1, gray_duplicates)):
+                probability = rng.uniform(0.05, 0.3)
+                spread = rng.uniform(0.005, 0.05)
+                rule_seed = rng.randrange(2**32)
+                start = rng.uniform(0.0, duration_s * 0.5)
+                end = start + rng.uniform(5.0, duration_s * 0.4)
+                duplicates.append((probability, spread, rule_seed, start, end))
+        reorders = []
+        if gray_reorders > 0:
+            for __ in range(rng.randint(1, gray_reorders)):
+                probability = rng.uniform(0.05, 0.3)
+                skew = rng.uniform(0.002, 0.02)
+                rule_seed = rng.randrange(2**32)
+                start = rng.uniform(0.0, duration_s * 0.5)
+                end = start + rng.uniform(5.0, duration_s * 0.4)
+                reorders.append((probability, skew, rule_seed, start, end))
+        limps = []
+        if gray_limps > 0 and host_names:
+            for __ in range(rng.randint(1, gray_limps)):
+                victim = rng.choice(host_names)
+                factor = rng.uniform(2.0, 8.0)
+                start = rng.uniform(0.5, duration_s * 0.4)
+                end = start + rng.uniform(5.0, duration_s * 0.4)
+                limps.append((victim, round(factor, 2), start, end))
         return cls(
             crashes=crashes,
             partitions=partitions,
             drops=drops,
             degradations=degradations,
+            one_way=one_way,
+            flaps=flaps,
+            slow_links=slow_links,
+            duplicates=duplicates,
+            reorders=reorders,
+            limps=limps,
         )
 
     @property
@@ -391,6 +523,12 @@ class ChaosSchedule:
         times += [restart_at for __, __, restart_at in self.crashes]
         times += [end for __, __, __, end in self.partitions]
         times += [end for __, __, end in self.drops]
+        times += [entry[-1] for entry in self.one_way]
+        times += [entry[-1] for entry in self.flaps]
+        times += [entry[-1] for entry in self.slow_links]
+        times += [entry[-1] for entry in self.duplicates]
+        times += [entry[-1] for entry in self.reorders]
+        times += [entry[-1] for entry in self.limps]
         return max(times) + (self.installed_at or 0.0)
 
     def install(self, runtime, coordinator):
@@ -415,12 +553,90 @@ class ChaosSchedule:
             runtime.network.faults.add_drop_rule(
                 DropRule(count=count, start=base + start, end=base + end)
             )
+        faults = runtime.network.faults
+        for from_hosts, to_hosts, start, end in self.one_way:
+            faults.add_partition(
+                OneWayPartition(
+                    [f"{name}/" for name in from_hosts],
+                    [f"{name}/" for name in to_hosts],
+                    start=base + start,
+                    end=base + end,
+                )
+            )
+        for host, rest, period, down, start, end in self.flaps:
+            faults.add_partition(
+                LinkFlap(
+                    [f"{host}/"],
+                    [f"{name}/" for name in rest],
+                    period_s=period,
+                    down_s=down,
+                    start=base + start,
+                    end=base + end,
+                    label=f"flap:{host}",
+                )
+            )
+        for host, rest, extra, jitter, rule_seed, start, end in self.slow_links:
+            faults.add_delay_rule(
+                SlowLink(
+                    [f"{host}/"],
+                    [f"{name}/" for name in rest],
+                    extra_s=extra,
+                    jitter_s=jitter,
+                    seed=rule_seed,
+                    start=base + start,
+                    end=base + end,
+                    label=f"slow:{host}",
+                )
+            )
+        for probability, spread, rule_seed, start, end in self.duplicates:
+            faults.add_duplicate_rule(
+                DuplicateRule(
+                    probability,
+                    spread_s=spread,
+                    seed=rule_seed,
+                    start=base + start,
+                    end=base + end,
+                )
+            )
+        for probability, skew, rule_seed, start, end in self.reorders:
+            faults.add_delay_rule(
+                ReorderRule(
+                    probability,
+                    max_skew_s=skew,
+                    seed=rule_seed,
+                    start=base + start,
+                    end=base + end,
+                )
+            )
+        for host_name, factor, start, end in self.limps:
+            runtime.sim.spawn(
+                self._limp_window(runtime, host_name, factor, base + start, base + end),
+                name=f"limp:{host_name}@{start:g}",
+            )
+
+    @staticmethod
+    def _limp_window(runtime, host_name, factor, start, end):
+        """Process body: degrade a host's service times, then heal."""
+        sim = runtime.sim
+        yield sim.timeout(start - sim.now, daemon=True)
+        host = runtime.host(host_name)
+        host.set_limp(factor, slow_nic=True)
+        yield sim.timeout(end - sim.now, daemon=True)
+        host.clear_limp()
 
     def __repr__(self):
+        gray = (
+            len(self.one_way)
+            + len(self.flaps)
+            + len(self.slow_links)
+            + len(self.duplicates)
+            + len(self.reorders)
+            + len(self.limps)
+        )
         return (
             f"<ChaosSchedule crashes={len(self.crashes)} "
             f"partitions={len(self.partitions)} drops={len(self.drops)} "
-            f"degradations={len(self.degradations)}>"
+            f"degradations={len(self.degradations)} gray={gray}>"
         )
 
 

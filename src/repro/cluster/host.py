@@ -77,6 +77,7 @@ class Host:
         self._network = None
         self._up = True
         self._incarnation = 1
+        self._limp_factor = 1.0
         self._blob_fills = {}
         self.cache = FileCache(name=f"{name}.cache")
         self.processes_spawned = 0
@@ -228,15 +229,48 @@ class Host:
             return value
         return self._rng.jitter(f"host:{self._name}", value, self._calibration.coarse_jitter)
 
+    # ------------------------------------------------------------------
+    # Gray faults: the limping host
+    # ------------------------------------------------------------------
+
+    @property
+    def limp_factor(self):
+        """Service-time multiplier; 1.0 means healthy."""
+        return self._limp_factor
+
+    def set_limp(self, factor, slow_nic=False):
+        """Degrade this host: CPU work takes ``factor`` times longer.
+
+        Unlike :meth:`crash`, a limping host stays up and keeps
+        answering — just slowly.  That asymmetry (alive but late) is
+        the gray failure the adaptive layers must distinguish from
+        death.  With ``slow_nic`` the degradation also covers the NIC:
+        egress serialization on every current and future port under
+        this host's prefix slows by the same factor.
+        """
+        if factor < 1.0:
+            raise ValueError(f"limp factor must be >= 1.0, got {factor}")
+        self._limp_factor = factor
+        if self._network is not None:
+            if factor > 1.0:
+                self._network.count("host.limps")
+            if slow_nic or factor == 1.0:
+                self._network.set_egress_slowdown(f"{self._name}/", factor)
+
+    def clear_limp(self):
+        """Restore healthy service times (and NIC, if it was slowed)."""
+        self.set_limp(1.0)
+
     def cpu_work(self, seconds):
         """Return a timeout event charging ``seconds`` of CPU time.
 
         The charge scales inversely with the host's CPU factor, so the
-        same work is faster on a faster machine.
+        same work is faster on a faster machine — and inflates by the
+        limp factor while the host is degraded.
         """
         if seconds < 0:
             raise ValueError(f"cpu work must be >= 0, got {seconds}")
-        return self._sim.timeout(seconds / self._cpu_factor)
+        return self._sim.timeout(seconds * self._limp_factor / self._cpu_factor)
 
     def spawn_process(self, owner_loid):
         """Process body: create an OS process for a Legion object.

@@ -462,17 +462,22 @@ def iter_jobs(bundle):
         yield from iter_jobs(child)
 
 
-def build_relay_tree(host_batches, directory, fanout_k, window=None):
+def build_relay_tree(host_batches, directory, fanout_k, window=None, order_key=None):
     """Arrange per-host batches into k-ary diffusion-tree bundles.
 
     ``host_batches`` maps host name -> job list; ``directory`` maps
     host name -> relay LOID.  Hosts are ordered by name (deterministic)
     and node ``i``'s children are nodes ``k*i+1 .. k*i+k``.  Returns
     the root bundle, or None when there are no batches.
+
+    ``order_key`` overrides the name ordering (it must stay
+    deterministic).  The manager passes a health key when peer health
+    is armed, so degraded-but-not-quarantined hosts sink toward the
+    leaves where their slowness stalls nobody's subtree.
     """
     if fanout_k < 2:
         raise ValueError(f"fanout_k must be >= 2, got {fanout_k}")
-    names = sorted(host_batches)
+    names = sorted(host_batches, key=order_key) if order_key else sorted(host_batches)
     if not names:
         return None
     bundles = [
@@ -492,17 +497,18 @@ def build_relay_tree(host_batches, directory, fanout_k, window=None):
     return bundles[0]
 
 
-def build_announce_tree(host_names, directory, fanout_k):
+def build_announce_tree(host_names, directory, fanout_k, order_key=None):
     """Arrange hosts into a k-ary announcement-tree routing node.
 
     Same deterministic shape as :func:`build_relay_tree` (sorted hosts,
-    node ``i``'s children are ``k*i+1 .. k*i+k``) but each node carries
-    only ``{"relay", "host", "children"}`` — no per-instance jobs.
-    Returns the root node, or None when ``host_names`` is empty.
+    node ``i``'s children are ``k*i+1 .. k*i+k``, health ``order_key``
+    override) but each node carries only ``{"relay", "host",
+    "children"}`` — no per-instance jobs.  Returns the root node, or
+    None when ``host_names`` is empty.
     """
     if fanout_k < 2:
         raise ValueError(f"fanout_k must be >= 2, got {fanout_k}")
-    names = sorted(host_names)
+    names = sorted(host_names, key=order_key) if order_key else sorted(host_names)
     if not names:
         return None
     nodes = [

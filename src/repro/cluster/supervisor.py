@@ -73,10 +73,13 @@ class Supervisor:
         heartbeat_interval_s=0.5,
         heartbeat_timeout_s=0.4,
         suspicion_threshold=3,
+        detector_mode="threshold",
+        phi_threshold=8.0,
         replication_mode="sync",
         ship_interval_s=0.25,
         retry_policy=None,
         max_convergence_rounds=10,
+        reconcile_interval_s=15.0,
     ):
         if not standby_hosts:
             raise ValueError("supervisor needs at least one standby host")
@@ -90,10 +93,16 @@ class Supervisor:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.suspicion_threshold = suspicion_threshold
+        # Phi-accrual detection keeps a merely-slow primary in office:
+        # failing over on slowness trades one gray manager for a full
+        # promotion storm (see failure_detector mode docs).
+        self.detector_mode = detector_mode
+        self.phi_threshold = phi_threshold
         self.replication_mode = replication_mode
         self.ship_interval_s = ship_interval_s
         self.retry_policy = retry_policy
         self.max_convergence_rounds = max_convergence_rounds
+        self.reconcile_interval_s = reconcile_interval_s
         self.detector = None
         self.link = None
         self.promotions = 0
@@ -101,6 +110,7 @@ class Supervisor:
         self._manager = None
         self._loid = None
         self._promote_in_progress = False
+        self._converging = False
         # A suspicion only triggers promotion while armed.  Promotion
         # disarms; seeing the (new) primary actually answer a probe
         # re-arms.  Without this, a detector partitioned from the
@@ -133,6 +143,8 @@ class Supervisor:
             interval_s=self.heartbeat_interval_s,
             timeout_s=self.heartbeat_timeout_s,
             suspicion_threshold=self.suspicion_threshold,
+            mode=self.detector_mode,
+            phi_threshold=self.phi_threshold,
         )
         self.detector.watch(
             self.type_name,
@@ -142,6 +154,9 @@ class Supervisor:
         )
         self.runtime.sim.spawn(
             self._link_health_loop(), name=f"supervisor-link:{self.type_name}"
+        )
+        self.runtime.sim.spawn(
+            self._reconcile_loop(), name=f"supervisor-reconcile:{self.type_name}"
         )
         return self
 
@@ -211,6 +226,58 @@ class Supervisor:
             if not self.link.replica.reachable and self._manager.is_active:
                 self.runtime.network.count("supervisor.standby_replacements")
                 self._arm_replication(self._manager)
+
+    # ------------------------------------------------------------------
+    # Background reconciliation (anti-entropy)
+    # ------------------------------------------------------------------
+
+    def _reconcile_loop(self):
+        """Daemon: re-drive repair whenever the fleet drifts.
+
+        The post-promotion convergence pass is one-shot, and each of
+        its repair steps can fail *transiently* under gray faults — an
+        instance whose rebuild needed an ICO behind a one-way partition
+        stays dead even though its host is up, and nothing ever retries
+        once the pass has run out of rounds or returned early.  This
+        loop closes that gap: while the supervised manager is the live
+        authority, any inactive instance on an up host (or any instance
+        off the current version) triggers a fresh repair-and-converge
+        pass.  A healthy, converged fleet makes this a pure no-op.
+        """
+        sim = self.runtime.sim
+        while not self._stopped:
+            yield sim.timeout(self.reconcile_interval_s, daemon=True)
+            if self._stopped or self._promote_in_progress or self._converging:
+                continue
+            manager = self._manager
+            if manager is None or not manager.is_active or manager.deposed:
+                continue
+            if not self._needs_repair(manager):
+                continue
+            self.runtime.network.count("supervisor.reconciles")
+            yield from self._converge(manager)
+
+    def _needs_repair(self, manager):
+        """True if any non-frozen instance is dead-but-rebuildable or
+        off the manager's current version."""
+        from repro.legion.errors import LegionError
+
+        try:
+            frozen = manager.canary_frozen_loids()
+            current = manager.current_version
+            for loid in manager.instance_loids():
+                if loid in frozen:
+                    continue
+                record = manager.record(loid)
+                if not record.active:
+                    if record.host.is_up:
+                        return True
+                    continue
+                if current is not None and manager.instance_version(loid) != current:
+                    return True
+        except LegionError:
+            return False
+        return False
 
     # ------------------------------------------------------------------
     # Failover
@@ -334,6 +401,13 @@ class Supervisor:
         as its manager stops being the authority (deposed or replaced
         by a newer promotion).
         """
+        self._converging = True
+        try:
+            yield from self._converge_rounds(manager)
+        finally:
+            self._converging = False
+
+    def _converge_rounds(self, manager):
         from repro.cluster.chaos import ChaosCoordinator
         from repro.core.manager import WavePolicy
         from repro.legion.errors import LegionError

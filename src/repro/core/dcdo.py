@@ -401,12 +401,15 @@ class DCDO(LegionObject):
             break
         try:
             cache.record_miss()
+            # Blob fetches are idempotent reads of immutable content,
+            # so a hedged backup fetch is safe (off unless enabled).
             yield from self.invoker.invoke(
                 ico_loid,
                 "fetchVariant",
                 (variant.impl_type,),
                 timeout_schedule=(60.0, 60.0),
                 breaker=self._ico_breaker(ico_loid),
+                hedge=True,
             )
             # Write the fetched data into the local file system.
             yield self.host.cpu_work(

@@ -869,6 +869,19 @@ class DCDOManager(ClassObject):
         self._relay_batch_window = batch_window
         self._relay_announce = bool(announce) if directory else False
 
+    def _tree_order_key(self):
+        """Tree ordering for relay fan-out: healthiest hosts first.
+
+        None (plain name order) until peer health is armed on the
+        fabric.  With health armed, hosts sort by descending score with
+        name as the deterministic tiebreak, so a degraded relay ends up
+        at the leaves instead of the root of the diffusion tree.
+        """
+        health = self._runtime.network.health
+        if health is None:
+            return None
+        return lambda name: (-health.score(name), name)
+
     def _relay_deliveries(self, tracker, policy, window):
         """Generator: the host-batched phase of a propagation wave.
 
@@ -901,6 +914,12 @@ class DCDOManager(ClassObject):
             if not record.active or not record.host.is_up:
                 continue
             if record.host.name not in directory:
+                continue
+            if self._runtime.network.health_quarantined(record.host.name):
+                # Gray relay: leave its instances PENDING so the direct
+                # fallback ladder delivers them without routing a whole
+                # subtree through the limping host.
+                self._count("relay.quarantine_skips")
                 continue
             batchable.append((loid, record.host.name))
         if not batchable:
@@ -1035,6 +1054,7 @@ class DCDOManager(ClassObject):
                     directory,
                     self._relay_fanout_k,
                     window=self._relay_batch_window,
+                    order_key=self._tree_order_key(),
                 )
                 # The relays re-stamp this on every downstream apply,
                 # so the whole diffusion tree is fenced, not just the
@@ -1168,6 +1188,14 @@ class DCDOManager(ClassObject):
         roster_hosts = {host for host, __ in roster}
         if not roster or not set(remaining) <= roster_hosts:
             return "skip"
+        network = self._runtime.network
+        if any(network.health_quarantined(host) for host in roster_hosts):
+            # The fleet announcement routes through every roster host by
+            # index; with a quarantined (gray) relay in the roster the
+            # whole fan-out would wait on it.  Fall back to per-host
+            # rounds, which span only healthy hosts.
+            self._count("relay.quarantine_skips")
+            return "skip"
         version = tracker.version
         # The relays count every colocated instance at the target —
         # both this round's jobs and instances already there (acked
@@ -1265,7 +1293,10 @@ class DCDOManager(ClassObject):
 
         version = tracker.version
         node = build_announce_tree(
-            remaining, self._relay_directory, self._relay_fanout_k
+            remaining,
+            self._relay_directory,
+            self._relay_fanout_k,
+            order_key=self._tree_order_key(),
         )
         bundle = {
             "type_name": self.type_name,

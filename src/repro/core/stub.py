@@ -160,7 +160,11 @@ class DCDOStub:
         ``getStatus``.
         """
         try:
-            status = yield from self._client.invoke(self._loid, "getStatus")
+            # getStatus is read-only, so it is safe to hedge against a
+            # limping server (no-op unless the client opted in).
+            status = yield from self._client.invoke(
+                self._loid, "getStatus", hedge=True
+            )
         except MethodNotFound:
             functions = yield from self.fetch_interface()
             version = yield from self.fetch_version()

@@ -94,6 +94,13 @@ class MethodInvoker:
         self.retry_policy = retry_policy
         self.stats = InvokeStats()
         self._observed_epochs = {}
+        # Gray-failure adaptation, both off by default so the
+        # calibrated §4 timings are untouched unless a runtime opts in.
+        self._adaptive_timeouts = False
+        self._estimator_kwargs = {}
+        self._estimators = {}
+        self._hedging = False
+        self._hedge_delay_s = None
         #: Optional zero-arg callable returning the current
         #: :class:`~repro.net.ManagerTerm` to stamp on outgoing
         #: invocations (used by managers to fence their traffic).
@@ -109,6 +116,55 @@ class MethodInvoker:
         lease caches notice the new incarnation and invalidate.
         """
         return self._observed_epochs.get(loid)
+
+    # ------------------------------------------------------------------
+    # Gray-failure adaptation (opt-in)
+    # ------------------------------------------------------------------
+
+    def enable_adaptive_timeouts(self, **estimator_kwargs):
+        """Derive per-attempt timeouts from observed per-peer RTTs.
+
+        Every successful attempt feeds a per-peer-host
+        :class:`~repro.net.RttEstimator`; once a peer's estimator has
+        samples, invocations without an explicit ``timeout_schedule``
+        walk an RTO-derived schedule (same number of attempts as the
+        calibrated one) instead of the fixed calibrated values.
+        Explicit caller schedules always win — callers passing generous
+        schedules (e.g. long-running management calls) know better.
+        """
+        self._adaptive_timeouts = True
+        self._estimator_kwargs = estimator_kwargs
+        return self
+
+    def enable_hedging(self, delay_s=None):
+        """Allow hedged (backup) requests on opted-in invocations.
+
+        Hedging only fires on calls that pass ``hedge=True`` — marking
+        the operation idempotent, since the backup may execute twice.
+        ``delay_s`` fixes the hedge delay; None derives it from the
+        peer's RTT estimator (around the tail of observed round trips),
+        falling back to half the first attempt timeout while cold.
+        """
+        self._hedging = True
+        self._hedge_delay_s = delay_s
+        return self
+
+    @property
+    def hedging_enabled(self):
+        """True once :meth:`enable_hedging` has been called."""
+        return self._hedging
+
+    def estimator_for(self, address):
+        """Get-or-create the RTT estimator for ``address``'s host."""
+        from repro.net import RttEstimator
+
+        host = address.split("/", 1)[0]
+        estimator = self._estimators.get(host)
+        if estimator is None:
+            estimator = self._estimators[host] = RttEstimator(
+                **self._estimator_kwargs
+            )
+        return estimator
 
     @property
     def endpoint(self):
@@ -137,8 +193,24 @@ class MethodInvoker:
         self._cache.put(binding)
         return binding
 
-    def _timeout_schedule(self, override=None):
-        schedule = override or self._calibration.rebind_timeout_schedule_s
+    def _timeout_schedule(self, override=None, estimator=None):
+        if override:
+            schedule = override
+        elif (
+            estimator is not None
+            and self._adaptive_timeouts
+            and estimator.samples > 0
+        ):
+            # Adaptive mode: the same number of attempts as the
+            # calibrated walk, but each timeout sized to this peer's
+            # observed RTT distribution instead of a worst-case fixed
+            # value — a healthy peer's stale binding is discovered in
+            # milliseconds, not the calibrated ~30 s.
+            schedule = estimator.timeout_schedule(
+                len(self._calibration.rebind_timeout_schedule_s)
+            )
+        else:
+            schedule = self._calibration.rebind_timeout_schedule_s
         if self._rng is None:
             return list(schedule)
         return [self._rng.jitter("rpc-timeouts", t, 0.15) for t in schedule]
@@ -153,6 +225,7 @@ class MethodInvoker:
         retry_policy=None,
         breaker=None,
         term=None,
+        hedge=False,
     ):
         """Generator: invoke ``method`` on the object named ``loid``.
 
@@ -190,6 +263,10 @@ class MethodInvoker:
         that has already seen a newer term for the same scope raises
         :class:`~repro.legion.errors.StaleManagerTerm`, which surfaces
         here unchanged — the cue for a deposed sender to stand down.
+
+        ``hedge=True`` marks the operation idempotent and eligible for
+        a backup request against a slow peer; it only takes effect once
+        :meth:`enable_hedging` has armed the invoker.
         """
         if term is None and self.term_source is not None:
             term = self.term_source()
@@ -210,7 +287,7 @@ class MethodInvoker:
             try:
                 result = yield from self._invoke_inner(
                     loid, method, args, payload_bytes, timeout_schedule,
-                    retry_policy, term,
+                    retry_policy, term, hedge,
                 )
             except (RequestTimeout, ObjectUnreachable, UnknownObject):
                 breaker.record_failure()
@@ -218,7 +295,8 @@ class MethodInvoker:
             breaker.record_success()
             return result
         result = yield from self._invoke_inner(
-            loid, method, args, payload_bytes, timeout_schedule, retry_policy, term
+            loid, method, args, payload_bytes, timeout_schedule, retry_policy,
+            term, hedge,
         )
         return result
 
@@ -231,6 +309,7 @@ class MethodInvoker:
         timeout_schedule=None,
         retry_policy=None,
         term=None,
+        hedge=False,
     ):
         """Generator: the breaker-free invocation body (see invoke)."""
         retry_policy = retry_policy or self.retry_policy
@@ -255,7 +334,7 @@ class MethodInvoker:
             try:
                 result = yield from self._attempt_at(
                     binding, request, payload_bytes, timeout_schedule,
-                    retry_policy, term,
+                    retry_policy, term, hedge,
                 )
                 return self._unwrap_envelope(loid, result)
             except RequestTimeout:
@@ -280,10 +359,23 @@ class MethodInvoker:
         timeout_schedule=None,
         retry_policy=None,
         term=None,
+        hedge=False,
     ):
         """Generator: walk the timeout schedule against one address."""
-        schedule = self._timeout_schedule(timeout_schedule)
+        estimator = None
+        if self._adaptive_timeouts or self._hedging:
+            estimator = self.estimator_for(binding.address)
+        schedule = self._timeout_schedule(timeout_schedule, estimator)
+        hedge_delay_s = None
+        if hedge and self._hedging:
+            if self._hedge_delay_s is not None:
+                hedge_delay_s = self._hedge_delay_s
+            elif estimator is not None and estimator.samples > 0:
+                hedge_delay_s = estimator.hedge_delay_s()
+            else:
+                hedge_delay_s = schedule[0] / 2.0
         last_error = None
+        sim = self._endpoint.sim
         for index, timeout_s in enumerate(schedule):
             if index > 0:
                 self.stats.retries += 1
@@ -291,7 +383,8 @@ class MethodInvoker:
                     backoff = retry_policy.backoff_s(index)
                     if backoff > 0:
                         self._endpoint.network.count("retry.backoff_waits")
-                        yield self._endpoint.sim.timeout(backoff)
+                        yield sim.timeout(backoff)
+            attempt_started = sim.now
             try:
                 reply = yield from self._endpoint.request(
                     binding.address,
@@ -300,12 +393,18 @@ class MethodInvoker:
                     timeout_s=timeout_s,
                     max_attempts=1,
                     term=term,
+                    hedge_delay_s=hedge_delay_s,
                 )
             except RequestTimeout as timeout_error:
                 last_error = timeout_error
                 continue
             except RemoteError as error:
+                if estimator is not None:
+                    # The peer answered (with an error): a valid RTT.
+                    estimator.observe(sim.now - attempt_started)
                 raise self._unwrap(error)
+            if estimator is not None:
+                estimator.observe(sim.now - attempt_started)
             return reply
         raise last_error
 

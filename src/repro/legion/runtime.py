@@ -41,9 +41,11 @@ class Client:
         """The simulator."""
         return self._runtime.sim
 
-    def invoke(self, loid, method, *args, timeout_schedule=None):
+    def invoke(self, loid, method, *args, timeout_schedule=None, hedge=False):
         """Generator: remote method invocation (see MethodInvoker)."""
-        return self.invoker.invoke(loid, method, args, timeout_schedule=timeout_schedule)
+        return self.invoker.invoke(
+            loid, method, args, timeout_schedule=timeout_schedule, hedge=hedge
+        )
 
     def call_sync(self, loid, method, *args, timeout_schedule=None):
         """Run a single invocation to completion from outside a process.

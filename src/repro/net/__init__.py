@@ -11,7 +11,18 @@ tests can exercise timeout/retry behaviour in the layers above.
 """
 
 from repro.net.fabric import Network, NetworkStats
-from repro.net.faults import DropRule, FaultPlan, Partition, PrefixPartition
+from repro.net.faults import (
+    DROP,
+    DropRule,
+    DuplicateRule,
+    FaultPlan,
+    LinkFlap,
+    OneWayPartition,
+    Partition,
+    PrefixPartition,
+    ReorderRule,
+    SlowLink,
+)
 from repro.net.link import Port
 from repro.net.message import ManagerTerm, Message, next_message_id
 from repro.net.retry import (
@@ -19,6 +30,7 @@ from repro.net.retry import (
     CircuitBreaker,
     CircuitState,
     RetryPolicy,
+    RttEstimator,
 )
 from repro.net.transport import (
     BATCH_RECORD_BYTES,
@@ -36,18 +48,25 @@ __all__ = [
     "CircuitOpen",
     "CircuitState",
     "DEFAULT_REQUEST_RETRY",
+    "DROP",
     "DropRule",
+    "DuplicateRule",
     "Endpoint",
     "FaultPlan",
+    "LinkFlap",
     "ManagerTerm",
     "Message",
     "Network",
     "NetworkStats",
+    "OneWayPartition",
     "Partition",
     "Port",
     "PrefixPartition",
     "RemoteError",
+    "ReorderRule",
     "RequestTimeout",
+    "RttEstimator",
+    "SlowLink",
     "TransportError",
     "RetryPolicy",
     "next_message_id",

@@ -8,7 +8,7 @@ switched Ethernet with sub-millisecond LAN latency.
 
 from dataclasses import dataclass, field
 
-from repro.net.faults import FaultPlan
+from repro.net.faults import DROP, FaultPlan
 from repro.net.link import Port
 from repro.obs.metrics import MetricsRegistry
 
@@ -103,6 +103,53 @@ class Network:
         # and reused so steady-state delivery allocates nothing.
         self._pending_arrivals = {}
         self._envelope_pool = []
+        # Egress slowdown factors by address prefix (limping NICs);
+        # applied to matching ports at attach() so a host's restart
+        # endpoints inherit the degradation.
+        self._egress_slowdowns = {}
+        # Per-peer health registry (gray-failure quarantine).  None
+        # until enable_health() arms it, so calibrated runs that never
+        # opt in pay a single attribute check on the health hooks.
+        self._health = None
+
+    # ------------------------------------------------------------------
+    # Peer health (gray-failure quarantine)
+    # ------------------------------------------------------------------
+
+    def enable_health(self, **kwargs):
+        """Arm the shared :class:`~repro.obs.health.HealthRegistry`.
+
+        Idempotent; construction keyword arguments apply only on first
+        creation.  Until armed, :meth:`health_observe` is a no-op and
+        :meth:`health_quarantined` always answers False.
+        """
+        if self._health is None:
+            from repro.obs.health import HealthRegistry
+
+            self._health = HealthRegistry(self._sim, metrics=self.metrics, **kwargs)
+        return self._health
+
+    @property
+    def health(self):
+        """The armed health registry, or None."""
+        return self._health
+
+    def health_observe(self, address, event):
+        """Record a health signal for the host behind ``address``.
+
+        ``event`` is one of ``"success"`` / ``"timeout"`` /
+        ``"hedge_win"`` / ``"suspicion"``.  No-op unless armed.
+        """
+        if self._health is not None:
+            self._health.observe(address.split("/", 1)[0], event)
+
+    def health_quarantined(self, host):
+        """True if ``host`` is currently quarantined (False when unarmed)."""
+        return self._health is not None and self._health.is_quarantined(host)
+
+    def health_snapshot(self):
+        """Plain-dict view of peer health, for system reports."""
+        return self._health.snapshot() if self._health is not None else {}
 
     def breaker(self, key, **kwargs):
         """Get-or-create the shared :class:`CircuitBreaker` for ``key``.
@@ -192,8 +239,28 @@ class Network:
         if bandwidth_bps is None:
             bandwidth_bps = self._default_bandwidth_bps
         port = Port(self._sim, address, bandwidth_bps)
+        for prefix, factor in self._egress_slowdowns.items():
+            if address.startswith(prefix):
+                port.slowdown = factor
         self._ports[address] = port
         return port
+
+    def set_egress_slowdown(self, prefix, factor):
+        """Slow (or restore, with 1.0) egress on every ``prefix`` port.
+
+        Models a limping NIC: serialization time is multiplied by
+        ``factor``.  Applies to current ports and to ports attached
+        later under the same prefix (restarted endpoints limp too).
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor}")
+        if factor == 1.0:
+            self._egress_slowdowns.pop(prefix, None)
+        else:
+            self._egress_slowdowns[prefix] = factor
+        for address, port in self._ports.items():
+            if address.startswith(prefix):
+                port.slowdown = factor
 
     def detach(self, address):
         """Remove the port for ``address``; in-flight messages are lost."""
@@ -327,9 +394,23 @@ class Network:
         stats = self.stats
         faults = self.faults if self.faults.is_active else None
         for message in envelope.messages:
-            if faults is not None and faults.swallows(message, now):
-                stats.record_drop()
-                continue
+            if faults is not None:
+                verdict = faults.route(message, now)
+                if verdict is DROP:
+                    stats.record_drop()
+                    continue
+                if verdict is not None:
+                    # One copy per delay; delayed copies bypass fault
+                    # re-evaluation (a slow link charges its toll once,
+                    # and a duplicate cannot re-duplicate).
+                    for delay in verdict:
+                        if delay <= 0.0:
+                            self._deliver_direct(message)
+                        else:
+                            self._sim._schedule_call(
+                                self._make_direct_delivery(message), delay=delay
+                            )
+                    continue
             destination_port = ports.get(message.destination)
             if destination_port is None:
                 # Destination vanished (crashed / detached): silent
@@ -340,6 +421,27 @@ class Network:
             stats.record_delivery(message)
         envelope.messages.clear()
         self._envelope_pool.append(envelope)
+
+    def _make_direct_delivery(self, message):
+        """Bind ``message`` into a zero-arg callback for _schedule_call."""
+
+        def fire():
+            self._deliver_direct(message)
+
+        return fire
+
+    def _deliver_direct(self, message):
+        """Deliver ``message`` now, skipping the fault plan.
+
+        Used for delayed and duplicated copies whose fault disposition
+        was already decided when they first crossed the fabric.
+        """
+        destination_port = self._ports.get(message.destination)
+        if destination_port is None:
+            self.stats.record_drop()
+            return
+        destination_port.deliver(message)
+        self.stats.record_delivery(message)
 
     def transfer_time(self, size_bytes):
         """Ideal one-way time to move ``size_bytes`` (no contention)."""

@@ -7,11 +7,46 @@ Faults are expressed declaratively and attached to a
   only the first N matches or only within a time window.
 - :class:`Partition` — block all traffic between two address groups
   for a time window (or until healed).
+- :class:`PrefixPartition` — the same, matching by address prefix.
+- :class:`OneWayPartition` — an *asymmetric* partition: traffic from
+  one prefix group to the other is lost while the reverse direction
+  still flows (the classic gray failure: requests arrive, replies
+  vanish, or vice versa).
+- :class:`LinkFlap` — a bidirectional prefix partition that cycles
+  down/up on a fixed period, modelling a flapping switch port.
+- :class:`SlowLink` — latency inflation (plus seeded jitter) on
+  traffic crossing two prefix groups; messages still arrive, late.
+- :class:`DuplicateRule` — probabilistically deliver an extra copy of
+  matching messages after a seeded delay (a retransmitting middlebox).
+- :class:`ReorderRule` — probabilistically delay matching messages by
+  a bounded seeded skew, so later sends can overtake them.
 
 The layers above (transport retries, binding caches) are the code under
 test when faults fire; the fabric itself stays silent, exactly like a
 real switch dropping a frame.
+
+Every gray rule draws from its own ``random.Random(seed)``, so a given
+seed plus a given message sequence yields an identical fault trace —
+the property the chaos harness's determinism tests assert.
 """
+
+import random
+
+
+class _Disposition:
+    """Sentinel singleton namespace for :meth:`FaultPlan.route`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"<disposition {self.name}>"
+
+
+#: :meth:`FaultPlan.route` verdict: destroy the message.
+DROP = _Disposition("drop")
 
 
 class DropRule:
@@ -27,13 +62,16 @@ class DropRule:
         Simulated-time window in which the rule is active.
     """
 
-    def __init__(self, predicate=None, count=None, start=0.0, end=None):
+    kind = "drop"
+
+    def __init__(self, predicate=None, count=None, start=0.0, end=None, label=None):
         if count is not None and count < 1:
             raise ValueError(f"count must be >= 1 or None, got {count}")
         self._predicate = predicate
         self._remaining = count
         self._start = start
         self._end = end
+        self.label = label or "drop"
         self.dropped = 0
 
     def should_drop(self, message, now):
@@ -51,17 +89,24 @@ class DropRule:
         self.dropped += 1
         return True
 
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "dropped": self.dropped}
+
 
 class Partition:
     """A bidirectional partition between two sets of addresses."""
 
-    def __init__(self, group_a, group_b, start=0.0, end=None):
+    kind = "partition"
+
+    def __init__(self, group_a, group_b, start=0.0, end=None, label=None):
         self._group_a = frozenset(group_a)
         self._group_b = frozenset(group_b)
         if self._group_a & self._group_b:
             raise ValueError("partition groups must be disjoint")
         self._start = start
         self._end = end
+        self.label = label or "partition"
         self.blocked = 0
 
     def heal(self, now):
@@ -81,17 +126,15 @@ class Partition:
             self.blocked += 1
         return crosses
 
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "blocked": self.blocked}
 
-class PrefixPartition:
-    """A bidirectional partition between two address-*prefix* groups.
 
-    Where :class:`Partition` enumerates exact addresses, this matches
-    by prefix — the natural unit when isolating whole hosts, whose
-    endpoints mint fresh ``host/loid@counter`` addresses on every
-    restart and so cannot be enumerated up front.
-    """
+class _PrefixSides:
+    """Shared prefix-group matching for prefix-based rules."""
 
-    def __init__(self, prefixes_a, prefixes_b, start=0.0, end=None):
+    def __init__(self, prefixes_a, prefixes_b):
         self._prefixes_a = tuple(prefixes_a)
         self._prefixes_b = tuple(prefixes_b)
         if not self._prefixes_a or not self._prefixes_b:
@@ -99,16 +142,7 @@ class PrefixPartition:
         for a in self._prefixes_a:
             for b in self._prefixes_b:
                 if a.startswith(b) or b.startswith(a):
-                    raise ValueError(
-                        f"prefix groups overlap: {a!r} vs {b!r}"
-                    )
-        self._start = start
-        self._end = end
-        self.blocked = 0
-
-    def heal(self, now):
-        """End the partition at time ``now``."""
-        self._end = now
+                    raise ValueError(f"prefix groups overlap: {a!r} vs {b!r}")
 
     def _side(self, address):
         if any(address.startswith(p) for p in self._prefixes_a):
@@ -117,20 +151,336 @@ class PrefixPartition:
             return "b"
         return None
 
+    def _crosses(self, message):
+        source = self._side(message.source)
+        destination = self._side(message.destination)
+        return source is not None and destination is not None and source != destination
+
+
+class PrefixPartition(_PrefixSides):
+    """A bidirectional partition between two address-*prefix* groups.
+
+    Where :class:`Partition` enumerates exact addresses, this matches
+    by prefix — the natural unit when isolating whole hosts, whose
+    endpoints mint fresh ``host/loid@counter`` addresses on every
+    restart and so cannot be enumerated up front.
+    """
+
+    kind = "prefix-partition"
+
+    def __init__(self, prefixes_a, prefixes_b, start=0.0, end=None, label=None):
+        super().__init__(prefixes_a, prefixes_b)
+        self._start = start
+        self._end = end
+        self.label = label or "prefix-partition"
+        self.blocked = 0
+
+    def heal(self, now):
+        """End the partition at time ``now``."""
+        self._end = now
+
     def blocks(self, message, now):
         """True if the partition severs this message's path at ``now``."""
         if now < self._start:
             return False
         if self._end is not None and now >= self._end:
             return False
-        source = self._side(message.source)
-        destination = self._side(message.destination)
+        crosses = self._crosses(message)
+        if crosses:
+            self.blocked += 1
+        return crosses
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "blocked": self.blocked}
+
+
+class OneWayPartition(_PrefixSides):
+    """An asymmetric partition: ``from`` -> ``to`` traffic is lost.
+
+    Messages whose source matches ``from_prefixes`` and whose
+    destination matches ``to_prefixes`` are destroyed; the reverse
+    direction is untouched.  This is the gray failure a bidirectional
+    partition cannot model — a host that can hear the fleet but whose
+    replies never land (or one that talks but has gone deaf).
+    """
+
+    kind = "one-way-partition"
+
+    def __init__(self, from_prefixes, to_prefixes, start=0.0, end=None, label=None):
+        super().__init__(from_prefixes, to_prefixes)
+        self._start = start
+        self._end = end
+        self.label = label or "one-way"
+        self.blocked = 0
+
+    def heal(self, now):
+        """End the partition at time ``now``."""
+        self._end = now
+
+    def blocks(self, message, now):
+        """True if this message travels the severed direction at ``now``."""
+        if now < self._start:
+            return False
+        if self._end is not None and now >= self._end:
+            return False
         crosses = (
-            source is not None and destination is not None and source != destination
+            self._side(message.source) == "a"
+            and self._side(message.destination) == "b"
         )
         if crosses:
             self.blocked += 1
         return crosses
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "blocked": self.blocked}
+
+
+class LinkFlap(_PrefixSides):
+    """A prefix partition that cycles down/up on a fixed period.
+
+    From ``start`` to ``end`` the link between the two prefix groups
+    repeats a ``period_s`` cycle: *down* for the first ``down_s``
+    seconds of each period, up for the rest.  Phase is anchored at
+    ``start``, so the flap schedule is fully determined by its
+    parameters — no RNG involved.
+    """
+
+    kind = "link-flap"
+
+    def __init__(
+        self,
+        prefixes_a,
+        prefixes_b,
+        period_s,
+        down_s,
+        start=0.0,
+        end=None,
+        label=None,
+    ):
+        super().__init__(prefixes_a, prefixes_b)
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        if not 0 < down_s <= period_s:
+            raise ValueError(
+                f"down_s must be in (0, period_s], got {down_s} vs {period_s}"
+            )
+        self.period_s = period_s
+        self.down_s = down_s
+        self._start = start
+        self._end = end
+        self.label = label or "flap"
+        self.blocked = 0
+
+    def heal(self, now):
+        """End the flap schedule at time ``now``."""
+        self._end = now
+
+    def is_down(self, now):
+        """True while the link is in the down phase of its cycle."""
+        if now < self._start:
+            return False
+        if self._end is not None and now >= self._end:
+            return False
+        return (now - self._start) % self.period_s < self.down_s
+
+    def blocks(self, message, now):
+        """True if the link is down and this message crosses it."""
+        if not self.is_down(now):
+            return False
+        crosses = self._crosses(message)
+        if crosses:
+            self.blocked += 1
+        return crosses
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "blocked": self.blocked}
+
+
+class SlowLink(_PrefixSides):
+    """Latency inflation on traffic crossing two prefix groups.
+
+    Matching messages are delivered ``extra_s`` late, plus a uniform
+    seeded jitter in ``[0, jitter_s]`` drawn per message — so two
+    copies of the same logical payload (a retry, a hedge) take
+    independent samples of the bad link, which is exactly what makes
+    hedged requests effective against it.
+    """
+
+    kind = "slow-link"
+
+    def __init__(
+        self,
+        prefixes_a,
+        prefixes_b,
+        extra_s,
+        jitter_s=0.0,
+        seed=0,
+        start=0.0,
+        end=None,
+        label=None,
+    ):
+        super().__init__(prefixes_a, prefixes_b)
+        if extra_s < 0:
+            raise ValueError(f"extra_s must be >= 0, got {extra_s}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.extra_s = extra_s
+        self.jitter_s = jitter_s
+        self._rng = random.Random(seed)
+        self._start = start
+        self._end = end
+        self.label = label or "slow-link"
+        self.delayed = 0
+        self.delay_total_s = 0.0
+
+    def heal(self, now):
+        """End the degradation at time ``now``."""
+        self._end = now
+
+    def delay_for(self, message, now):
+        """Extra delivery delay for ``message`` (0.0 when unaffected)."""
+        if now < self._start:
+            return 0.0
+        if self._end is not None and now >= self._end:
+            return 0.0
+        if not self._crosses(message):
+            return 0.0
+        delay = self.extra_s
+        if self.jitter_s:
+            delay += self._rng.uniform(0.0, self.jitter_s)
+        self.delayed += 1
+        self.delay_total_s += delay
+        return delay
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "delayed": self.delayed,
+            "delay_total_s": self.delay_total_s,
+        }
+
+
+class ReorderRule:
+    """Bounded reordering: delay matching messages by a seeded skew.
+
+    With probability ``probability`` a matching message is held back by
+    a uniform draw in ``(0, max_skew_s]``, letting messages sent after
+    it arrive first.  The skew bound keeps the reordering *bounded* —
+    protocols may see old traffic late, but never unboundedly late.
+    """
+
+    kind = "reorder"
+
+    def __init__(
+        self,
+        probability,
+        max_skew_s,
+        predicate=None,
+        seed=0,
+        start=0.0,
+        end=None,
+        label=None,
+    ):
+        if not 0 < probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        if max_skew_s <= 0:
+            raise ValueError(f"max_skew_s must be > 0, got {max_skew_s}")
+        self.probability = probability
+        self.max_skew_s = max_skew_s
+        self._predicate = predicate
+        self._rng = random.Random(seed)
+        self._start = start
+        self._end = end
+        self.label = label or "reorder"
+        self.reordered = 0
+
+    def delay_for(self, message, now):
+        """Extra delivery delay for ``message`` (0.0 when unaffected)."""
+        if now < self._start:
+            return 0.0
+        if self._end is not None and now >= self._end:
+            return 0.0
+        if self._predicate is not None and not self._predicate(message):
+            return 0.0
+        if self._rng.random() >= self.probability:
+            return 0.0
+        self.reordered += 1
+        return self._rng.uniform(1e-9, self.max_skew_s)
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "reordered": self.reordered}
+
+
+class DuplicateRule:
+    """Probabilistic message duplication with a seeded copy delay.
+
+    With probability ``probability`` a matching message is delivered
+    *twice*: once normally, once after a uniform draw in
+    ``(0, spread_s]``.  ``count`` bounds the total duplications.  The
+    duplicate is the same wire message (same id), so the layer under
+    test is the transport's at-most-once dedupe — not the retry path
+    that used to be its only exerciser.
+    """
+
+    kind = "duplicate"
+
+    def __init__(
+        self,
+        probability,
+        spread_s=0.01,
+        predicate=None,
+        count=None,
+        seed=0,
+        start=0.0,
+        end=None,
+        label=None,
+    ):
+        if not 0 < probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        if spread_s <= 0:
+            raise ValueError(f"spread_s must be > 0, got {spread_s}")
+        if count is not None and count < 1:
+            raise ValueError(f"count must be >= 1 or None, got {count}")
+        self.probability = probability
+        self.spread_s = spread_s
+        self._predicate = predicate
+        self._remaining = count
+        self._rng = random.Random(seed)
+        self._start = start
+        self._end = end
+        self.label = label or "duplicate"
+        self.duplicated = 0
+
+    def copy_delays(self, message, now):
+        """Delays (relative to arrival) of extra copies; ``()`` if none."""
+        if now < self._start:
+            return ()
+        if self._end is not None and now >= self._end:
+            return ()
+        if self._remaining is not None and self._remaining <= 0:
+            return ()
+        if self._predicate is not None and not self._predicate(message):
+            return ()
+        if self._rng.random() >= self.probability:
+            return ()
+        if self._remaining is not None:
+            self._remaining -= 1
+        self.duplicated += 1
+        return (self._rng.uniform(1e-9, self.spread_s),)
+
+    def stats(self):
+        """Per-rule counter snapshot."""
+        return {"kind": self.kind, "label": self.label, "duplicated": self.duplicated}
+
+
+#: Aggregate counter keys a :class:`FaultPlan` accumulates across rules.
+_TOTAL_KEYS = ("dropped", "blocked", "delayed", "reordered", "duplicated")
 
 
 class FaultPlan:
@@ -139,11 +489,21 @@ class FaultPlan:
     def __init__(self):
         self._drop_rules = []
         self._partitions = []
+        self._delay_rules = []
+        self._duplicate_rules = []
+        # Counter totals folded in from rules removed by clear(), so
+        # post-run assertions stay readable after a heal.
+        self._cleared_totals = dict.fromkeys(_TOTAL_KEYS, 0)
 
     @property
     def is_active(self):
         """True when any fault is registered (fast-path check)."""
-        return bool(self._drop_rules or self._partitions)
+        return bool(
+            self._drop_rules
+            or self._partitions
+            or self._delay_rules
+            or self._duplicate_rules
+        )
 
     @property
     def drop_rules(self):
@@ -155,20 +515,61 @@ class FaultPlan:
         """The registered partitions (read-only view by convention)."""
         return list(self._partitions)
 
+    @property
+    def delay_rules(self):
+        """The registered delay rules — slow links and reorderers."""
+        return list(self._delay_rules)
+
+    @property
+    def duplicate_rules(self):
+        """The registered duplication rules."""
+        return list(self._duplicate_rules)
+
     def add_drop_rule(self, rule):
         """Register a :class:`DropRule` and return it."""
         self._drop_rules.append(rule)
         return rule
 
     def add_partition(self, partition):
-        """Register a :class:`Partition` and return it."""
+        """Register a partition-like rule (anything with ``blocks``).
+
+        :class:`Partition`, :class:`PrefixPartition`,
+        :class:`OneWayPartition`, and :class:`LinkFlap` all qualify.
+        """
         self._partitions.append(partition)
         return partition
 
+    def add_delay_rule(self, rule):
+        """Register a delay rule (:class:`SlowLink` / :class:`ReorderRule`)."""
+        self._delay_rules.append(rule)
+        return rule
+
+    def add_duplicate_rule(self, rule):
+        """Register a :class:`DuplicateRule` and return it."""
+        self._duplicate_rules.append(rule)
+        return rule
+
     def clear(self):
-        """Remove all faults."""
+        """Remove all faults, folding their counters into the totals.
+
+        :meth:`stats` keeps reporting everything the cleared rules did,
+        so a test can heal the network and still assert on how much
+        damage the plan inflicted.
+        """
+        totals = self._cleared_totals
+        for rule in (
+            self._drop_rules
+            + self._partitions
+            + self._delay_rules
+            + self._duplicate_rules
+        ):
+            for key, value in rule.stats().items():
+                if key in totals:
+                    totals[key] += value
         self._drop_rules.clear()
         self._partitions.clear()
+        self._delay_rules.clear()
+        self._duplicate_rules.clear()
 
     def swallows(self, message, now):
         """True if any active fault destroys ``message`` at ``now``."""
@@ -179,3 +580,53 @@ class FaultPlan:
             if rule.should_drop(message, now):
                 return True
         return False
+
+    def route(self, message, now):
+        """Full routing verdict for ``message`` at ``now``.
+
+        Returns ``None`` for a normal immediate delivery, :data:`DROP`
+        when the message is destroyed, or a tuple of extra delays — one
+        per copy to deliver, the first being the primary copy (0.0
+        means "now").  Destruction wins over degradation: a partitioned
+        message is gone even if a slow link also matched it.
+        """
+        if self.swallows(message, now):
+            return DROP
+        if not self._delay_rules and not self._duplicate_rules:
+            return None
+        delay = 0.0
+        for rule in self._delay_rules:
+            delay += rule.delay_for(message, now)
+        copies = None
+        for rule in self._duplicate_rules:
+            extra = rule.copy_delays(message, now)
+            if extra:
+                copies = extra if copies is None else copies + tuple(extra)
+        if delay <= 0.0 and copies is None:
+            return None
+        if copies is None:
+            return (delay,)
+        return (delay, *(delay + offset for offset in copies))
+
+    def stats(self):
+        """Aggregate + per-rule counter snapshot.
+
+        ``{"dropped", "blocked", "delayed", "reordered", "duplicated"}``
+        totals (including rules removed by :meth:`clear`), plus a
+        ``"rules"`` list with one entry per currently-registered rule.
+        """
+        totals = dict(self._cleared_totals)
+        rules = []
+        for rule in (
+            self._drop_rules
+            + self._partitions
+            + self._delay_rules
+            + self._duplicate_rules
+        ):
+            entry = rule.stats()
+            rules.append(entry)
+            for key, value in entry.items():
+                if key in totals:
+                    totals[key] += value
+        totals["rules"] = rules
+        return totals

@@ -36,6 +36,7 @@ class Port:
         "_bandwidth_bps",
         "_egress_free_at",
         "_inbox",
+        "slowdown",
         "bytes_sent",
         "bytes_received",
         "messages_sent",
@@ -50,6 +51,9 @@ class Port:
         self._bandwidth_bps = float(bandwidth_bps)
         self._egress_free_at = 0.0
         self._inbox = Queue(sim, name=f"{address}.inbox")
+        # Egress degradation multiplier (>= 1.0); a limping NIC
+        # serializes this many times slower than its rated bandwidth.
+        self.slowdown = 1.0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_sent = 0
@@ -72,7 +76,7 @@ class Port:
 
     def transmission_time(self, wire_bytes):
         """Seconds this port's transmitter is busy sending ``wire_bytes``."""
-        return wire_bytes / self._bandwidth_bps
+        return wire_bytes * self.slowdown / self._bandwidth_bps
 
     def reserve_egress(self, wire_bytes, now):
         """Reserve the transmitter for ``wire_bytes``; returns departure time.
@@ -85,7 +89,7 @@ class Port:
         start = self._egress_free_at
         if start < now:
             start = now
-        departure = start + wire_bytes / self._bandwidth_bps
+        departure = start + wire_bytes * self.slowdown / self._bandwidth_bps
         self._egress_free_at = departure
         self.bytes_sent += wire_bytes
         self.messages_sent += 1

@@ -119,6 +119,111 @@ DEFAULT_REQUEST_RETRY = RetryPolicy(
 )
 
 
+class RttEstimator:
+    """Jacobson/Karn round-trip estimation for one peer.
+
+    Keeps the classic smoothed-RTT / RTT-variance pair
+    (``srtt += err/8``, ``rttvar += (|err| - rttvar)/4``) and derives
+    the retransmission timeout as ``srtt + 4*rttvar``, clamped to
+    ``[min_rto_s, max_rto_s]``.  Like the retry policy above it is pure
+    arithmetic: callers feed it successful-attempt RTTs and ask it for
+    timeouts.  Karn's ambiguity problem mostly vanishes here because
+    the transport mints a fresh message id per attempt, so every reply
+    is matched to the exact attempt that earned it.
+
+    ``timeout_schedule(n)`` expands the single RTO into an n-step
+    per-attempt schedule growing geometrically, mirroring the shape of
+    the calibrated fixed schedules it substitutes for.
+    ``hedge_delay_s()`` answers when a backup request becomes worth
+    sending: around the high percentiles of the RTT distribution
+    (``srtt + 2*rttvar``), well before the timeout gives up.
+    """
+
+    #: Smoothing gains from RFC 6298 (alpha = 1/8, beta = 1/4).
+    ALPHA = 0.125
+    BETA = 0.25
+    #: Variance multiplier in the RTO formula.
+    K = 4.0
+
+    __slots__ = ("initial_rto_s", "min_rto_s", "max_rto_s", "srtt", "rttvar", "samples")
+
+    def __init__(self, initial_rto_s=1.0, min_rto_s=0.01, max_rto_s=60.0):
+        if initial_rto_s <= 0:
+            raise ValueError(f"initial_rto_s must be > 0, got {initial_rto_s}")
+        if not 0 < min_rto_s <= max_rto_s:
+            raise ValueError(
+                f"need 0 < min_rto_s <= max_rto_s, got {min_rto_s} / {max_rto_s}"
+            )
+        self.initial_rto_s = initial_rto_s
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.srtt = None
+        self.rttvar = None
+        self.samples = 0
+
+    def observe(self, rtt_s):
+        """Fold one measured round trip into the estimate."""
+        if rtt_s < 0:
+            raise ValueError(f"rtt must be >= 0, got {rtt_s}")
+        if self.srtt is None:
+            # First sample (RFC 6298 §2.2): srtt = R, rttvar = R/2.
+            self.srtt = rtt_s
+            self.rttvar = rtt_s / 2.0
+        else:
+            err = rtt_s - self.srtt
+            self.rttvar += self.BETA * (abs(err) - self.rttvar)
+            self.srtt += self.ALPHA * err
+        self.samples += 1
+
+    @property
+    def rto_s(self):
+        """Current retransmission timeout (initial RTO until warmed)."""
+        if self.srtt is None:
+            return self.initial_rto_s
+        rto = self.srtt + self.K * self.rttvar
+        if rto < self.min_rto_s:
+            return self.min_rto_s
+        if rto > self.max_rto_s:
+            return self.max_rto_s
+        return rto
+
+    def timeout_schedule(self, attempts, multiplier=2.0):
+        """Per-attempt timeouts: RTO doubling per attempt, capped."""
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        rto = self.rto_s
+        return tuple(
+            min(rto * multiplier**i, self.max_rto_s) for i in range(attempts)
+        )
+
+    def hedge_delay_s(self):
+        """Delay before a backup (hedged) request is worth sending.
+
+        ``srtt + 2*rttvar`` sits near the tail of the observed RTT
+        distribution: a healthy reply has usually landed by then, so a
+        hedge fired after it mostly costs nothing — and under a gray
+        peer it races a fresh sample against the slow one.  Falls back
+        to the initial RTO while cold.
+        """
+        if self.srtt is None:
+            return self.initial_rto_s
+        delay = self.srtt + 2.0 * self.rttvar
+        if delay < self.min_rto_s:
+            return self.min_rto_s
+        if delay > self.max_rto_s:
+            return self.max_rto_s
+        return delay
+
+    def __repr__(self):
+        if self.srtt is None:
+            return f"<RttEstimator cold rto={self.initial_rto_s:g}s>"
+        return (
+            f"<RttEstimator srtt={self.srtt * 1e3:.2f}ms "
+            f"rttvar={self.rttvar * 1e3:.2f}ms rto={self.rto_s * 1e3:.2f}ms "
+            f"n={self.samples}>"
+        )
+
+
 class CircuitState(enum.Enum):
     """The three classical circuit-breaker states."""
 

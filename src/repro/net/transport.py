@@ -407,6 +407,7 @@ class Endpoint:
         max_attempts=None,
         retry_policy=None,
         term=None,
+        hedge_delay_s=None,
     ):
         """Generator: send a request and wait for its reply.
 
@@ -421,6 +422,15 @@ class Endpoint:
         lockstep.  Raises :class:`RequestTimeout` when attempts are
         exhausted and :class:`RemoteError` when the remote handler
         raised.
+
+        With ``hedge_delay_s`` set (below the attempt timeout), an
+        attempt still unanswered after that delay sends a *backup* copy
+        with a fresh message id and races both replies for the rest of
+        the timeout — Dean's hedged request.  The backup is a real
+        second request, so it only belongs on idempotent operations;
+        a fresh id (rather than a dedupe-suppressed duplicate) is
+        deliberate, because a gray peer's problem is slowness, not
+        loss, and only an independently-executed copy cuts that tail.
         """
         if self._closed:
             raise TransportError(f"endpoint {self._address!r} is closed")
@@ -428,8 +438,13 @@ class Endpoint:
         max_attempts = self._max_attempts if max_attempts is None else max_attempts
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if hedge_delay_s is not None and hedge_delay_s >= timeout_s:
+            hedge_delay_s = None
         policy = retry_policy or self._retry_policy
+        network = self._network
         started = self._sim.now
+        from repro.sim.events import AnyOf
+
         for attempt in range(1, max_attempts + 1):
             if self._closed:
                 # Closed while backing off (e.g. our host crashed).
@@ -445,25 +460,60 @@ class Endpoint:
             reply_event = self._sim.event(name=f"reply#{message.message_id}")
             self._pending_replies[message.message_id] = reply_event
             self._transmit(message)
-            timeout = self._sim.timeout(timeout_s)
-            from repro.sim.events import AnyOf
-
-            outcome = yield AnyOf(self._sim, [reply_event, timeout])
+            hedge_event = None
+            if hedge_delay_s is None:
+                timeout = self._sim.timeout(timeout_s)
+                outcome = yield AnyOf(self._sim, [reply_event, timeout])
+            else:
+                hedge_timer = self._sim.timeout(hedge_delay_s)
+                outcome = yield AnyOf(self._sim, [reply_event, hedge_timer])
+                if reply_event in outcome:
+                    hedge_timer.cancel()
+                    timeout = hedge_timer  # only for the shared cancel below
+                else:
+                    # Primary is late: race a backup copy against it for
+                    # the remainder of the attempt budget.
+                    backup = Message(
+                        source=self._address,
+                        destination=destination,
+                        payload=payload,
+                        size_bytes=size_bytes,
+                        kind="request",
+                        term=term,
+                    )
+                    hedge_event = self._sim.event(name=f"reply#{backup.message_id}")
+                    self._pending_replies[backup.message_id] = hedge_event
+                    self._transmit(backup)
+                    network.count("transport.hedges")
+                    timeout = self._sim.timeout(timeout_s - hedge_delay_s)
+                    outcome = yield AnyOf(
+                        self._sim, [reply_event, hedge_event, timeout]
+                    )
+                    self._pending_replies.pop(backup.message_id, None)
             self._pending_replies.pop(message.message_id, None)
+            winner = None
             if reply_event in outcome:
-                # The reply won the race: cancel the guard timeout so it
+                winner = outcome[reply_event]
+            elif hedge_event is not None and hedge_event in outcome:
+                winner = outcome[hedge_event]
+                network.count("transport.hedge_wins")
+                network.health_observe(destination, "hedge_win")
+            if winner is not None:
+                # A reply won the race: cancel the guard timeout so it
                 # stops occupying the event queue and keeping run() alive.
                 timeout.cancel()
-                reply = outcome[reply_event]
-                if isinstance(reply.payload, _ErrorReply):
-                    raise RemoteError(destination, reply.payload.cause)
-                return reply.payload
+                if isinstance(winner.payload, _ErrorReply):
+                    network.health_observe(destination, "success")
+                    raise RemoteError(destination, winner.payload.cause)
+                network.health_observe(destination, "success")
+                return winner.payload
             if attempt < max_attempts:
-                self._network.count("retry.request_attempts")
+                network.count("retry.request_attempts")
                 backoff = policy.backoff_s(attempt)
                 if backoff > 0:
-                    self._network.count("retry.backoff_waits")
+                    network.count("retry.backoff_waits")
                     yield self._sim.timeout(backoff)
+        network.health_observe(destination, "timeout")
         raise RequestTimeout(destination, max_attempts, self._sim.now - started)
 
     # ------------------------------------------------------------------

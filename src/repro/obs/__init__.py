@@ -7,6 +7,7 @@ a runtime (network, caches, bindings, invokers, DFMs, managers) into
 one structured report.
 """
 
+from repro.obs.health import HealthRegistry, PeerHealth
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.report import SystemReport, collect_system_report, render_report
 from repro.obs.slo import SLO, SLOMonitor, SLOStatus
@@ -15,7 +16,9 @@ from repro.obs.trace import TraceEvent, Tracer
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthRegistry",
     "MetricsRegistry",
+    "PeerHealth",
     "SLO",
     "SLOMonitor",
     "SLOStatus",

@@ -1,0 +1,210 @@
+"""Per-peer health scoring and quarantine.
+
+A :class:`HealthRegistry` keeps one :class:`PeerHealth` score per host,
+fed by signals the transport and failure-detector layers already
+produce: request successes, request timeouts, hedge wins (the primary
+was slow enough that the backup answered first), and detector
+suspicions.  The score is an EWMA-style value in (0, 1]:
+
+- success     -> s += alpha * (1 - s)   (slow recovery toward 1)
+- timeout     -> s *= (1 - 0.25)        (sharp penalty)
+- hedge_win   -> s *= (1 - 0.10)        (mild penalty: slow, not dead)
+- suspicion   -> s *= 0.5               (detector-grade evidence)
+
+Quarantine uses hysteresis: a host is quarantined when its score falls
+below ``quarantine_below`` and released only once it climbs back above
+``recover_above``, so a peer oscillating near the threshold does not
+flap in and out of the routing plan.  Quarantine is advice, not
+enforcement — routing layers (the manager's relay waves) consult it to
+steer work around gray peers, while invariant-critical traffic (acks,
+fencing) still flows.
+
+Quarantine alone would deadlock: the score only rises on successes,
+and a fully quarantined peer receives no traffic that could succeed.
+So :meth:`~HealthRegistry.is_quarantined` goes *half-open* once
+``probation_s`` has elapsed since the peer's last negative signal —
+probe traffic is admitted, a failed probe re-arms the window, and a
+healed peer's successes keep the window open until the score climbs
+back over ``recover_above``.  (Circuit-breaker probation, applied to
+peers instead of endpoints.)
+"""
+
+
+class PeerHealth:
+    """The health score and quarantine state of one host."""
+
+    __slots__ = (
+        "host",
+        "score",
+        "quarantined",
+        "successes",
+        "timeouts",
+        "hedge_wins",
+        "suspicions",
+        "quarantines",
+        "probes",
+        "last_change_at",
+        "last_penalty_at",
+    )
+
+    def __init__(self, host):
+        self.host = host
+        self.score = 1.0
+        self.quarantined = False
+        self.successes = 0
+        self.timeouts = 0
+        self.hedge_wins = 0
+        self.suspicions = 0
+        self.quarantines = 0
+        self.probes = 0
+        self.last_change_at = 0.0
+        self.last_penalty_at = 0.0
+
+    def snapshot(self):
+        """Plain-dict view for reports."""
+        return {
+            "score": round(self.score, 4),
+            "quarantined": self.quarantined,
+            "successes": self.successes,
+            "timeouts": self.timeouts,
+            "hedge_wins": self.hedge_wins,
+            "suspicions": self.suspicions,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+        }
+
+    def __repr__(self):
+        state = "quarantined" if self.quarantined else "ok"
+        return f"<PeerHealth {self.host} score={self.score:.3f} {state}>"
+
+
+#: Multiplicative penalty per signal kind (complement of the decay).
+_PENALTIES = {"timeout": 0.25, "hedge_win": 0.10, "suspicion": 0.50}
+
+
+class HealthRegistry:
+    """Fleet-wide peer health, shared via the network fabric.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator (timestamps state changes).
+    recovery_alpha:
+        Fraction of the remaining headroom recovered per success.
+    quarantine_below / recover_above:
+        Hysteresis band for entering / leaving quarantine.
+    probation_s:
+        Half-open window: once this long has passed since the peer's
+        last negative signal, :meth:`is_quarantined` admits probe
+        traffic again so a healed peer can earn its way out.
+    metrics:
+        Optional :class:`MetricsRegistry` mirror for counters
+        (``health.quarantines`` / ``health.recoveries`` /
+        ``health.probes``).
+    """
+
+    def __init__(
+        self,
+        sim,
+        recovery_alpha=0.2,
+        quarantine_below=0.35,
+        recover_above=0.75,
+        probation_s=10.0,
+        metrics=None,
+    ):
+        if not 0 < recovery_alpha <= 1:
+            raise ValueError(f"recovery_alpha must be in (0, 1], got {recovery_alpha}")
+        if not 0 < quarantine_below < recover_above <= 1:
+            raise ValueError(
+                "need 0 < quarantine_below < recover_above <= 1, got "
+                f"{quarantine_below} / {recover_above}"
+            )
+        if probation_s <= 0:
+            raise ValueError(f"probation_s must be positive, got {probation_s}")
+        self._sim = sim
+        self._recovery_alpha = recovery_alpha
+        self._quarantine_below = quarantine_below
+        self._recover_above = recover_above
+        self._probation_s = probation_s
+        self._metrics = metrics
+        self._peers = {}
+
+    def peer(self, host):
+        """Get-or-create the :class:`PeerHealth` record for ``host``."""
+        record = self._peers.get(host)
+        if record is None:
+            record = self._peers[host] = PeerHealth(host)
+        return record
+
+    def observe(self, host, event):
+        """Fold one signal into ``host``'s score; returns the record.
+
+        ``event`` is ``"success"`` / ``"timeout"`` / ``"hedge_win"`` /
+        ``"suspicion"``; anything else raises.
+        """
+        record = self.peer(host)
+        if event == "success":
+            record.successes += 1
+            record.score += self._recovery_alpha * (1.0 - record.score)
+        elif event in _PENALTIES:
+            if event == "timeout":
+                record.timeouts += 1
+            elif event == "hedge_win":
+                record.hedge_wins += 1
+            else:
+                record.suspicions += 1
+            record.score *= 1.0 - _PENALTIES[event]
+            record.last_penalty_at = self._sim.now
+        else:
+            raise ValueError(f"unknown health event {event!r}")
+        self._update_quarantine(record)
+        return record
+
+    def _update_quarantine(self, record):
+        if not record.quarantined and record.score < self._quarantine_below:
+            record.quarantined = True
+            record.quarantines += 1
+            record.last_change_at = self._sim.now
+            if self._metrics is not None:
+                self._metrics.counter("health.quarantines").increment()
+        elif record.quarantined and record.score > self._recover_above:
+            record.quarantined = False
+            record.last_change_at = self._sim.now
+            if self._metrics is not None:
+                self._metrics.counter("health.recoveries").increment()
+
+    def is_quarantined(self, host):
+        """True if ``host`` is quarantined and not yet on probation.
+
+        A quarantined peer goes half-open ``probation_s`` after its
+        last negative signal: this returns False so routing layers send
+        probe traffic.  A probe that times out re-arms the window; a
+        probe that succeeds keeps it open, letting successes accumulate
+        until the score recrosses ``recover_above``.
+        """
+        record = self._peers.get(host)
+        if record is None or not record.quarantined:
+            return False
+        if self._sim.now - record.last_penalty_at >= self._probation_s:
+            record.probes += 1
+            if self._metrics is not None:
+                self._metrics.counter("health.probes").increment()
+            return False
+        return True
+
+    def quarantined_hosts(self):
+        """Sorted names of every quarantined host."""
+        return sorted(
+            host for host, record in self._peers.items() if record.quarantined
+        )
+
+    def score(self, host):
+        """Current score for ``host`` (1.0 if never observed)."""
+        record = self._peers.get(host)
+        return 1.0 if record is None else record.score
+
+    def snapshot(self):
+        """Plain-dict view of every tracked peer, for reports."""
+        return {
+            host: record.snapshot() for host, record in sorted(self._peers.items())
+        }

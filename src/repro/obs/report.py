@@ -39,6 +39,13 @@ class SystemReport:
     #: Per-host availability ledger: up/down now, crash count,
     #: cumulative downtime seconds.
     availability: dict = field(default_factory=dict)
+    #: Fault-plan injection totals (dropped/blocked/delayed/reordered/
+    #: duplicated) plus per-rule counters — what the chaos harness
+    #: actually inflicted, as opposed to what the system suffered.
+    fault_plan: dict = field(default_factory=dict)
+    #: Per-peer health scores and quarantine state (empty unless the
+    #: fabric's health registry was armed).
+    health: dict = field(default_factory=dict)
 
     @property
     def total_active_objects(self):
@@ -130,6 +137,8 @@ def collect_system_report(runtime):
             }
         report.types[type_name] = entry
     report.faults = runtime.network.metrics.snapshot()
+    report.fault_plan = runtime.network.faults.stats()
+    report.health = runtime.network.health_snapshot()
     report.breakers = runtime.network.breakers_snapshot()
     report.slos = runtime.network.slo_snapshot()
     return report
@@ -226,6 +235,37 @@ def render_report(report):
             f"  availability {name}: {state}, {entry['crashes']} crash(es), "
             f"{entry['downtime_s']:.1f}s down"
         )
+    suspicions = report.faults.get("detector.suspicions", 0)
+    false_positives = report.faults.get("detector.false_positives", 0)
+    if suspicions or false_positives:
+        lines.append(
+            f"  availability detector: {suspicions} suspicion(s), "
+            f"{false_positives} false positive(s) (suspected then recovered)"
+        )
+    for name, peer in sorted(report.health.items()):
+        state = "QUARANTINED" if peer["quarantined"] else "ok"
+        lines.append(
+            f"  health {name}: {state}, score {peer['score']:.2f} "
+            f"({peer['successes']} ok / {peer['timeouts']} timeouts / "
+            f"{peer['hedge_wins']} hedge wins / {peer['suspicions']} suspicions)"
+        )
+    plan = report.fault_plan
+    if plan and any(plan.get(key) for key in
+                    ("dropped", "blocked", "delayed", "reordered", "duplicated")):
+        lines.append(
+            "fault plan: {dropped} dropped, {blocked} blocked, "
+            "{delayed} delayed, {reordered} reordered, "
+            "{duplicated} duplicated".format(**plan)
+        )
+        for rule in plan.get("rules", ()):
+            counters = ", ".join(
+                f"{key} {value}"
+                for key, value in rule.items()
+                if key not in ("kind", "label") and value
+            )
+            lines.append(
+                f"  rule {rule['label']} [{rule['kind']}]: {counters or 'idle'}"
+            )
     if report.faults:
         lines.append("fault/recovery counters:")
         for name, value in sorted(report.faults.items()):

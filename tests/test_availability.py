@@ -555,3 +555,172 @@ def test_manager_fault_kinds_extend_legacy_schedule_deterministically():
         extended.partitions,
         extended.drops,
     )
+
+
+# ----------------------------------------------------------------------
+# Gray failures: phi-accrual vs fixed-threshold detection
+# ----------------------------------------------------------------------
+
+
+def _run_detector_against_slow_manager(mode):
+    """One fleet whose manager link turns gray (slow, not dead) for a
+    window; returns (detector, runtime) after the window heals."""
+    from repro.net import SlowLink
+
+    runtime, manager, journal, __ = build_fleet(instances=1)
+    detector = HeartbeatFailureDetector(
+        runtime,
+        runtime.host("host03"),
+        interval_s=0.5,
+        timeout_s=0.4,
+        suspicion_threshold=3,
+        mode=mode,
+    )
+    loid = manager.loid
+    detector.watch(
+        "Sorter",
+        lambda: runtime.binding_agent.current_address(loid),
+        on_suspect=lambda key: None,
+    )
+    base = runtime.sim.now
+    # Probe RTT inflates to ~0.6-0.7 s: over the fixed 0.4 s reply
+    # timeout, under phi mode's stretched 1.0 s wait.
+    runtime.network.faults.add_delay_rule(
+        SlowLink(
+            ["host03/"],
+            ["host00/"],
+            extra_s=0.3,
+            jitter_s=0.03,
+            seed=1,
+            start=base + 2.0,
+            end=base + 20.0,
+        )
+    )
+    runtime.sim.run(until=base + 30.0)
+    detector.stop()
+    return detector, runtime
+
+
+def test_fixed_threshold_detector_false_positives_on_slow_peer():
+    detector, runtime = _run_detector_against_slow_manager("threshold")
+    # Every probe in the gray window missed the 0.4 s wait: the alive
+    # manager was suspected, then "recovered" when the link healed —
+    # a false positive by construction.
+    assert detector.false_positives >= 1
+    assert runtime.network.count_value("detector.suspicions") >= 1
+    assert runtime.network.count_value("detector.false_positives") >= 1
+
+
+def test_phi_detector_tolerates_slow_but_alive_peer():
+    detector, runtime = _run_detector_against_slow_manager("phi")
+    # Late replies kept resetting the accrual clock: slow was never
+    # declared dead.
+    assert detector.false_positives == 0
+    assert runtime.network.count_value("detector.suspicions") == 0
+    assert detector.phi("Sorter") < detector.phi_threshold
+
+
+def test_phi_mode_lowers_false_positives_vs_fixed_threshold():
+    """Satellite: the same gray window, both modes — phi-accrual must
+    strictly lower the suspected-then-recovered count."""
+    fixed, __ = _run_detector_against_slow_manager("threshold")
+    phi, __ = _run_detector_against_slow_manager("phi")
+    assert phi.false_positives < fixed.false_positives
+
+
+def test_phi_detector_still_suspects_an_actually_dead_manager():
+    """Phi tolerance must not cost detection: a crashed manager's phi
+    accrues past the threshold in bounded time."""
+    runtime, manager, journal, __ = build_fleet(instances=1)
+    events = []
+    detector = HeartbeatFailureDetector(
+        runtime,
+        runtime.host("host03"),
+        interval_s=0.5,
+        timeout_s=0.4,
+        suspicion_threshold=3,
+        mode="phi",
+    )
+    loid = manager.loid
+    detector.watch(
+        "Sorter",
+        lambda: runtime.binding_agent.current_address(loid),
+        on_suspect=lambda key: events.append(runtime.sim.now),
+    )
+    base = runtime.sim.now
+    runtime.sim.run(until=base + 5.0)  # warm the gap window
+    crash_host(runtime, runtime.host("host00"))
+    runtime.sim.run(until=base + 60.0)
+    assert events, "phi detector never suspected a dead manager"
+    # Bounded detection: ~18.4 mean gaps at the 0.5 s interval plus
+    # probe overhead, nowhere near the 55 s window end.
+    assert events[0] - (base + 5.0) < 30.0
+    assert detector.false_positives == 0
+    detector.stop()
+
+
+def test_obs_report_renders_detector_false_positives():
+    from repro.obs import collect_system_report, render_report
+
+    detector, runtime = _run_detector_against_slow_manager("threshold")
+    report = collect_system_report(runtime)
+    assert report.faults.get("detector.false_positives", 0) >= 1
+    rendered = render_report(report)
+    assert "false positive(s) (suspected then recovered)" in rendered
+
+
+def _run_supervisor_behind_gray_link(detector_mode):
+    """A supervised healthy-but-slow primary; returns the supervisor's
+    promotion count after the gray window heals."""
+    from repro.net import SlowLink
+
+    runtime, manager, journal, loids = build_fleet(
+        instances=1,
+        update_policy=ReliableUpdatePolicy(retry_policy=FAST_RETRY),
+    )
+    supervisor = Supervisor(
+        runtime,
+        "Sorter",
+        standby_hosts=("host02", "host03"),
+        detector_host_name="host04",
+        heartbeat_interval_s=0.5,
+        heartbeat_timeout_s=0.4,
+        suspicion_threshold=3,
+        detector_mode=detector_mode,
+        retry_policy=FAST_RETRY,
+    ).start()
+    base = runtime.sim.now
+    runtime.network.faults.add_delay_rule(
+        SlowLink(
+            ["host04/"],
+            ["host00/"],
+            extra_s=0.3,
+            jitter_s=0.03,
+            seed=2,
+            start=base + 2.0,
+            end=base + 25.0,
+        )
+    )
+    runtime.sim.run(until=base + 45.0)
+    runtime.sim.run()
+    promotions = supervisor.promotions
+    supervisor.stop()
+    return promotions, runtime, manager
+
+
+def test_fixed_threshold_supervisor_flaps_on_slow_manager():
+    promotions, runtime, manager = _run_supervisor_behind_gray_link("threshold")
+    # The gray link read as death: a needless failover fired.
+    assert promotions >= 1
+
+
+def test_phi_supervisor_keeps_slow_manager_in_office():
+    """Tentpole acceptance: slow is not dead — a phi-supervised fleet
+    rides out the gray window with zero promotions and the original
+    authority still in office at its original term."""
+    promotions, runtime, manager = _run_supervisor_behind_gray_link("phi")
+    assert promotions == 0
+    current = runtime.class_of("Sorter")
+    assert current is manager
+    assert current.is_active and not current.deposed
+    assert current.term == 1

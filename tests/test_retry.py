@@ -315,3 +315,184 @@ def test_invoker_without_policy_keeps_bare_schedule_timing(runtime):
     assert result == 5
     # Back-to-back schedule steps: ~1s timeout + the quick second try.
     assert runtime.sim.now - started < 2.0
+
+
+# ----------------------------------------------------------------------
+# Adaptive timeouts: Jacobson/Karn RTT estimation
+# ----------------------------------------------------------------------
+
+
+def _make_estimator(**kwargs):
+    from repro.net import RttEstimator
+
+    return RttEstimator(**kwargs)
+
+
+def test_estimator_cold_state_uses_initial_rto():
+    estimator = _make_estimator(initial_rto_s=2.0)
+    assert estimator.samples == 0
+    assert estimator.rto_s == 2.0
+    assert estimator.hedge_delay_s() == 2.0
+    assert estimator.timeout_schedule(3) == (2.0, 4.0, 8.0)
+
+
+def test_estimator_first_sample_seeds_srtt_and_variance():
+    estimator = _make_estimator()
+    estimator.observe(0.1)
+    # RFC 6298 first sample: srtt = R, rttvar = R/2, rto = R + 4*R/2.
+    assert estimator.srtt == pytest.approx(0.1)
+    assert estimator.rttvar == pytest.approx(0.05)
+    assert estimator.rto_s == pytest.approx(0.3)
+
+
+def test_estimator_converges_on_stable_rtt():
+    estimator = _make_estimator()
+    for __ in range(200):
+        estimator.observe(0.02)
+    # Variance decays to ~0 on a steady peer; RTO hugs the RTT (floored
+    # by min_rto_s).
+    assert estimator.srtt == pytest.approx(0.02, rel=1e-3)
+    assert estimator.rto_s < 0.025
+    assert estimator.hedge_delay_s() < 0.025
+
+
+def test_estimator_variance_widens_rto_under_jittery_rtt():
+    steady = _make_estimator()
+    jittery = _make_estimator()
+    for index in range(100):
+        steady.observe(0.05)
+        jittery.observe(0.02 if index % 2 == 0 else 0.08)
+    # Same mean, very different spread: the jittery peer earns the
+    # longer timeout.
+    assert jittery.srtt == pytest.approx(steady.srtt, abs=0.005)
+    assert jittery.rto_s > 2.0 * steady.rto_s
+
+
+def test_estimator_clamps_to_min_and_max_rto():
+    fast = _make_estimator(min_rto_s=0.5)
+    for __ in range(50):
+        fast.observe(0.001)
+    assert fast.rto_s == 0.5
+    slow = _make_estimator(max_rto_s=10.0)
+    for __ in range(50):
+        slow.observe(30.0)
+    assert slow.rto_s == 10.0
+    assert slow.timeout_schedule(4) == (10.0,) * 4
+    assert slow.hedge_delay_s() == 10.0
+
+
+def test_estimator_rejects_bad_parameters_and_samples():
+    with pytest.raises(ValueError):
+        _make_estimator(initial_rto_s=0.0)
+    with pytest.raises(ValueError):
+        _make_estimator(min_rto_s=2.0, max_rto_s=1.0)
+    estimator = _make_estimator()
+    with pytest.raises(ValueError):
+        estimator.observe(-0.1)
+    with pytest.raises(ValueError):
+        estimator.timeout_schedule(0)
+
+
+def test_adaptive_invoker_shrinks_timeouts_after_warmup(runtime):
+    """Once warmed on real RTTs, the adaptive schedule replaces the
+    calibrated worst-case walk: a dropped request is re-tried within
+    milliseconds instead of the calibrated ~30 s first step."""
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance())
+    client = runtime.make_client("host01")
+    client.invoker.enable_adaptive_timeouts()
+    for __ in range(20):  # warm the per-peer estimator
+        client.call_sync(loid, "inc", 1)
+    estimator = client.invoker.estimator_for(
+        runtime.binding_agent.current_address(loid)
+    )
+    assert estimator.samples == 20
+    calibrated_first = client.invoker._calibration.rebind_timeout_schedule_s[0]
+    assert estimator.rto_s < calibrated_first / 10.0
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("op") == "invoke",
+            count=1,
+        )
+    )
+    started = runtime.sim.now
+    assert client.call_sync(loid, "inc", 1) == 21
+    # The retry fired on the adaptive RTO, far below the calibrated
+    # first step (even with the 15% schedule jitter).
+    assert runtime.sim.now - started < calibrated_first / 2.0
+
+
+def test_adaptive_invoker_respects_explicit_schedules(runtime):
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance())
+    client = runtime.make_client("host01")
+    client.invoker.enable_adaptive_timeouts()
+    for __ in range(5):
+        client.call_sync(loid, "inc", 1)
+    runtime.network.faults.add_drop_rule(
+        DropRule(
+            predicate=lambda m: m.kind == "request"
+            and isinstance(m.payload, dict)
+            and m.payload.get("op") == "invoke",
+            count=1,
+        )
+    )
+    started = runtime.sim.now
+    assert client.call_sync(loid, "inc", 1, timeout_schedule=(3.0, 3.0)) == 6
+    # The explicit 3 s first step ran, not the millisecond RTO.
+    assert runtime.sim.now - started > 2.0
+
+
+def test_hedged_invocation_beats_gray_peer(runtime):
+    """An armed invoker with ``hedge=True`` races a backup against a
+    limping reply path and returns at hedge speed, not timeout speed."""
+    from repro.net import ReorderRule
+
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance(host_name="host02"))
+    client = runtime.make_client("host01")
+    client.invoker.enable_hedging(delay_s=0.05)
+    assert client.invoker.hedging_enabled
+    # Hold back exactly one invoke request so its hedge overtakes it.
+    held = []
+
+    def first_invoke_only(message):
+        if (
+            message.kind == "request"
+            and isinstance(message.payload, dict)
+            and message.payload.get("op") == "invoke"
+            and not held
+        ):
+            held.append(message.message_id)
+        return message.message_id in held
+
+    runtime.network.faults.add_delay_rule(
+        ReorderRule(
+            probability=1.0, max_skew_s=5.0, predicate=first_invoke_only, seed=2
+        )
+    )
+    started = runtime.sim.now
+    result = runtime.sim.run_process(
+        client.invoker.invoke(loid, "get", (), hedge=True)
+    )
+    assert result == 0
+    assert runtime.sim.now - started < 1.0
+    assert runtime.network.count_value("transport.hedge_wins") == 1
+
+
+def test_unarmed_invoker_ignores_hedge_flag(runtime):
+    make_counter_class(runtime)
+    class_object = runtime.class_of("Counter")
+    loid = runtime.sim.run_process(class_object.create_instance())
+    client = runtime.make_client("host01")
+    assert not client.invoker.hedging_enabled
+    result = runtime.sim.run_process(
+        client.invoker.invoke(loid, "inc", (1,), hedge=True)
+    )
+    assert result == 1
+    assert runtime.network.count_value("transport.hedges") == 0
