@@ -44,6 +44,14 @@ skipped, exactly-once must hold across all waves, and the phi-accrual
 supervisor must ride out a gray manager link with zero promotions
 where the fixed-threshold one flaps.
 
+``--shard`` gates the P8 sharded-plane invariants on a freshly
+produced ``BENCH_shard.json``: full-fleet wave throughput at 4 shards
+must reach 3x the single-shard rung with per-shard efficiency >= 0.8
+(near-linear scaling), single-shard recovery must replay only the
+failed shard's journal (share of plane-wide entries under the
+recorded ceiling), and the live split mid-wave must lose nothing and
+apply the in-flight version exactly once everywhere.
+
 ``--scale`` gates the P6 kernel/runtime scale invariants on a freshly
 produced ``BENCH_scale.json``: the largest measured fleet must reach
 ``--scale-floor`` live instances (default 100,000; CI smoke runs pass
@@ -351,6 +359,64 @@ def check_p7(path):
     return failures
 
 
+def check_p8(path):
+    """Gate the P8 sharded-plane invariants; returns failure strings."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        rungs = extra["rungs"]
+        scaling = extra["scaling_4v1"]
+        scaling_floor = extra["scaling_floor"]
+        efficiency_floor = extra["efficiency_floor"]
+        recovery = extra["recovery"]
+        recovery_ceiling = extra["recovery_share_ceiling"]
+        split = extra["split"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P8 result?")
+    failures = []
+    for count in sorted(rungs, key=int):
+        entry = rungs[count]
+        print(
+            f"P8 {count:>2} shard(s): wave {entry['wave_s'] * 1000:8.2f} ms, "
+            f"{entry['throughput_per_s']:10,.0f} inst/s"
+        )
+    if scaling is None:
+        failures.append("shard ladder skipped the 4-shard rung — no scaling gate")
+    else:
+        if scaling < scaling_floor:
+            failures.append(
+                f"wave throughput at 4 shards only {scaling:.2f}x one shard "
+                f"(floor {scaling_floor:.0f}x)"
+            )
+        if scaling / 4.0 < efficiency_floor:
+            failures.append(
+                f"per-shard efficiency {scaling / 4.0:.2f} at 4 shards below "
+                f"the {efficiency_floor:.0%}-of-linear floor"
+            )
+    if recovery["replay_share"] > recovery_ceiling:
+        failures.append(
+            f"single-shard recovery replayed {recovery['replay_share']:.1%} "
+            f"of the plane's journal entries (ceiling "
+            f"{recovery_ceiling:.0%}) — recovery is no longer per-shard"
+        )
+    if split["lost"] != 0 or split["duplicated_applies"] != 0 or split["stragglers"] != 0:
+        failures.append(
+            f"live split mid-wave: {split['lost']} lost, "
+            f"{split['duplicated_applies']} duplicated, "
+            f"{split['stragglers']} stragglers — exactly-once across the "
+            f"handoff broken"
+        )
+    status = "OK" if not failures else "REGRESSED"
+    print(
+        f"P8 scaling {scaling:.2f}x at 4 shards (floor {scaling_floor:.0f}x, "
+        f"efficiency floor {efficiency_floor:.0%}), recovery replay share "
+        f"{recovery['replay_share']:.1%} (ceiling {recovery_ceiling:.0%}), "
+        f"split lost/dup {split['lost']}/{split['duplicated_applies']} {status}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -387,6 +453,11 @@ def main(argv=None):
         help="freshly generated BENCH_gray.json to gate P7 invariants",
     )
     parser.add_argument(
+        "--shard",
+        default=None,
+        help="freshly generated BENCH_shard.json to gate P8 invariants",
+    )
+    parser.add_argument(
         "--scale-floor",
         type=int,
         default=100_000,
@@ -406,6 +477,8 @@ def main(argv=None):
         failures += check_p6(args.scale, args.scale_floor)
     if args.gray:
         failures += check_p7(args.gray)
+    if args.shard:
+        failures += check_p8(args.shard)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

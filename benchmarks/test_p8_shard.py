@@ -1,0 +1,44 @@
+"""P8 — sharded-plane scaling ladder; writes BENCH_shard.json.
+
+The full 10,240-instance fleet takes a minute or two of wall time;
+CI smoke runs set ``P8_FLEET=2048`` to measure a reduced fleet (the
+scaling and exactly-once gates are ratios and counts, so they hold
+unchanged at the reduced size).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p8
+from repro.bench.experiments.p8_shard import FLEET
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard.json"
+
+
+def _fleet():
+    spec = os.environ.get("P8_FLEET", "").strip()
+    return int(spec) if spec else FLEET
+
+
+def test_p8_shard(benchmark):
+    result = run_experiment(
+        benchmark, lambda seed: run_p8(seed=seed, fleet=_fleet())
+    )
+    benchmark.extra_info["scaling_4v1"] = result.extra["scaling_4v1"]
+    benchmark.extra_info["rungs"] = result.extra["rungs"]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

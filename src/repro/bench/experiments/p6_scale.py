@@ -253,10 +253,19 @@ def _build_fleet(seed, scale):
         for component in components:
             variant = component.variant_for_host(host)
             host.cache.insert(variant.blob_id, variant.size_bytes)
-    for index in range(scale):
-        runtime.sim.run_process(
-            manager.create_instance(host_name=host_names[index % host_count])
-        )
+    def build_driver():
+        # One driver process creating the whole fleet sequentially:
+        # measurably cheaper than one ``run_process`` per instance
+        # (each pays kernel start/stop bookkeeping) and cheaper than a
+        # concurrency window (whose extra event churn costs more than
+        # the contention it avoids — creates serialize on host CPU and
+        # ICO ports anyway).
+        for index in range(scale):
+            yield from manager.create_instance(
+                host_name=host_names[index % host_count]
+            )
+
+    runtime.sim.run_process(build_driver())
     builder = ComponentBuilder("upgrade")
     builder.function("upgrade_fn", _noop_body)
     builder.variant(size_bytes=UPGRADE_BYTES)
@@ -371,6 +380,14 @@ def run_p6(seed=0, scales=SCALES):
             "flat across scales",
             millis(wave["wave_s"]),
             "ms",
+        )
+        # Build cost is harness overhead, not wave cost: report it on
+        # its own row so a 60 s fleet build never reads as wave time.
+        result.add(
+            f"{scale} instances: fleet build (excluded from wave)",
+            "reported separately",
+            f"{wave['build_wall_s']:.1f}",
+            "s",
         )
         result.add(
             f"{scale} instances: binding-agent resolves during wave",

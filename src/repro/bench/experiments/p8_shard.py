@@ -1,0 +1,377 @@
+"""P8 — sharded manager plane: wave throughput scales with shards.
+
+Every prior PR hardened the paper's one-manager-per-type authority
+without removing it as a bottleneck: a full-fleet evolution wave
+serializes every update RPC through one manager object on one host
+port.  PR 9 shards the DCDO table behind a replicated partition map;
+this experiment measures what that buys and what it must not cost:
+
+1. *Shard-scaling ladder* — ONE 10,240-instance fleet is built under
+   8 shards, then merged live (``merge_shards``, the same handoff path
+   clients race against) down the ladder 8 -> 4 -> 2 -> 1.  At each
+   rung a fresh upgrade component is configured plane-wide and a full
+   windowed wave drives every instance to the new version; throughput
+   is instances per *simulated* second.  The fleet is built once and
+   reused across rungs — build cost is reported on its own row, never
+   inside a wave.  Gates: >= 3x throughput at 4 shards vs 1, and
+   per-shard efficiency >= 0.8 (4 shards must deliver >= 80% of
+   4x-linear).
+2. *Single-shard recovery* — at the 8-shard stage one shard's manager
+   is killed and rebuilt via :func:`recover_manager` from its own
+   journal.  The gate is blast-radius: replay touches only the failed
+   shard's journal (~1/8 of the plane's entries), not a fleet-wide
+   log.
+3. *Live split mid-wave* — at the 1-shard end, a wave is launched
+   asynchronously and ``split_shard`` fires while it is in flight, so
+   the handoff copies rows whose updates are concurrently being
+   applied.  Gates: zero instances lost, every instance reaches the
+   new version, and no instance applies it twice (map-commit-ordered
+   handoff + version-id idempotence).
+"""
+
+import time
+
+from repro.bench.harness import ExperimentResult, millis
+from repro.cluster.testbed import build_lan
+from repro.core import ComponentBuilder
+from repro.core.recovery import recover_manager
+from repro.core.shardplane import ShardedManagerPlane
+from repro.legion import LegionRuntime
+from repro.workloads import synthetic_components
+
+FLEET = 10_240
+INSTANCES_PER_HOST = 64
+WINDOW = 32
+SHARD_LADDER = (8, 4, 2, 1)
+UPGRADE_BYTES = 4_096
+
+SCALING_FLOOR = 3.0  # throughput(4 shards) / throughput(1 shard)
+EFFICIENCY_FLOOR = 0.8  # per-shard efficiency at 4 shards vs 1
+#: The failed shard's journal share of all plane entries; at 8 even
+#: shards the expected share is ~0.125, gated with headroom.
+RECOVERY_SHARE_CEILING = 0.25
+
+
+def _noop_body(ctx):
+    return None
+
+
+def _cache_component(runtime, component):
+    for host in runtime.hosts.values():
+        variant = component.variant_for_host(host)
+        host.cache.insert(variant.blob_id, variant.size_bytes)
+
+
+def _build_plane(seed, fleet, shard_count):
+    """One plane, ``fleet`` v1 instances spread at 64 per host.
+
+    Components (and every later upgrade blob) are pre-seeded into each
+    host cache so waves measure update fan-out, not ICO fetch traffic
+    — the same discipline as P6.
+    """
+    host_count = fleet // INSTANCES_PER_HOST
+    runtime = LegionRuntime(build_lan(host_count, seed=seed))
+    host_names = sorted(runtime.hosts)
+    shard_hosts = {k: host_names[k] for k in range(shard_count)}
+    plane = ShardedManagerPlane(
+        runtime, "P8Fleet", shard_count=shard_count, shard_hosts=shard_hosts
+    )
+    components = synthetic_components(
+        2, 2, size_bytes=UPGRADE_BYTES, prefix="p8fleet-"
+    )
+    for component in components:
+        plane.register_component(component)
+        _cache_component(runtime, component)
+    v1 = plane.new_version()
+    for component in components:
+        plane.incorporate_into(v1, component.component_id)
+        for name in component.functions:
+            plane.enable_function(v1, name, component.component_id)
+    plane.mark_instantiable(v1)
+    plane.set_current_version(v1)
+
+    def build_driver():
+        # One sequential driver process, as in P6: cheaper than
+        # per-instance run_process bookkeeping or a concurrency
+        # window's event churn.
+        for index in range(fleet):
+            yield from plane.create_instance(
+                host_name=host_names[index % host_count]
+            )
+
+    runtime.sim.run_process(build_driver())
+    return runtime, plane
+
+
+def _stage_upgrade(runtime, plane, tag):
+    """Register a fresh pre-cached upgrade, configure it plane-wide."""
+    builder = ComponentBuilder(f"upgrade-{tag}")
+    builder.function(f"up_{tag}_fn", _noop_body)
+    builder.variant(size_bytes=UPGRADE_BYTES)
+    upgrade = builder.build()
+    plane.register_component(upgrade)
+    _cache_component(runtime, upgrade)
+    version = plane.derive_version(plane.current_version)
+    plane.incorporate_into(version, upgrade.component_id)
+    plane.enable_function(version, f"up_{tag}_fn", upgrade.component_id)
+    plane.mark_instantiable(version)
+    plane.set_current_version(version)
+    return version
+
+
+def _drive_wave(runtime, plane, version):
+    """Full-fleet windowed wave; returns the rung's numbers."""
+    sim = runtime.sim
+    events_before = sim.processed_events
+    started = sim.now
+    wall_started = time.perf_counter()
+    trackers = sim.run_process(plane.propagate_version(version, window=WINDOW))
+    wall_s = time.perf_counter() - wall_started
+    wave_s = sim.now - started
+    for shard_id, tracker in trackers.items():
+        assert tracker.complete and tracker.all_acked, (
+            f"s{shard_id}: {tracker.summary()}"
+        )
+    loids = plane.instance_loids()
+    for loid in loids:
+        assert plane.instance_version(loid) == version
+    return {
+        "shards": len(plane.shard_ids),
+        "instances": len(loids),
+        "wave_s": wave_s,
+        "wall_s": wall_s,
+        "events": sim.processed_events - events_before,
+        "throughput_per_s": len(loids) / wave_s if wave_s else 0.0,
+    }
+
+
+def _merge_to(runtime, plane, target_count):
+    """Pairwise live merges down to ``target_count`` shards.
+
+    Adjacent-id pairs keep the map's ranges contiguous per survivor,
+    so every rung of the ladder stays an even split.
+    """
+    while len(plane.shard_ids) > target_count:
+        ids = plane.shard_ids
+        for survivor, retiring in zip(ids[0::2], ids[1::2]):
+            runtime.sim.run_process(plane.merge_shards(retiring, survivor))
+
+
+def _recover_one_shard(runtime, plane):
+    """Kill + journal-recover one shard; returns the numbers."""
+    sim = runtime.sim
+    journal_sizes = {
+        shard_id: len(manager.journal)
+        for shard_id, manager in plane.shards.items()
+    }
+    total_entries = sum(journal_sizes.values())
+    victim_id = plane.shard_ids[len(plane.shard_ids) // 2]
+    victim = plane.shard_manager(victim_id)
+    held_before = sorted(victim.instance_loids())
+    journal = victim.journal
+    victim.deactivate()
+    started = sim.now
+    recovered = sim.run_process(recover_manager(runtime, journal))
+    recovery_s = sim.now - started
+    plane.adopt_shard(victim_id, recovered)
+    assert sorted(recovered.instance_loids()) == held_before, (
+        "recovery changed the shard's instance set"
+    )
+    assert plane.reconcile() == 0, "recovery left cross-shard orphans"
+    return {
+        "victim_shard": victim_id,
+        "replayed_entries": journal_sizes[victim_id],
+        "total_entries": total_entries,
+        "journal_entries_by_shard": {
+            str(shard_id): size for shard_id, size in journal_sizes.items()
+        },
+        "replay_share": journal_sizes[victim_id] / total_entries,
+        "recovery_s": recovery_s,
+        "instances_intact": len(held_before),
+    }
+
+
+def _split_mid_wave(runtime, plane, version, expected_wave_s):
+    """Launch a wave async, split the only shard under it; returns
+    the numbers."""
+    sim = runtime.sim
+    fleet_before = len(plane.instance_loids())
+    source_id = plane.shard_ids[0]
+    split_done = {}
+
+    def splitter():
+        # Land the handoff inside the wave: the row copy then races
+        # in-flight update applies for the moved half-space.
+        yield sim.timeout(max(0.01, expected_wave_s * 0.3))
+        manager = yield from plane.split_shard(source_id, mode="fast")
+        split_done["new_shard"] = manager.shard_id
+        split_done["at"] = sim.now
+
+    wave_started = sim.now
+    plane.set_current_version_async(version)
+    sim.run_process(splitter())
+    sim.run()
+    wave_s = sim.now - wave_started
+    # The async wave raced a live handoff; a plane-wide re-drive
+    # proves convergence (idempotent: already-updated instances ack
+    # without re-applying).
+    trackers = sim.run_process(plane.propagate_version(version, window=WINDOW))
+    assert all(t.all_acked for t in trackers.values())
+    assert "new_shard" in split_done, "split never committed"
+    loids = plane.instance_loids()
+    lost = fleet_before - len(loids)
+    duplicated = 0
+    stragglers = 0
+    for loid in loids:
+        obj = plane.record(loid).obj
+        if obj.version != version:
+            stragglers += 1
+        applies = obj.applications_by_version.get(version, 0)
+        if applies > 1:
+            duplicated += 1
+    assert plane.reconcile() == 0, "split left cross-shard orphans"
+    moved = len(plane.shard_manager(split_done["new_shard"]).instance_loids())
+    return {
+        "source_shard": source_id,
+        "new_shard": split_done["new_shard"],
+        "split_committed_at_s": split_done["at"] - wave_started,
+        "wave_s": wave_s,
+        "instances_moved": moved,
+        "lost": lost,
+        "duplicated_applies": duplicated,
+        "stragglers": stragglers,
+    }
+
+
+def run_p8(seed=0, fleet=FLEET, shard_ladder=SHARD_LADDER):
+    """Run P8; returns an :class:`ExperimentResult`.
+
+    ``fleet`` lets CI smoke runs measure a reduced fleet (e.g. 2,048
+    instances); the ladder must be strictly decreasing and end at 1.
+    """
+    shard_ladder = tuple(shard_ladder)
+    if sorted(shard_ladder, reverse=True) != list(shard_ladder) or shard_ladder[-1] != 1:
+        raise ValueError("shard ladder must decrease to 1")
+    if fleet % INSTANCES_PER_HOST:
+        raise ValueError(f"fleet must be a multiple of {INSTANCES_PER_HOST}")
+    result = ExperimentResult(
+        experiment_id="P8",
+        title="Sharded manager plane: wave throughput vs shard count",
+    )
+
+    build_started = time.perf_counter()
+    runtime, plane = _build_plane(seed, fleet, shard_ladder[0])
+    build_wall_s = time.perf_counter() - build_started
+    result.add(
+        f"{fleet} instances: one-time fleet build (reused across rungs)",
+        "reported separately",
+        f"{build_wall_s:.1f}",
+        "s",
+    )
+
+    rungs = {}
+    recovery = None
+    for rung_index, shard_count in enumerate(shard_ladder):
+        if shard_count != len(plane.shard_ids):
+            _merge_to(runtime, plane, shard_count)
+        assert len(plane.shard_ids) == shard_count
+        version = _stage_upgrade(runtime, plane, f"r{shard_count}")
+        rung = _drive_wave(runtime, plane, version)
+        rungs[shard_count] = rung
+        result.add(
+            f"{shard_count} shard(s): full-fleet wave, {fleet} instances",
+            "faster with more shards",
+            millis(rung["wave_s"]),
+            "ms",
+        )
+        result.add(
+            f"{shard_count} shard(s): wave throughput",
+            "scales with shards",
+            f"{rung['throughput_per_s']:,.0f}",
+            "inst/s",
+        )
+        if rung_index == 0:
+            # Blast-radius check while per-shard journals are smallest
+            # relative to the plane: kill + recover one of the 8.
+            recovery = _recover_one_shard(runtime, plane)
+
+    base = rungs[1]["throughput_per_s"]
+    scaling = rungs[4]["throughput_per_s"] / base if 4 in rungs else None
+    if scaling is not None:
+        efficiency = scaling / 4.0
+        result.add(
+            "shard scaling: throughput at 4 shards vs 1",
+            f">= {SCALING_FLOOR:.0f}x",
+            f"{scaling:.2f}",
+            "x",
+            ok=scaling >= SCALING_FLOOR,
+        )
+        result.add(
+            "per-shard efficiency at 4 shards",
+            f">= {EFFICIENCY_FLOOR:.0%} of linear",
+            f"{efficiency:.2f}",
+            "x",
+            ok=efficiency >= EFFICIENCY_FLOOR,
+        )
+    widest = shard_ladder[0]
+    if widest != 4:
+        result.add(
+            f"shard scaling: throughput at {widest} shards vs 1",
+            "informational",
+            f"{rungs[widest]['throughput_per_s'] / base:.2f}",
+            "x",
+        )
+
+    result.add(
+        f"single-shard recovery: journal entries replayed "
+        f"(of {recovery['total_entries']} plane-wide)",
+        f"<= {RECOVERY_SHARE_CEILING:.0%} of plane "
+        f"(its own shard's journal only)",
+        f"{recovery['replayed_entries']}",
+        "entries",
+        ok=recovery["replay_share"] <= RECOVERY_SHARE_CEILING,
+    )
+    result.add(
+        "single-shard recovery time",
+        "proportional to one shard",
+        millis(recovery["recovery_s"]),
+        "ms",
+    )
+
+    split_version = _stage_upgrade(runtime, plane, "split")
+    split = _split_mid_wave(
+        runtime, plane, split_version, rungs[1]["wave_s"]
+    )
+    result.add(
+        f"live split mid-wave: instances lost "
+        f"({split['instances_moved']} rows moved)",
+        "0",
+        f"{split['lost']}",
+        "",
+        ok=split["lost"] == 0,
+    )
+    result.add(
+        "live split mid-wave: duplicated applies / stragglers",
+        "0 / 0 (exactly-once across the handoff)",
+        f"{split['duplicated_applies']} / {split['stragglers']}",
+        "",
+        ok=split["duplicated_applies"] == 0 and split["stragglers"] == 0,
+    )
+
+    result.extra = {
+        "fleet": fleet,
+        "instances_per_host": INSTANCES_PER_HOST,
+        "window": WINDOW,
+        "shard_ladder": list(shard_ladder),
+        "build_wall_s": build_wall_s,
+        "scaling_floor": SCALING_FLOOR,
+        "efficiency_floor": EFFICIENCY_FLOOR,
+        "recovery_share_ceiling": RECOVERY_SHARE_CEILING,
+        "rungs": {str(count): data for count, data in rungs.items()},
+        "scaling_4v1": scaling,
+        "recovery": recovery,
+        "split": split,
+        "handoffs": runtime.network.count_value("manager.shard.handoffs"),
+        "map_epoch": plane.map.epoch,
+    }
+    return result

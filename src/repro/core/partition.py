@@ -1,0 +1,459 @@
+"""Replicated partition map: the sharded manager plane's routing state.
+
+The paper gives every DCDO type one manager.  PRs 1-8 made that
+manager durable, highly available, and gray-failure tolerant — but it
+is still *one* serialization point: every wave, journal append, and
+recovery pass funnels through it.  This module supplies the routing
+substrate for splitting the DCDO table across N manager shards:
+
+- :func:`partition_slot` hashes a LOID into a fixed 16-bit slot space.
+- :class:`PartitionMap` is an immutable, version-numbered (epoch'd)
+  assignment of contiguous slot ranges to shard ids, with pure
+  ``split`` / ``merge`` / ``move`` derivations.
+- :class:`ReplicatedPartitionMap` is the om-legion "partition table as
+  shared replicated state" pattern: a tiny shared-state object with
+  **fast** and **consistent** apply modes.  Consistent applies land on
+  every replica before the epoch is visible anywhere; fast applies
+  return after the primary and let replicas converge asynchronously —
+  cheap, but opens a bounded staleness window (which the chaos harness
+  deliberately widens).
+- :class:`PartitionRouter` is the client-side cache.  Routed calls
+  carry the caller's epoch; a shard that no longer owns the slot
+  bounces with :class:`StalePartitionMap`, piggybacking its own map
+  snapshot exactly the way PR 2's interface leases piggyback epoch
+  bumps — one extra round trip, never a config-service lookup storm.
+
+Slot ranges are half-open ``[lo, hi)`` over ``HASH_SPACE`` and must
+tile the space exactly: the map is the single ownership authority, so
+"unowned slot" is a constructible-nowhere state.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.legion.errors import LegionError
+
+#: Slot space for LOID hashing.  16 bits keeps slot arithmetic cheap
+#: while leaving headroom for thousands of shards.
+HASH_SPACE = 1 << 16
+
+#: Simulated per-replica latency of landing a map update (seconds).
+MAP_APPLY_S = 0.002
+
+#: Fast-mode replicas converge after this asynchronous delay.
+FAST_CONVERGE_S = 0.05
+
+
+def partition_slot(loid):
+    """Hash a LOID (or any stringable key) into ``[0, HASH_SPACE)``."""
+    return zlib.crc32(str(loid).encode("utf-8")) & (HASH_SPACE - 1)
+
+
+class StalePartitionMap(LegionError):
+    """A routed RPC carried an epoch older than the shard's map.
+
+    Mirrors :class:`~repro.legion.errors.StaleManagerTerm`: the error
+    is the protocol.  ``snapshot`` piggybacks the rejecting shard's
+    current :class:`PartitionMap` so the caller refreshes its cache
+    from the bounce itself.
+    """
+
+    def __init__(self, epoch, latest_epoch, snapshot=None):
+        super().__init__(
+            f"partition map epoch {epoch} is stale (shard holds "
+            f"{latest_epoch})"
+        )
+        self.epoch = epoch
+        self.latest_epoch = latest_epoch
+        self.snapshot = snapshot
+
+
+class RangeMidHandoff(LegionError):
+    """The slot's range is being moved between shards right now."""
+
+    def __init__(self, slot):
+        super().__init__(f"slot {slot} is mid-handoff")
+        self.slot = slot
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """Half-open slot span ``[lo, hi)`` owned by ``shard_id``."""
+
+    lo: int
+    hi: int
+    shard_id: int
+
+    def __post_init__(self):
+        if not 0 <= self.lo < self.hi <= HASH_SPACE:
+            raise ValueError(f"bad shard range [{self.lo}, {self.hi})")
+
+    def __contains__(self, slot):
+        return self.lo <= slot < self.hi
+
+    @property
+    def width(self):
+        return self.hi - self.lo
+
+
+class PartitionMap:
+    """Immutable epoch'd assignment of the slot space to shards.
+
+    Derivation methods (``split`` / ``merge`` / ``move``) return a new
+    map at ``epoch + 1``; the constructor validates that ranges tile
+    ``[0, HASH_SPACE)`` exactly, so ownership gaps and overlaps are
+    unrepresentable.
+    """
+
+    __slots__ = ("ranges", "epoch")
+
+    def __init__(self, ranges, epoch=1):
+        ranges = tuple(sorted(ranges, key=lambda r: r.lo))
+        cursor = 0
+        for r in ranges:
+            if r.lo != cursor:
+                raise ValueError(
+                    f"ranges must tile the slot space: gap/overlap at "
+                    f"{r.lo} (expected {cursor})"
+                )
+            cursor = r.hi
+        if cursor != HASH_SPACE:
+            raise ValueError(
+                f"ranges must cover the slot space: end at {cursor}"
+            )
+        self.ranges = ranges
+        self.epoch = epoch
+
+    @classmethod
+    def even(cls, shard_count):
+        """An epoch-1 map splitting the space evenly over ``shard_count``."""
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        bounds = [
+            (index * HASH_SPACE) // shard_count
+            for index in range(shard_count + 1)
+        ]
+        return cls(
+            [
+                ShardRange(bounds[index], bounds[index + 1], index)
+                for index in range(shard_count)
+            ]
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def shard_ids(self):
+        return tuple(sorted({r.shard_id for r in self.ranges}))
+
+    def shard_for_slot(self, slot):
+        """Owning shard id for a slot (binary search over ranges)."""
+        lo, hi = 0, len(self.ranges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = self.ranges[mid]
+            if slot < r.lo:
+                hi = mid
+            elif slot >= r.hi:
+                lo = mid + 1
+            else:
+                return r.shard_id
+        raise ValueError(f"slot {slot} outside the slot space")
+
+    def shard_for(self, loid):
+        return self.shard_for_slot(partition_slot(loid))
+
+    def spans_of(self, shard_id):
+        """All ``(lo, hi)`` spans owned by a shard, sorted."""
+        return tuple(
+            (r.lo, r.hi) for r in self.ranges if r.shard_id == shard_id
+        )
+
+    def owns(self, shard_id, loid):
+        return self.shard_for(loid) == shard_id
+
+    # -- derivations -----------------------------------------------------
+
+    def _derive(self, ranges):
+        return PartitionMap(ranges, epoch=self.epoch + 1)
+
+    def split(self, shard_id, new_shard_id):
+        """Halve ``shard_id``'s widest range, giving the upper half to
+        ``new_shard_id``."""
+        if new_shard_id in self.shard_ids:
+            raise ValueError(f"shard {new_shard_id} already owns ranges")
+        owned = [r for r in self.ranges if r.shard_id == shard_id]
+        if not owned:
+            raise ValueError(f"shard {shard_id} owns nothing to split")
+        victim = max(owned, key=lambda r: r.width)
+        if victim.width < 2:
+            raise ValueError(f"range {victim} too narrow to split")
+        mid = victim.lo + victim.width // 2
+        ranges = [r for r in self.ranges if r is not victim]
+        ranges.append(ShardRange(victim.lo, mid, shard_id))
+        ranges.append(ShardRange(mid, victim.hi, new_shard_id))
+        return self._derive(ranges)
+
+    def merge(self, source, target):
+        """Reassign every range of ``source`` to ``target``."""
+        if source == target:
+            raise ValueError("merge source and target are the same shard")
+        if source not in self.shard_ids:
+            raise ValueError(f"shard {source} owns nothing to merge")
+        ranges = [
+            ShardRange(r.lo, r.hi, target if r.shard_id == source else r.shard_id)
+            for r in self.ranges
+        ]
+        return self._derive(self._coalesce(ranges))
+
+    def move(self, span, target):
+        """Reassign the exact span ``(lo, hi)`` to ``target``.
+
+        The span must align with existing range boundaries (ranges are
+        split on demand by carving the covering range).
+        """
+        lo, hi = span
+        if not 0 <= lo < hi <= HASH_SPACE:
+            raise ValueError(f"bad span {span}")
+        ranges = []
+        for r in self.ranges:
+            if r.hi <= lo or r.lo >= hi:
+                ranges.append(r)
+                continue
+            if r.lo < lo:
+                ranges.append(ShardRange(r.lo, lo, r.shard_id))
+            carved_lo, carved_hi = max(r.lo, lo), min(r.hi, hi)
+            ranges.append(ShardRange(carved_lo, carved_hi, target))
+            if r.hi > hi:
+                ranges.append(ShardRange(hi, r.hi, r.shard_id))
+        return self._derive(self._coalesce(ranges))
+
+    @staticmethod
+    def _coalesce(ranges):
+        ranges = sorted(ranges, key=lambda r: r.lo)
+        out = []
+        for r in ranges:
+            if out and out[-1].shard_id == r.shard_id and out[-1].hi == r.lo:
+                out[-1] = ShardRange(out[-1].lo, r.hi, r.shard_id)
+            else:
+                out.append(r)
+        return out
+
+    def __repr__(self):
+        body = ", ".join(
+            f"[{r.lo},{r.hi})→s{r.shard_id}" for r in self.ranges
+        )
+        return f"<PartitionMap e{self.epoch} {body}>"
+
+
+class ReplicatedPartitionMap:
+    """The partition map as small shared replicated state.
+
+    One primary view plus a view per replica host.  ``apply`` installs
+    a new map in one of two modes:
+
+    - ``"consistent"`` — simulated per-replica landing latency, then
+      every view and every subscribed listener sees the new epoch
+      before ``apply`` returns.  Used for ownership handoff commits,
+      where the epoch bump *is* the commit point.
+    - ``"fast"`` — the primary (and listeners, which model
+      shard-manager-local views) move immediately; replica views
+      converge after an asynchronous delay.  Cheap for cosmetic
+      rebalances; routers refreshing from a stale replica during the
+      window simply eat one extra :class:`StalePartitionMap` bounce.
+
+    The chaos harness widens fast-mode convergence via
+    :meth:`add_staleness_window` to prove the bounce path converges
+    rather than livelocks.
+    """
+
+    def __init__(self, runtime, name, initial_map, replica_hosts=()):
+        self.runtime = runtime
+        self.name = name
+        self._primary = initial_map
+        self._views = {host: initial_map for host in replica_hosts}
+        self._listeners = []
+        self._staleness_windows = []
+        self.applies = 0
+        self.fast_applies = 0
+
+    # -- read side -------------------------------------------------------
+
+    @property
+    def current(self):
+        """The primary (authoritative) map."""
+        return self._primary
+
+    @property
+    def epoch(self):
+        return self._primary.epoch
+
+    def view(self, host_name=None):
+        """The map as seen from ``host_name`` (primary if unknown)."""
+        if host_name is None:
+            return self._primary
+        return self._views.get(host_name, self._primary)
+
+    def subscribe(self, listener):
+        """``listener(new_map)`` fires when a view becomes current."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener):
+        self._listeners.remove(listener)
+
+    # -- write side ------------------------------------------------------
+
+    def apply(self, new_map, mode="consistent"):
+        """Generator: install ``new_map`` (epoch must advance)."""
+        if new_map.epoch <= self._primary.epoch:
+            raise ValueError(
+                f"map epoch must advance: {new_map.epoch} <= "
+                f"{self._primary.epoch}"
+            )
+        sim = self.runtime.sim
+        if mode == "consistent":
+            for _host in self._views:
+                yield sim.timeout(MAP_APPLY_S)
+            self._primary = new_map
+            for host in self._views:
+                self._views[host] = new_map
+            self._notify(new_map)
+        elif mode == "fast":
+            yield sim.timeout(MAP_APPLY_S)
+            self._primary = new_map
+            self._notify(new_map)
+            self.fast_applies += 1
+            extra = self._staleness_extra(sim.now)
+            sim.spawn(
+                self._converge_replicas(new_map, FAST_CONVERGE_S + extra),
+                name=f"{self.name}.map-converge",
+            )
+        else:
+            raise ValueError(f"unknown apply mode {mode!r}")
+        self.applies += 1
+        self.runtime.network.count("manager.shard.map_epoch_bumps")
+        return new_map
+
+    def _converge_replicas(self, new_map, delay_s):
+        yield self.runtime.sim.timeout(delay_s)
+        for host in self._views:
+            if self._views[host].epoch < new_map.epoch:
+                self._views[host] = new_map
+
+    def _notify(self, new_map):
+        for listener in list(self._listeners):
+            listener(new_map)
+
+    # -- chaos hooks -----------------------------------------------------
+
+    def add_staleness_window(self, extra_s, start, end):
+        """Fast applies landing in ``[start, end)`` converge replicas
+        ``extra_s`` later — the chaos schedule's map-staleness fault."""
+        self._staleness_windows.append((start, end, extra_s))
+
+    def _staleness_extra(self, now):
+        return sum(
+            extra
+            for start, end, extra in self._staleness_windows
+            if start <= now < end
+        )
+
+
+class PartitionRouter:
+    """Client-side cached partition map with bounce-driven refresh.
+
+    Stubs and relays hold one of these instead of a manager reference.
+    ``route`` is a pure cache lookup; ``call`` wraps a routed manager
+    RPC with the stale-map retry loop: on :class:`StalePartitionMap`
+    the router adopts the piggybacked snapshot (or refreshes from the
+    replicated map) and retries against the new owner.
+    """
+
+    def __init__(self, replicated_map, shard_lookup, host_name=None):
+        self._replicated = replicated_map
+        self._shard_lookup = shard_lookup
+        self._host_name = host_name
+        self._cached = replicated_map.view(host_name)
+        self.bounces = 0
+
+    @property
+    def cached_map(self):
+        return self._cached
+
+    @property
+    def epoch(self):
+        return self._cached.epoch
+
+    def adopt(self, snapshot):
+        """Adopt a piggybacked map snapshot if it is newer."""
+        if snapshot is not None and snapshot.epoch > self._cached.epoch:
+            self._cached = snapshot
+            return True
+        return False
+
+    def refresh(self):
+        """Re-read the (possibly stale) local replica view."""
+        self.adopt(self._replicated.view(self._host_name))
+        return self._cached
+
+    def route(self, loid):
+        """``(shard_id, shard_manager)`` for a LOID, from cache."""
+        shard_id = self._cached.shard_for(loid)
+        return shard_id, self._shard_lookup(shard_id)
+
+    def call(self, client, loid, method, *args, max_bounces=8, **kwargs):
+        """Generator: invoke ``method`` on the owning shard's manager,
+        retrying through stale-map bounces.
+
+        ``client`` is anything with the :class:`~repro.legion.runtime.
+        Client` invocation shape — ``invoke(target_loid, method,
+        *args, **kwargs)`` returning a generator (a test client, a
+        stub's routed facade, a relay).  The routed method must take
+        the caller's epoch as its first argument — shard managers
+        verify it and bounce when stale.
+        """
+        bounces = 0
+        while True:
+            shard_id, shard = self.route(loid)
+            if shard is None:
+                # Routed to a retired shard (merged away after this
+                # cache was taken): refresh and retry like a bounce.
+                bounces += 1
+                if bounces > max_bounces:
+                    raise StalePartitionMap(
+                        self._cached.epoch,
+                        self._replicated.epoch,
+                        snapshot=self._replicated.current,
+                    )
+                self.adopt(self._replicated.current)
+                yield self._replicated.runtime.sim.timeout(FAST_CONVERGE_S)
+                continue
+            try:
+                result = yield from client.invoke(
+                    shard.loid, method, self._cached.epoch, loid, *args,
+                    **kwargs,
+                )
+                return result
+            except StalePartitionMap as error:
+                bounces += 1
+                self.bounces += 1
+                self._replicated.runtime.network.count(
+                    "manager.shard.stale_map_bounces"
+                )
+                if bounces > max_bounces:
+                    raise
+                if not self.adopt(error.snapshot):
+                    # Bounce carried nothing newer (or was withheld):
+                    # fall back to the authoritative primary.
+                    self.adopt(self._replicated.current)
+                    if self._cached.epoch <= error.epoch:
+                        # Nothing anywhere is newer yet; wait out the
+                        # staleness window rather than spin.
+                        yield self._replicated.runtime.sim.timeout(
+                            FAST_CONVERGE_S
+                        )
+                        self.refresh()
+                        self.adopt(self._replicated.current)
