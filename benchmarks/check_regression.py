@@ -52,6 +52,14 @@ failed shard's journal (share of plane-wide entries under the
 recorded ceiling), and the live split mid-wave must lose nothing and
 apply the in-flight version exactly once everywhere.
 
+``--selfheal`` gates the P9 self-healing invariants on a freshly
+produced ``BENCH_selfheal.json``: both the controller-driven run and
+the operator-cadence baseline must fully heal the compound incident
+(rollback converged *and* limper drained), the controller's MTTR must
+beat the operator's by at least the recorded ``mttr_floor`` (3x), and
+hygiene must hold across both runs — zero duplicate applications and
+zero dangling remediation intents.
+
 ``--scale`` gates the P6 kernel/runtime scale invariants on a freshly
 produced ``BENCH_scale.json``: the largest measured fleet must reach
 ``--scale-floor`` live instances (default 100,000; CI smoke runs pass
@@ -417,6 +425,63 @@ def check_p8(path):
     return failures
 
 
+def check_p9(path):
+    """Gate the P9 self-healing invariants; returns failure strings."""
+    with open(path) as handle:
+        data = json.load(handle)
+    try:
+        extra = data["extra"]
+        controller = extra["controller"]
+        operator = extra["operator"]
+        ratio = extra["mttr_ratio"]
+        floor = extra["mttr_floor"]
+    except KeyError as exc:
+        raise SystemExit(f"{path}: missing {exc} — not a P9 result?")
+    failures = []
+    for run in (controller, operator):
+        label = run["mode"]
+        if not run["healed"]:
+            failures.append(
+                f"{label} run never healed the compound incident "
+                f"(rollback {run['rollback_mttr_s']}, "
+                f"migrate {run['migrate_mttr_s']})"
+            )
+        if run["rollbacks"] < 1:
+            failures.append(f"{label} run completed no rollback wave")
+        if run["migrations"] < 1:
+            failures.append(f"{label} run migrated nothing off the limper")
+        if run["duplicate_applications"] != 0:
+            failures.append(
+                f"{label} run applied a version "
+                f"{run['duplicate_applications']} extra time(s) — "
+                f"exactly-once broken"
+            )
+        if run["open_intents"] != 0:
+            failures.append(
+                f"{label} run left {run['open_intents']} remediation "
+                f"intent(s) dangling open in the journal"
+            )
+    if ratio is None:
+        failures.append("MTTR ratio unavailable — a run failed to heal")
+    elif ratio < floor:
+        failures.append(
+            f"controller MTTR only {ratio:.2f}x faster than the operator "
+            f"runbook (floor {floor:.0f}x)"
+        )
+    status = "OK" if not failures else "REGRESSED"
+
+    def mttr_text(run):
+        return f"{run['mttr_s']:.1f}s" if run["healed"] else "unhealed"
+
+    ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
+    print(
+        f"P9 controller MTTR {mttr_text(controller)} vs operator "
+        f"{mttr_text(operator)} (ratio {ratio_text}, floor {floor:.0f}x) "
+        f"{status}"
+    )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_propagation.json")
@@ -458,6 +523,11 @@ def main(argv=None):
         help="freshly generated BENCH_shard.json to gate P8 invariants",
     )
     parser.add_argument(
+        "--selfheal",
+        default=None,
+        help="freshly generated BENCH_selfheal.json to gate P9 invariants",
+    )
+    parser.add_argument(
         "--scale-floor",
         type=int,
         default=100_000,
@@ -479,6 +549,8 @@ def main(argv=None):
         failures += check_p7(args.gray)
     if args.shard:
         failures += check_p8(args.shard)
+    if args.selfheal:
+        failures += check_p9(args.selfheal)
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in failures:

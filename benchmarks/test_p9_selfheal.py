@@ -1,0 +1,47 @@
+"""P9 — self-healing MTTR ratio; writes BENCH_selfheal.json.
+
+The full 48-instance compound incident (limping host + unguarded
+degraded deploy) runs twice — reactive controller vs. the same
+runbook at operator cadence.  CI smoke runs set ``P9_FLEET`` to a
+smaller fleet; the gates are ratios and hygiene counts, so they hold
+unchanged at the reduced size.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_p9
+from repro.bench.experiments.p9_selfheal import FLEET
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_selfheal.json"
+
+
+def _fleet():
+    spec = os.environ.get("P9_FLEET", "").strip()
+    return int(spec) if spec else FLEET
+
+
+def test_p9_selfheal(benchmark):
+    result = run_experiment(
+        benchmark, lambda seed: run_p9(seed=seed, fleet=_fleet())
+    )
+    benchmark.extra_info["mttr_ratio"] = result.extra["mttr_ratio"]
+    benchmark.extra_info["controller_mttr_s"] = result.extra["controller"][
+        "mttr_s"
+    ]
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "rows": [row.as_tuple() for row in result.rows],
+                "extra": result.extra,
+                "all_ok": result.all_ok,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -18,6 +18,7 @@ from repro.bench.experiments.p5_slo_waves import run_p5
 from repro.bench.experiments.p6_scale import run_p6
 from repro.bench.experiments.p7_gray import run_p7
 from repro.bench.experiments.p8_shard import run_p8
+from repro.bench.experiments.p9_selfheal import run_p9
 
 __all__ = [
     "run_a2",
@@ -31,6 +32,7 @@ __all__ = [
     "run_p6",
     "run_p7",
     "run_p8",
+    "run_p9",
     "run_e1",
     "run_e2",
     "run_e3",

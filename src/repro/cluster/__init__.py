@@ -11,6 +11,8 @@ and are documented against the sentence of the paper they reproduce.
 """
 
 from repro.cluster.calibration import Calibration
+from repro.cluster.controller import ControllerContext, ReactiveController
+from repro.cluster.coordination import ConvergenceGuard, convergence_guard
 from repro.cluster.failure_detector import HeartbeatFailureDetector
 from repro.cluster.filecache import FileCache
 from repro.cluster.host import CrashPlan, Host, HostDown, HostProcess
@@ -26,6 +28,8 @@ from repro.cluster.vault import Vault
 
 __all__ = [
     "Calibration",
+    "ControllerContext",
+    "ConvergenceGuard",
     "CrashPlan",
     "FileCache",
     "HeartbeatFailureDetector",
@@ -33,6 +37,7 @@ __all__ = [
     "HostDown",
     "HostProcess",
     "HostRelay",
+    "ReactiveController",
     "Supervisor",
     "Testbed",
     "Vault",
@@ -40,6 +45,7 @@ __all__ = [
     "build_lan",
     "build_relay_tree",
     "build_wan",
+    "convergence_guard",
     "deploy_relays",
     "restore_relays",
 ]

@@ -110,8 +110,12 @@ class ChaosCoordinator:
     def _on_crash(self, host):
         died = crash_host(self.runtime, host)
         self.crash_log.append((self.runtime.sim.now, host.name, died))
+        self.runtime.network.publish(
+            "host.crashed", host.name, died=len(died)
+        )
 
     def _on_restart(self, host):
+        self.runtime.network.publish("host.restarted", host.name)
         if self.auto_recover:
             yield from self.recover_on(host)
 
@@ -248,6 +252,20 @@ class ChaosSchedule:
         plane (``pick`` deterministically selects the source shard)
         and the named host is crashed while the handoff is in flight,
         exercising the abort/prune path.
+    bad_deploys:
+        ``(at, added_latency_s, error_every)`` unguarded bad rollouts:
+        at ``at`` the harness adopts a degraded build fleet-wide
+        *outside* any canary (the operator-pushed regression the SLO
+        gate never saw).  Not installed on the network — the harness
+        stages the build via
+        :func:`repro.workloads.generator.build_degraded_version` and
+        propagates it; the reactive controller must sense the breach
+        and demote.
+    flaky_limps:
+        ``(host, factor, start, end)`` limping windows drawn from the
+        instance-bearing host pool — semantics identical to ``limps``,
+        but guaranteed to land where instances live, so quarantine and
+        migrate-off-flaky-host remediation actually trigger.
     """
 
     def __init__(
@@ -265,6 +283,8 @@ class ChaosSchedule:
         shard_crashes=(),
         map_staleness=(),
         rebalance_crashes=(),
+        bad_deploys=(),
+        flaky_limps=(),
     ):
         self.crashes = list(crashes)
         self.partitions = list(partitions)
@@ -279,6 +299,8 @@ class ChaosSchedule:
         self.shard_crashes = list(shard_crashes)
         self.map_staleness = list(map_staleness)
         self.rebalance_crashes = list(rebalance_crashes)
+        self.bad_deploys = list(bad_deploys)
+        self.flaky_limps = list(flaky_limps)
         #: Simulated time :meth:`install` rebased the offsets onto.
         self.installed_at = None
 
@@ -311,6 +333,9 @@ class ChaosSchedule:
         max_shard_crashes=0,
         max_map_staleness=0,
         mid_rebalance_crashes=0,
+        instance_hosts=(),
+        max_bad_deploys=0,
+        max_flaky_limps=0,
     ):
         """Roll a scenario: every draw comes from ``random.Random(seed)``.
 
@@ -388,6 +413,20 @@ class ChaosSchedule:
           plane and crashes a shard host while the row handoff is in
           flight — the aborted handoff must leave no range writable by
           two shards and no row half-moved.
+
+        The two controller kinds (PR 10) target the self-healing loop;
+        both default off and draw strictly after every kind above —
+        including every shard kind — in exactly this order, so every
+        legacy seed keeps its exact schedule:
+
+        - ``max_bad_deploys`` rolls unguarded degraded rollouts the
+          harness adopts fleet-wide at the drawn time, outside any
+          canary — the controller must sense the SLO breach and
+          originate the rollback.
+        - ``max_flaky_limps`` (with ``instance_hosts`` naming hosts
+          that carry instances) rolls limp windows guaranteed to land
+          on instance-bearing hosts, so health quarantine and the
+          migrate-off-flaky-host policy actually fire.
         """
         rng = random.Random(seed)
         host_names = list(host_names)
@@ -606,6 +645,26 @@ class ChaosSchedule:
                 rebalance_crashes.append(
                     (name, crash_at, restart_at, rng.random())
                 )
+        # Controller kinds (PR 10), strictly after every kind above —
+        # legacy seeds keep their exact schedules.
+        bad_deploys = []
+        if max_bad_deploys > 0:
+            for __ in range(rng.randint(1, max_bad_deploys)):
+                at = rng.uniform(1.0, duration_s * 0.3)
+                if rng.random() < 0.5:
+                    added_latency_s, error_every = round(rng.uniform(0.2, 1.0), 3), 0
+                else:
+                    added_latency_s, error_every = 0.0, rng.randint(2, 4)
+                bad_deploys.append((at, added_latency_s, error_every))
+        flaky_limps = []
+        flaky_pool = [name for name in instance_hosts if name in host_names]
+        if flaky_pool and max_flaky_limps > 0:
+            for __ in range(rng.randint(1, max_flaky_limps)):
+                victim = rng.choice(flaky_pool)
+                factor = rng.uniform(4.0, 10.0)
+                start = rng.uniform(0.5, duration_s * 0.3)
+                end = start + rng.uniform(10.0, duration_s * 0.5)
+                flaky_limps.append((victim, round(factor, 2), start, end))
         return cls(
             crashes=crashes,
             partitions=partitions,
@@ -620,6 +679,8 @@ class ChaosSchedule:
             shard_crashes=shard_crashes,
             map_staleness=map_staleness,
             rebalance_crashes=rebalance_crashes,
+            bad_deploys=bad_deploys,
+            flaky_limps=flaky_limps,
         )
 
     @property
@@ -639,6 +700,8 @@ class ChaosSchedule:
         times += [restart_at for __, __, restart_at in self.shard_crashes]
         times += [end for __, __, end in self.map_staleness]
         times += [restart_at for __, __, restart_at, __ in self.rebalance_crashes]
+        times += [at for at, __, __ in self.bad_deploys]
+        times += [entry[-1] for entry in self.flaky_limps]
         return max(times) + (self.installed_at or 0.0)
 
     def install(self, runtime, coordinator, plane=None):
@@ -746,6 +809,14 @@ class ChaosSchedule:
                     ),
                     name=f"rebalance:{name}@{crash_at:g}",
                 )
+        # bad_deploys are harness-driven (like degradations): staging
+        # and adopting the degraded build needs a manager, which the
+        # schedule does not hold.
+        for host_name, factor, start, end in self.flaky_limps:
+            runtime.sim.spawn(
+                self._limp_window(runtime, host_name, factor, base + start, base + end),
+                name=f"flaky-limp:{host_name}@{start:g}",
+            )
 
     @staticmethod
     def _rebalance_trigger(runtime, plane, victim, crash_time, pick):
@@ -817,11 +888,12 @@ class ChaosSchedule:
             + len(self.map_staleness)
             + len(self.rebalance_crashes)
         )
+        controller = len(self.bad_deploys) + len(self.flaky_limps)
         return (
             f"<ChaosSchedule crashes={len(self.crashes)} "
             f"partitions={len(self.partitions)} drops={len(self.drops)} "
             f"degradations={len(self.degradations)} gray={gray} "
-            f"shard={shard}>"
+            f"shard={shard} controller={controller}>"
         )
 
 

@@ -1,0 +1,99 @@
+"""Cross-daemon coordination: the shared convergence-in-flight guard.
+
+Two daemons can independently decide to drive an instance's
+configuration: the :class:`~repro.cluster.supervisor.Supervisor`'s
+anti-entropy reconcile loop and the
+:class:`~repro.cluster.controller.ReactiveController`'s remediation
+actions.  Both funnel through the manager's transactional wave
+machinery, which is idempotent per version — but two *concurrent*
+converges over the same instance still race: each can observe the
+other's half-finished evolution as drift and re-drive it, churning
+`applyConfiguration` traffic and (under an abortive wave policy)
+double-counting failures.
+
+The :class:`ConvergenceGuard` is the fix: one registry per runtime,
+keyed by LOID.  A driver claims the instances it is about to converge;
+a claim that overlaps someone else's holding is *denied* — the caller
+defers and retries later, it never runs alongside.  Claims are
+all-or-nothing so a wave is never split into a claimed and an
+unclaimed half.
+
+``violations`` stays zero by construction; it exists so chaos sweeps
+can assert the property held (a forced release of somebody else's
+claim, the only way to break it, increments the counter instead of
+silently corrupting the table).
+"""
+
+
+class ConvergenceGuard:
+    """Per-runtime LOID-keyed mutual exclusion for convergence drivers."""
+
+    def __init__(self):
+        self._owners = {}  # loid -> owner token
+        #: Denied claims (a second driver tried to converge a held
+        #: instance and deferred) — the double-converge races *avoided*.
+        self.denials = 0
+        #: Times a release found the claim held by someone else — a
+        #: guard-discipline bug; chaos sweeps assert this stays 0.
+        self.violations = 0
+
+    def try_claim(self, owner, loids):
+        """Claim every LOID in ``loids`` for ``owner``, all-or-nothing.
+
+        Returns True on success.  Re-claiming one's own holdings is
+        fine (a convergence loop re-driving its own wave); any overlap
+        with another owner denies the whole claim and counts it.
+        """
+        loids = list(loids)
+        for loid in loids:
+            holder = self._owners.get(loid)
+            if holder is not None and holder != owner:
+                self.denials += 1
+                return False
+        for loid in loids:
+            self._owners[loid] = owner
+        return True
+
+    def release(self, owner, loids=None):
+        """Release ``owner``'s claims (all of them when ``loids`` is None)."""
+        if loids is None:
+            loids = [l for l, holder in self._owners.items() if holder == owner]
+        for loid in loids:
+            holder = self._owners.get(loid)
+            if holder is None:
+                continue
+            if holder != owner:
+                self.violations += 1
+                continue
+            del self._owners[loid]
+
+    def owner_of(self, loid):
+        """The owner token holding ``loid``, or None."""
+        return self._owners.get(loid)
+
+    def held_by(self, owner):
+        """The LOIDs currently claimed by ``owner``."""
+        return [l for l, holder in self._owners.items() if holder == owner]
+
+    def busy(self, prefix=""):
+        """True when any claim's owner token starts with ``prefix``."""
+        return any(owner.startswith(prefix) for owner in self._owners.values())
+
+    def __repr__(self):
+        return (
+            f"<ConvergenceGuard held={len(self._owners)} "
+            f"denials={self.denials} violations={self.violations}>"
+        )
+
+
+def convergence_guard(runtime):
+    """The runtime's shared guard, created on first use.
+
+    Lazily attached so the guard needs no runtime-constructor change
+    and every driver (supervisor, controller, tests) sees the same
+    instance.
+    """
+    guard = getattr(runtime, "_convergence_guard", None)
+    if guard is None:
+        guard = runtime._convergence_guard = ConvergenceGuard()
+    return guard

@@ -291,6 +291,12 @@ class HeartbeatFailureDetector:
                 detector=self.address,
                 misses=watch.misses,
             )
+            self._runtime.network.publish(
+                "detector.suspicion",
+                watch.key,
+                address=watch.last_address,
+                misses=watch.misses,
+            )
         # Fire on every threshold multiple while suspected: a target
         # that died again before we ever saw it healthy still alarms.
         watch.on_suspect(watch.key)

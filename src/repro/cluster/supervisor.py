@@ -404,6 +404,12 @@ class Supervisor:
             host=manager.host.name,
             term=manager.term,
         )
+        runtime.network.publish(
+            "supervisor.promoted",
+            self.type_name,
+            host=manager.host.name,
+            term=manager.term,
+        )
         self._arm_replication(manager)
         # Promotion done: clear the guard *before* convergence so a
         # second failure mid-convergence can trigger a fresh failover.
@@ -428,11 +434,14 @@ class Supervisor:
 
     def _converge_rounds(self, manager):
         from repro.cluster.chaos import ChaosCoordinator
+        from repro.cluster.coordination import convergence_guard
         from repro.core.manager import WavePolicy
         from repro.legion.errors import LegionError
         from repro.net import TransportError
 
         sim = self.runtime.sim
+        guard = convergence_guard(self.runtime)
+        guard_owner = f"supervisor:{self.type_name}"
         yield from manager.resume_propagations(self.retry_policy)
         for round_no in range(self.max_convergence_rounds):
             if self._stopped or manager.deposed or not manager.is_active:
@@ -454,20 +463,28 @@ class Supervisor:
                     yield from step()
                 except (LegionError, TransportError):
                     pass
+            # Instances admitted to a still-open canary are frozen:
+            # converging them back onto the fleet's current version
+            # would silently undo the rollout the SLO gate is
+            # judging (the gate runner itself finishes or aborts
+            # the canary using the journaled state).
+            frozen = manager.canary_frozen_loids()
+            loids = [
+                loid
+                for loid in manager.instance_loids()
+                if loid not in frozen
+            ]
+            # The shared guard keeps this converge from racing a
+            # remediation wave over the same instances: an overlap
+            # denies the whole claim, and the round backs off instead
+            # of double-converging.
+            if not guard.try_claim(guard_owner, loids):
+                self.runtime.network.count("supervisor.converge_deferred")
+                yield sim.timeout(
+                    min(2.0 ** (round_no + 1), CONVERGENCE_BACKOFF_CAP_S)
+                )
+                continue
             try:
-                # Instances admitted to a still-open canary are frozen:
-                # converging them back onto the fleet's current version
-                # would silently undo the rollout the SLO gate is
-                # judging (the gate runner itself finishes or aborts
-                # the canary using the journaled state).
-                frozen = manager.canary_frozen_loids()
-                loids = None
-                if frozen:
-                    loids = [
-                        loid
-                        for loid in manager.instance_loids()
-                        if loid not in frozen
-                    ]
                 tracker = yield from manager.propagate_version(
                     manager.current_version,
                     loids=loids,
@@ -481,6 +498,8 @@ class Supervisor:
                 # Fleet still unhealthy (or we just got fenced); the
                 # guards at the top of the loop sort out which.
                 pass
+            finally:
+                guard.release(guard_owner, loids)
             yield sim.timeout(
                 min(2.0 ** (round_no + 1), CONVERGENCE_BACKOFF_CAP_S)
             )

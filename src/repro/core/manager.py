@@ -248,6 +248,11 @@ class DCDOManager(ClassObject):
         self._term_scope = type_name
         self._partition_view = None
         self._released_spans = []
+        #: Remediation plane: one term-fenced lease gating automated
+        #: (controller-originated) actions, plus the journaled intents
+        #: of in-flight remediations (see the remediation section).
+        self._remediation_lease = None
+        self._remediations = {}
         self._register_manager_methods()
         if journal is not None:
             self.attach_journal(journal)
@@ -1014,6 +1019,18 @@ class DCDOManager(ClassObject):
         tracker.completed_at = self._runtime.sim.now
         self._journal_append("propagation-complete", version=version)
         self._runtime.trace("propagation-complete", self.loid, **tracker.summary())
+        self._runtime.network.publish(
+            "wave.complete",
+            self.type_name,
+            version=str(version),
+            shard_id=self.shard_id,
+            instances=len(tracker.deliveries()),
+            duration_s=(
+                tracker.completed_at - tracker.started_at
+                if tracker.started_at is not None
+                else None
+            ),
+        )
         return tracker
 
     # ------------------------------------------------------------------
@@ -1745,6 +1762,13 @@ class DCDOManager(ClassObject):
                 # Manager crashed: abandon quietly, leaving the
                 # delivery PENDING in the journal for recovery.
                 return False
+            if tracker.aborting or tracker.aborted:
+                # The wave was breach-aborted while this delivery sat
+                # out a backoff: delivering now would resurrect the
+                # version the abort just rolled back.  Abandon; the
+                # delivery stays PENDING under a wave the journal
+                # already shows ABORTING/ABORTED.
+                return False
             attempts += 1
             delivery.attempts += 1
             try:
@@ -1785,6 +1809,13 @@ class DCDOManager(ClassObject):
                 "propagation-ack", version=tracker.version, loid=loid
             )
             self._count("propagation.acks")
+            if tracker.aborting or tracker.aborted:
+                # The breach-abort raced this delivery's final RPC:
+                # the instance just applied a version the wave has
+                # renounced.  Undo it with the same rollback machinery
+                # (journaled, resumable) instead of reporting success.
+                yield from self._finish_abort(tracker)
+                return False
             return True
 
     def propagation(self, version):
@@ -2028,6 +2059,151 @@ class DCDOManager(ClassObject):
             raise UnknownVersion(f"no canary rollout open for version {version}")
         return state
 
+    # ------------------------------------------------------------------
+    # Remediation lease and intents (self-healing controller)
+    # ------------------------------------------------------------------
+
+    def acquire_remediation_lease(self, owner, ttl_s=30.0):
+        """Take (or renew) the plane-level remediation lease; journaled.
+
+        Exactly one automated remediator may act on this manager at a
+        time, and only while the lease it holds was minted under the
+        manager's *current* term: a promotion bumps the term, so a
+        zombie controller's lease dies with the primary it was talking
+        to — the promoted supervisor and a stale controller can never
+        fight over the same fleet.  Returns True when ``owner`` holds
+        the lease on exit.
+        """
+        if self.deposed or not self.is_active:
+            return False
+        now = self._runtime.sim.now
+        lease = self._remediation_lease
+        if (
+            lease is not None
+            and lease["owner"] != owner
+            and lease["expires_at"] > now
+            and lease["term"] == self._term
+        ):
+            return False
+        self._remediation_lease = {
+            "owner": owner,
+            "term": self._term,
+            "expires_at": now + ttl_s,
+        }
+        self._journal_append(
+            "remediation-lease",
+            owner=owner,
+            term=self._term,
+            expires_at=now + ttl_s,
+        )
+        return True
+
+    def holds_remediation_lease(self, owner):
+        """True while ``owner``'s lease is live under the current term."""
+        lease = self._remediation_lease
+        return (
+            not self.deposed
+            and self.is_active
+            and lease is not None
+            and lease["owner"] == owner
+            and lease["term"] == self._term
+            and lease["expires_at"] > self._runtime.sim.now
+        )
+
+    def release_remediation_lease(self, owner):
+        """Drop the lease if ``owner`` holds it (journaled as expiry)."""
+        lease = self._remediation_lease
+        if lease is not None and lease["owner"] == owner:
+            self._remediation_lease = None
+            self._journal_append(
+                "remediation-lease", owner=owner, term=self._term, expires_at=0.0
+            )
+
+    def begin_remediation(self, intent_id, action, target, **params):
+        """Write-ahead log one remediation intent; returns its record.
+
+        The entry lands *before* the first action RPC, so a manager
+        recovered mid-remediation knows exactly which automated actions
+        were in flight — :meth:`gc_remediations` then closes the ones
+        whose lease term the promotion outran.
+        """
+        if intent_id in self._remediations:
+            return self._remediations[intent_id]
+        record = {
+            "intent_id": intent_id,
+            "action": action,
+            "target": target,
+            "params": dict(params),
+            "term": self._term,
+            "opened_at": self._runtime.sim.now,
+            "outcome": None,
+        }
+        self._remediations[intent_id] = record
+        self._journal_append(
+            "remediation-intent",
+            intent_id=intent_id,
+            action=action,
+            target=target,
+            params=dict(params),
+            term=self._term,
+        )
+        self._count("remediation.intents")
+        self._runtime.trace(
+            "remediation-started", self.loid, intent=intent_id, action=action,
+            target=str(target),
+        )
+        return record
+
+    def complete_remediation(self, intent_id, outcome="done"):
+        """Close an intent (journaled); unknown ids are ignored."""
+        record = self._remediations.get(intent_id)
+        if record is None or record["outcome"] is not None:
+            return record
+        record["outcome"] = outcome
+        self._journal_append(
+            "remediation-closed", intent_id=intent_id, outcome=outcome
+        )
+        self._count(f"remediation.{outcome}")
+        self._runtime.trace(
+            "remediation-closed", self.loid, intent=intent_id, outcome=outcome
+        )
+        return record
+
+    def open_remediations(self):
+        """Intent records not yet closed, oldest first."""
+        return [
+            record
+            for record in self._remediations.values()
+            if record["outcome"] is None
+        ]
+
+    def gc_remediations(self):
+        """Close open intents minted under an older term; returns them.
+
+        Called by a (re-)attaching controller after recovery or
+        promotion: an intent whose lease term the current term outran
+        belongs to a remediator that can no longer safely finish it —
+        its partial work is repaired by the supervisor's converge pass,
+        and the journal records the orphaning instead of leaving the
+        intent open forever.
+        """
+        orphaned = []
+        for record in self.open_remediations():
+            if record["term"] < self._term:
+                self.complete_remediation(record["intent_id"], outcome="orphaned")
+                orphaned.append(record)
+        return orphaned
+
+    def remediation_status(self):
+        """Plain-dict view of lease + intents, for reports."""
+        lease = self._remediation_lease
+        open_intents = self.open_remediations()
+        return {
+            "lease": dict(lease) if lease is not None else None,
+            "open": [record["intent_id"] for record in open_intents],
+            "total": len(self._remediations),
+        }
+
     def restore_components(self):
         """Generator: re-serve any registered component whose ICO died.
 
@@ -2168,6 +2344,32 @@ class DCDOManager(ClassObject):
             self._canaries[data["version"]].complete = True
         elif kind == "canary-aborted":
             self._canaries[data["version"]].aborted = True
+        elif kind == "remediation-lease":
+            if data["expires_at"] <= 0.0:
+                self._remediation_lease = None
+            else:
+                self._remediation_lease = {
+                    "owner": data["owner"],
+                    "term": data["term"],
+                    "expires_at": data["expires_at"],
+                }
+        elif kind == "remediation-intent":
+            self._remediations.setdefault(
+                data["intent_id"],
+                {
+                    "intent_id": data["intent_id"],
+                    "action": data["action"],
+                    "target": data["target"],
+                    "params": dict(data.get("params") or {}),
+                    "term": data["term"],
+                    "opened_at": None,
+                    "outcome": None,
+                },
+            )
+        elif kind == "remediation-closed":
+            record = self._remediations.get(data["intent_id"])
+            if record is not None:
+                record["outcome"] = data["outcome"]
         else:
             raise ValueError(f"unknown journal entry kind {kind!r}")
         return
@@ -2375,6 +2577,25 @@ class DCDOManager(ClassObject):
                 entries.append(
                     JournalEntry("propagation-complete", {"version": version})
                 )
+        if self._remediation_lease is not None:
+            entries.append(
+                JournalEntry("remediation-lease", dict(self._remediation_lease))
+            )
+        # Only open intents survive a checkpoint: a closed remediation
+        # is pure history, and recovery's job is resume-or-GC.
+        for record in self.open_remediations():
+            entries.append(
+                JournalEntry(
+                    "remediation-intent",
+                    {
+                        "intent_id": record["intent_id"],
+                        "action": record["action"],
+                        "target": record["target"],
+                        "params": dict(record["params"]),
+                        "term": record["term"],
+                    },
+                )
+            )
         self._journal.write_checkpoint(entries)
         self._publish_journal_gauges()
         return len(entries)

@@ -28,6 +28,17 @@ from repro.core.policies.evolution import (
     NoUpdatePolicy,
     SingleVersionPolicy,
 )
+from repro.core.policies.remediation import (
+    REMEDIATION_POLICIES,
+    DemoteDegradedVersion,
+    MigrateOffFlakyHost,
+    PrewarmBlobCaches,
+    RebalanceHotShard,
+    RemediationIntent,
+    RemediationPolicy,
+    default_remediation_policies,
+    register_remediation_policy,
+)
 from repro.core.policies.update import (
     ExplicitUpdatePolicy,
     LazyUpdatePolicy,
@@ -38,16 +49,24 @@ from repro.core.policies.update import (
 __all__ = [
     "CanaryOutcome",
     "CanaryWavePolicy",
+    "DemoteDegradedVersion",
     "EvolutionPolicy",
     "ExplicitUpdatePolicy",
     "GeneralEvolutionPolicy",
     "HybridEvolutionPolicy",
     "IncreasingVersionPolicy",
     "LazyUpdatePolicy",
+    "MigrateOffFlakyHost",
     "NoUpdatePolicy",
+    "PrewarmBlobCaches",
     "ProactiveUpdatePolicy",
+    "REMEDIATION_POLICIES",
+    "RebalanceHotShard",
     "ReliableUpdatePolicy",
+    "RemediationIntent",
+    "RemediationPolicy",
     "SingleVersionPolicy",
     "UpdatePolicy",
-    "run_canary_wave",
+    "default_remediation_policies",
+    "register_remediation_policy",
 ]

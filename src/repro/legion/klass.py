@@ -358,6 +358,13 @@ class ClassObject(LegionObject):
             binding = yield from self.activate_instance(loid, host_name=target_host_name)
         finally:
             lock.release()
+        if self._invoker is not None:
+            # The class object minted this binding itself: seed its own
+            # invoker cache so its next management RPC to the moved
+            # instance doesn't pay the stale-binding timeout walk
+            # against the old address.  Other clients still discover
+            # the move the hard way (§4's stale-binding cost).
+            self._invoker.binding_cache.put(binding)
         record = self.record(loid)
         self._notify_migrated(record)
         self._runtime.trace(

@@ -111,6 +111,13 @@ class Network:
         # until enable_health() arms it, so calibrated runs that never
         # opt in pay a single attribute check on the health hooks.
         self._health = None
+        # Shared event bus: health/SLO/supervisor/chaos transitions are
+        # published here so reactive consumers (the controller) sense
+        # without polling.  Always present — publishing with no
+        # subscribers is one dict lookup and a ring append.
+        from repro.obs.bus import EventBus
+
+        self.bus = EventBus(sim)
 
     # ------------------------------------------------------------------
     # Peer health (gray-failure quarantine)
@@ -126,8 +133,14 @@ class Network:
         if self._health is None:
             from repro.obs.health import HealthRegistry
 
-            self._health = HealthRegistry(self._sim, metrics=self.metrics, **kwargs)
+            self._health = HealthRegistry(
+                self._sim, metrics=self.metrics, bus=self.bus, **kwargs
+            )
         return self._health
+
+    def publish(self, topic, subject=None, **details):
+        """Publish one event on the fabric's shared bus."""
+        return self.bus.publish(topic, subject, **details)
 
     @property
     def health(self):
@@ -202,12 +215,20 @@ class Network:
             if slo is None:
                 raise ValueError(f"no SLO monitor registered under {key!r}")
             monitor = self._slo_monitors[key] = SLOMonitor(
-                self._sim, slo, **kwargs
+                self._sim, slo, bus=self.bus, stream=key, **kwargs
             )
         return monitor
 
     def register_slo_monitor(self, key, monitor):
-        """Register an externally built monitor under ``key``."""
+        """Register an externally built monitor under ``key``.
+
+        The fabric's bus is attached (and the stream named) so breach
+        transitions publish even for monitors built elsewhere.
+        """
+        if getattr(monitor, "bus", None) is None:
+            monitor.bus = self.bus
+        if getattr(monitor, "stream", None) is None:
+            monitor.stream = key
         self._slo_monitors[key] = monitor
         return monitor
 

@@ -7,6 +7,7 @@ a runtime (network, caches, bindings, invokers, DFMs, managers) into
 one structured report.
 """
 
+from repro.obs.bus import Event, EventBus
 from repro.obs.health import HealthRegistry, PeerHealth
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.report import SystemReport, collect_system_report, render_report
@@ -15,6 +16,8 @@ from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "HealthRegistry",
     "MetricsRegistry",

@@ -1,0 +1,109 @@
+"""A lightweight publish/subscribe event bus on the simulator clock.
+
+The fault-tolerance layers each keep private state — the
+:class:`~repro.obs.health.HealthRegistry` its quarantine flags, the
+:class:`~repro.obs.slo.SLOMonitor` its breach log, the chaos harness
+its crash plan — and until now nothing could *react* to a transition
+without polling every one of them.  The :class:`EventBus` closes that
+gap: producers (the network fabric, the health registry, SLO monitors,
+the chaos coordinator, the supervisor) publish typed events as their
+state transitions, and consumers (the reactive controller, tests,
+report tooling) subscribe by topic.
+
+Delivery is synchronous and in-process: ``publish`` invokes every
+matching callback before returning, on the publisher's stack.
+Subscribers that need to *act* (anything that yields simulated time)
+must therefore only record the event and act from their own process —
+the bus is a sensing fabric, not an execution engine.  A bounded ring
+of recent events is kept for reports and debugging.
+
+Topics are dotted strings (``"health.quarantined"``,
+``"slo.breach"``, ``"host.crashed"``); a subscription to ``"*"``
+receives everything, and a subscription to a ``"prefix."`` string
+receives every topic under that prefix.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published occurrence."""
+
+    at: float
+    topic: str
+    subject: object
+    details: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return f"<Event {self.topic} {self.subject!r} at={self.at:.3f}>"
+
+
+class EventBus:
+    """Topic-keyed synchronous pub/sub with a bounded history."""
+
+    def __init__(self, sim, history=256):
+        self._sim = sim
+        self._subscribers = {}  # pattern -> list of callbacks
+        self.published = 0
+        self.delivered = 0
+        self.recent = deque(maxlen=history)
+        self._counts = {}
+
+    def subscribe(self, pattern, callback):
+        """Register ``callback`` for ``pattern``; returns the callback.
+
+        ``pattern`` is an exact topic, a ``"prefix."`` string matching
+        every topic under it, or ``"*"`` for everything.
+        """
+        self._subscribers.setdefault(pattern, []).append(callback)
+        return callback
+
+    def unsubscribe(self, pattern, callback):
+        """Remove one subscription; unknown pairs are ignored."""
+        callbacks = self._subscribers.get(pattern)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+            if not callbacks:
+                del self._subscribers[pattern]
+
+    def publish(self, topic, subject=None, **details):
+        """Deliver one event to every matching subscriber; returns it."""
+        event = Event(
+            at=self._sim.now, topic=topic, subject=subject, details=details
+        )
+        self.published += 1
+        self._counts[topic] = self._counts.get(topic, 0) + 1
+        self.recent.append(event)
+        for pattern, callbacks in list(self._subscribers.items()):
+            if not self._matches(pattern, topic):
+                continue
+            for callback in list(callbacks):
+                callback(event)
+                self.delivered += 1
+        return event
+
+    @staticmethod
+    def _matches(pattern, topic):
+        if pattern == "*" or pattern == topic:
+            return True
+        return pattern.endswith(".") and topic.startswith(pattern)
+
+    def counts(self):
+        """Per-topic publish totals, for reports and assertions."""
+        return dict(self._counts)
+
+    def snapshot(self):
+        """Plain-dict view for system reports."""
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "topics": self.counts(),
+        }
+
+    def __repr__(self):
+        return (
+            f"<EventBus topics={len(self._counts)} "
+            f"published={self.published}>"
+        )

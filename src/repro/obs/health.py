@@ -101,6 +101,11 @@ class HealthRegistry:
         Optional :class:`MetricsRegistry` mirror for counters
         (``health.quarantines`` / ``health.recoveries`` /
         ``health.probes``).
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; quarantine
+        transitions publish ``health.quarantined`` /
+        ``health.recovered`` events so reactive consumers sense score
+        flips without polling the registry.
     """
 
     def __init__(
@@ -111,6 +116,7 @@ class HealthRegistry:
         recover_above=0.75,
         probation_s=10.0,
         metrics=None,
+        bus=None,
     ):
         if not 0 < recovery_alpha <= 1:
             raise ValueError(f"recovery_alpha must be in (0, 1], got {recovery_alpha}")
@@ -127,6 +133,7 @@ class HealthRegistry:
         self._recover_above = recover_above
         self._probation_s = probation_s
         self._metrics = metrics
+        self._bus = bus
         self._peers = {}
 
     def peer(self, host):
@@ -167,11 +174,24 @@ class HealthRegistry:
             record.last_change_at = self._sim.now
             if self._metrics is not None:
                 self._metrics.counter("health.quarantines").increment()
+            if self._bus is not None:
+                self._bus.publish(
+                    "health.quarantined",
+                    record.host,
+                    score=round(record.score, 4),
+                    quarantines=record.quarantines,
+                )
         elif record.quarantined and record.score > self._recover_above:
             record.quarantined = False
             record.last_change_at = self._sim.now
             if self._metrics is not None:
                 self._metrics.counter("health.recoveries").increment()
+            if self._bus is not None:
+                self._bus.publish(
+                    "health.recovered",
+                    record.host,
+                    score=round(record.score, 4),
+                )
 
     def is_quarantined(self, host):
         """True if ``host`` is quarantined and not yet on probation.

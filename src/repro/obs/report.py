@@ -46,6 +46,11 @@ class SystemReport:
     #: Per-peer health scores and quarantine state (empty unless the
     #: fabric's health registry was armed).
     health: dict = field(default_factory=dict)
+    #: Per-destination RTT estimator state keyed ``"src->dst"`` (host
+    #: names): smoothed RTT, variance, derived RTO and hedge delay,
+    #: sample count.  Empty unless some invoker armed adaptive
+    #: timeouts or hedging and has taken samples.
+    rtt: dict = field(default_factory=dict)
     #: Per-shard manager state for sharded planes, keyed
     #: ``"<type>/s<shard_id>"``: host, term, owned slot spans, table
     #: size, journal size, and the plane's partition-map epoch.
@@ -139,6 +144,10 @@ def collect_system_report(runtime):
                     journal.checkpoints if journal is not None else 0
                 ),
             }
+            if hasattr(class_object, "remediation_status"):
+                report.managers[type_name]["remediation"] = (
+                    class_object.remediation_status()
+                )
         report.types[type_name] = entry
     for obj in runtime._objects.values():
         shard_id = getattr(obj, "shard_id", None)
@@ -159,6 +168,28 @@ def collect_system_report(runtime):
             "journal_entries": len(journal) if journal is not None else 0,
             "journal_bytes": journal.bytes if journal is not None else 0,
         }
+    for obj in runtime._objects.values():
+        invoker = getattr(obj, "_invoker", None)
+        estimators = getattr(invoker, "_estimators", None)
+        if not estimators:
+            continue
+        src = obj.host.name
+        for dst, estimator in estimators.items():
+            if not estimator.samples or estimator.srtt is None:
+                continue
+            key = f"{src}->{dst}"
+            entry = report.rtt.get(key)
+            # Several objects on one host may talk to the same peer;
+            # keep the best-informed estimator per edge.
+            if entry is not None and entry["samples"] >= estimator.samples:
+                continue
+            report.rtt[key] = {
+                "srtt_s": estimator.srtt,
+                "rttvar_s": estimator.rttvar,
+                "rto_s": estimator.rto_s,
+                "hedge_delay_s": estimator.hedge_delay_s(),
+                "samples": estimator.samples,
+            }
     report.faults = runtime.network.metrics.snapshot()
     report.fault_plan = runtime.network.faults.stats()
     report.health = runtime.network.health_snapshot()
@@ -240,13 +271,22 @@ def render_report(report):
             state = "up"
         else:
             state = "down"
-        lines.append(
+        line = (
             f"  manager {type_name}: {state} on {manager['host']}, "
             f"term {manager['term']}, journal {manager['journal_entries']} "
             f"entries / {manager['journal_bytes']} B "
             f"({manager['journal_appends']} appends, "
             f"{manager['journal_checkpoints']} checkpoints)"
         )
+        remediation = manager.get("remediation")
+        if remediation and remediation["total"]:
+            lease = remediation["lease"]
+            holder = lease["owner"] if lease else "-"
+            line += (
+                f", remediations {remediation['total']} "
+                f"({len(remediation['open'])} open, lease {holder})"
+            )
+        lines.append(line)
     for key, shard in sorted(report.shards.items()):
         if shard["deposed"]:
             state = "DEPOSED"
@@ -297,6 +337,23 @@ def render_report(report):
             f"  health {name}: {state}, score {peer['score']:.2f} "
             f"({peer['successes']} ok / {peer['timeouts']} timeouts / "
             f"{peer['hedge_wins']} hedge wins / {peer['suspicions']} suspicions)"
+        )
+    for edge, entry in sorted(report.rtt.items()):
+        hedge = entry["hedge_delay_s"]
+        line = (
+            f"  rtt {edge}: srtt {entry['srtt_s'] * 1000:.2f}ms "
+            f"rttvar {entry['rttvar_s'] * 1000:.2f}ms "
+            f"rto {entry['rto_s'] * 1000:.2f}ms "
+            f"({entry['samples']} samples)"
+        )
+        if hedge is not None:
+            line += f", hedge after {hedge * 1000:.2f}ms"
+        lines.append(line)
+    hedges = report.faults.get("transport.hedges", 0)
+    hedge_wins = report.faults.get("transport.hedge_wins", 0)
+    if hedges:
+        lines.append(
+            f"  hedging: {hedges} hedged request(s), {hedge_wins} won by the backup"
         )
     plan = report.fault_plan
     if plan and any(plan.get(key) for key in

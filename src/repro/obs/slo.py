@@ -79,9 +79,18 @@ class SLOMonitor:
         ``max_window_samples / window_s`` the window is effectively
         sample-bounded (oldest dropped first), keeping memory constant
         under open-loop load of any aggregate rate.
+    bus / stream:
+        Optional :class:`~repro.obs.bus.EventBus` (and the stream name
+        events carry); healthy/breached transitions publish
+        ``slo.breach`` / ``slo.recovered`` so reactive consumers sense
+        them without polling.  The fabric's monitor registry fills
+        both in automatically.
     """
 
-    def __init__(self, sim, slo, window_s=10.0, max_window_samples=8192):
+    def __init__(
+        self, sim, slo, window_s=10.0, max_window_samples=8192, bus=None,
+        stream=None,
+    ):
         if window_s <= 0:
             raise ValueError(f"window_s must be > 0, got {window_s}")
         if max_window_samples < slo.min_samples:
@@ -97,6 +106,8 @@ class SLOMonitor:
         #: Times at which an evaluation transitioned healthy -> breached.
         self.breach_log = []
         self._last_healthy = True
+        self.bus = bus
+        self.stream = stream
 
     # ------------------------------------------------------------------
     # Recording
@@ -170,6 +181,16 @@ class SLOMonitor:
         healthy = not violations
         if self._last_healthy and not healthy:
             self.breach_log.append((self.sim.now, list(violations)))
+            if self.bus is not None:
+                self.bus.publish(
+                    "slo.breach",
+                    self.stream or self.slo.name,
+                    violations=list(violations),
+                    error_rate=round(error_rate, 6),
+                    samples=samples,
+                )
+        elif not self._last_healthy and healthy and self.bus is not None:
+            self.bus.publish("slo.recovered", self.stream or self.slo.name)
         self._last_healthy = healthy
         return SLOStatus(
             at=self.sim.now,

@@ -682,6 +682,77 @@ def test_quarantine_goes_half_open_after_probation():
     assert registry.score("gray") > 0.75
 
 
+def test_probation_requarantine_second_probation_cycle():
+    """A failed probe buys a *full* closed window before the next
+    probe: across probation → re-quarantine → second probation the
+    registry never oscillates faster than ``probation_s``, and every
+    transition publishes exactly one bus event."""
+    from repro.obs import EventBus
+
+    sim = Simulator()
+    bus = EventBus(sim)
+    transitions = []
+    bus.subscribe("health.", transitions.append)
+    registry = HealthRegistry(sim, probation_s=5.0, bus=bus)
+
+    def advance(seconds):
+        def proc():
+            yield sim.timeout(seconds)
+
+        sim.run_process(proc())
+
+    # Cycle 1: quarantine at t=0.
+    for __ in range(6):
+        registry.observe("gray", "timeout")
+    assert registry.is_quarantined("gray")
+    assert [e.topic for e in transitions] == ["health.quarantined"]
+
+    # Closed for the full window: no probe is admitted early.
+    advance(4.99)
+    assert registry.is_quarantined("gray")
+    assert registry.peer("gray").probes == 0
+
+    # First probation at t=5: one probe admitted; it fails.
+    advance(0.01)
+    assert not registry.is_quarantined("gray")
+    assert registry.peer("gray").probes == 1
+    registry.observe("gray", "timeout")  # failed probe re-arms the window
+
+    # Re-quarantined: the *entire* probation_s must elapse again — the
+    # no-oscillation property.  Poll the whole closed window; every
+    # answer must be "closed" and no extra probes may be minted.
+    for __ in range(9):
+        advance(0.5)
+        assert registry.is_quarantined("gray"), (
+            f"oscillated out of quarantine {sim.now - 5.0:.1f}s after a "
+            f"failed probe (probation_s=5.0)"
+        )
+    assert registry.peer("gray").probes == 1
+
+    # Second probation at t=10: probes flow again; sustained successes
+    # recover the peer (one recovery event, still one quarantine).
+    advance(0.5)
+    assert not registry.is_quarantined("gray")
+    assert registry.peer("gray").probes == 2
+    while registry.peer("gray").quarantined:
+        registry.observe("gray", "success")
+    assert [e.topic for e in transitions] == [
+        "health.quarantined",
+        "health.recovered",
+    ]
+    assert registry.peer("gray").quarantines == 1
+
+    # A later relapse opens a genuinely new cycle, not a continuation.
+    while not registry.peer("gray").quarantined:
+        registry.observe("gray", "timeout")
+    assert registry.peer("gray").quarantines == 2
+    assert [e.topic for e in transitions] == [
+        "health.quarantined",
+        "health.recovered",
+        "health.quarantined",
+    ]
+
+
 def test_health_penalties_are_ordered_by_severity():
     sim = Simulator()
     registry = HealthRegistry(sim)

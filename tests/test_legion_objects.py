@@ -202,6 +202,22 @@ def test_fresh_client_after_migration_resolves_directly(runtime):
     assert runtime.sim.now - start < 1.0  # no stale binding to discover
 
 
+def test_class_object_seeds_its_own_cache_after_migration(runtime):
+    """The class object minted the post-move binding itself: its own
+    management RPCs must not pay the stale-binding walk a plain client
+    pays (the controller's migrate-then-evolve path depends on this)."""
+    klass = make_counter_class(runtime)
+    loid = create_counter(runtime, klass, host_name="host00")
+    # Warm the class object's own cache with the pre-move binding.
+    runtime.sim.run_process(klass.invoker.invoke(loid, "inc", (3,)))
+    binding = runtime.sim.run_process(klass.migrate_instance(loid, "host01"))
+    assert klass.invoker.binding_cache.get(loid) is binding
+    start = runtime.sim.now
+    assert runtime.sim.run_process(klass.invoker.invoke(loid, "get", ())) == 3
+    assert runtime.sim.now - start < 1.0  # no stale binding to discover
+    assert klass.invoker.binding_cache.stale_stats.count == 0
+
+
 def test_delete_instance_unregisters(runtime):
     klass = make_counter_class(runtime)
     loid = create_counter(runtime, klass)
